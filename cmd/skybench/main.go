@@ -1,0 +1,90 @@
+// Command skybench regenerates the paper's evaluation tables and
+// figures (see DESIGN.md §3 for the experiment index).
+//
+// Usage:
+//
+//	skybench -run all                 # every figure, laptop scale
+//	skybench -run fig7a,fig12 -scale 0.2
+//	skybench -run fig13 -csv          # machine-readable output
+//
+// The -scale flag multiplies every dataset size; 1.0 corresponds to
+// the paper's sizes divided by 1000.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"zskyline/internal/exp"
+)
+
+func main() {
+	var (
+		run      = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+		scale    = flag.Float64("scale", 1.0, "dataset size multiplier")
+		workers  = flag.Int("workers", 8, "simulated cluster worker slots")
+		seed     = flag.Int64("seed", 42, "generator seed")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		netMBps  = flag.Float64("net-mbps", 0, "simulated shuffle bandwidth in MB/s (0 = free in-process shuffle)")
+		overhead = flag.Int("task-overhead-ms", 0, "simulated per-task startup cost in ms")
+		list     = flag.Bool("list", false, "list available experiments and exit")
+		outdir   = flag.String("outdir", "", "also write each experiment's table as <outdir>/<id>.csv")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-8s %-10s %s\n", e.ID, e.PaperRef, e.Title)
+		}
+		return
+	}
+
+	var selected []exp.Experiment
+	if *run == "all" {
+		selected = exp.All()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := exp.Get(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "skybench: unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	params := exp.Params{Scale: *scale, Workers: *workers, Seed: *seed,
+		NetworkMBps: *netMBps, TaskOverheadMs: *overhead}
+	ctx := context.Background()
+	for _, e := range selected {
+		start := time.Now()
+		table, err := e.Run(ctx, params)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skybench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Printf("# %s — %s\n%s\n", table.ID, table.Title, table.CSV())
+		} else {
+			fmt.Println(table.Format())
+			fmt.Printf("   (%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
+		if *outdir != "" {
+			if err := os.MkdirAll(*outdir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "skybench: %v\n", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*outdir, table.ID+".csv")
+			if err := os.WriteFile(path, []byte(table.CSV()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "skybench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}

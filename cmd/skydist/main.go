@@ -1,0 +1,124 @@
+// Command skydist coordinates a distributed skyline query across
+// skyworker processes: phase 1 runs here (sampling, Z-order
+// partitioning, ZDG/ZHG grouping), phases 2 and 3 run on the workers
+// over TCP.
+//
+// Usage:
+//
+//	skyworker -listen :7071 & skyworker -listen :7072 &
+//	skygen -dist anti -n 200000 -d 5 > anti.csv
+//	skydist -workers localhost:7071,localhost:7072 -in anti.csv -report
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"zskyline/internal/codec"
+	"zskyline/internal/dist"
+	"zskyline/internal/point"
+)
+
+func main() {
+	var (
+		workers   = flag.String("workers", "", "comma-separated worker addresses (required)")
+		in        = flag.String("in", "-", "input file ('-' for stdin)")
+		format    = flag.String("format", "csv", "input format: csv|binary")
+		m         = flag.Int("m", 32, "number of groups")
+		ratio     = flag.Float64("sample", 0.02, "sampling ratio")
+		heuristic = flag.Bool("zhg", false, "use heuristic grouping instead of dominance-based")
+		useSB     = flag.Bool("sb", false, "use sort-based local skylines instead of Z-search")
+		seed      = flag.Int64("seed", 42, "sampling seed")
+		report    = flag.Bool("report", false, "print the run report to stderr")
+		stream    = flag.Bool("stream", false, "stream a ZSKY binary file to the workers without loading it (requires -format binary and a file path)")
+	)
+	flag.Parse()
+
+	if *workers == "" {
+		fmt.Fprintln(os.Stderr, "skydist: -workers is required")
+		os.Exit(2)
+	}
+	addrs := strings.Split(*workers, ",")
+	for i := range addrs {
+		addrs[i] = strings.TrimSpace(addrs[i])
+	}
+
+	cfg := dist.DefaultCoordinatorConfig()
+	cfg.M = *m
+	cfg.SampleRatio = *ratio
+	cfg.Heuristic = *heuristic
+	cfg.UseZS = !*useSB
+	cfg.Seed = *seed
+	coord, err := dist.NewCoordinator(cfg, addrs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skydist: %v\n", err)
+		os.Exit(1)
+	}
+	defer coord.Close()
+
+	var sky []point.Point
+	var rep *dist.Report
+	var inputSize int
+	if *stream {
+		if *format != "binary" || *in == "-" {
+			fmt.Fprintln(os.Stderr, "skydist: -stream requires -format binary and a file path")
+			os.Exit(2)
+		}
+		sky, rep, err = coord.SkylineFile(context.Background(), *in)
+	} else {
+		r := os.Stdin
+		if *in != "-" {
+			f, ferr := os.Open(*in)
+			if ferr != nil {
+				fmt.Fprintf(os.Stderr, "skydist: %v\n", ferr)
+				os.Exit(1)
+			}
+			defer f.Close()
+			r = f
+		}
+		var ds *point.Dataset
+		switch *format {
+		case "csv":
+			ds, err = codec.ReadCSV(r)
+		case "binary":
+			ds, err = codec.ReadBinary(r)
+		default:
+			err = fmt.Errorf("unknown format %q", *format)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skydist: %v\n", err)
+			os.Exit(1)
+		}
+		inputSize = ds.Len()
+		sky, rep, err = coord.Skyline(context.Background(), ds)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skydist: %v\n", err)
+		os.Exit(1)
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	for _, p := range sky {
+		for i, v := range p {
+			if i > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		w.WriteByte('\n')
+	}
+	if *report {
+		fmt.Fprintf(os.Stderr,
+			"workers=%d groups=%d partitions=%d\n"+
+				"points=%d skyline=%d candidates=%d filtered=%d\n"+
+				"preprocess=%v phase2=%v phase3=%v total=%v\n",
+			rep.Workers, rep.Groups, rep.Partitions,
+			inputSize, len(sky), rep.Candidates, rep.Filtered,
+			rep.Preprocess.Round(1000), rep.Phase2.Round(1000), rep.Phase3.Round(1000), rep.Total.Round(1000))
+	}
+}

@@ -1,0 +1,83 @@
+// Command skygen generates benchmark datasets as CSV (one point per
+// line, comma-separated coordinates) or in the compact ZSKY binary
+// format.
+//
+// Usage:
+//
+//	skygen -dist anti -n 100000 -d 5 -seed 7 > anti.csv
+//	skygen -dist anti -n 10000000 -format binary -o anti.zsky
+//	skygen -dist nba > nba.csv
+//
+// Distributions: independent, correlated, anti (Börzsönyi synthetic),
+// plus the simulated real-world sets nba, hou, nuswide, flickr,
+// dbpedia (see DESIGN.md §6 for what each simulates).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"zskyline/internal/codec"
+	"zskyline/internal/gen"
+	"zskyline/internal/point"
+)
+
+func main() {
+	var (
+		dist   = flag.String("dist", "independent", "independent|correlated|anti|nba|hou|nuswide|flickr|dbpedia")
+		n      = flag.Int("n", 10000, "number of points (synthetic distributions)")
+		d      = flag.Int("d", 5, "dimensionality (synthetic distributions)")
+		seed   = flag.Int64("seed", 42, "generator seed")
+		out    = flag.String("o", "-", "output file ('-' for stdout)")
+		format = flag.String("format", "csv", "output format: csv|binary")
+	)
+	flag.Parse()
+
+	var ds *point.Dataset
+	switch *dist {
+	case "independent":
+		ds = gen.Synthetic(gen.Independent, *n, *d, *seed)
+	case "correlated":
+		ds = gen.Synthetic(gen.Correlated, *n, *d, *seed)
+	case "anti", "anti-correlated":
+		ds = gen.Synthetic(gen.AntiCorrelated, *n, *d, *seed)
+	case "nba":
+		ds = gen.NBALike(*n, *seed)
+	case "hou":
+		ds = gen.HOULike(*n, *seed)
+	case "nuswide":
+		ds = gen.NUSWideLike(*n, *seed)
+	case "flickr":
+		ds = gen.FlickrLike(*n, *seed)
+	case "dbpedia":
+		ds = gen.DBPediaLike(*n, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "skygen: unknown distribution %q\n", *dist)
+		os.Exit(2)
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skygen: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	var err error
+	switch *format {
+	case "csv":
+		err = codec.WriteCSV(w, ds)
+	case "binary":
+		err = codec.WriteBinary(w, ds)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skygen: %v\n", err)
+		os.Exit(1)
+	}
+}

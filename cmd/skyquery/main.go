@@ -1,0 +1,175 @@
+// Command skyquery runs declarative skyline queries over named-column
+// CSV files: each attribute gets a preference direction and the
+// undominated rows come back, original columns intact.
+//
+// Usage:
+//
+//	skyquery -in hotels.csv -prefer "price:min,rating:max,id:ignore"
+//	skyquery -in hotels.csv -prefer "price:min,distance:min" -explain 3
+//
+// The CSV's first line may be a header (price,rating,...); without one
+// the columns are named c0, c1, ... . Attributes not mentioned in
+// -prefer are ignored. -explain N prints, for row N of the input, the
+// rows that dominate it (empty when N is a skyline row).
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"zskyline"
+	"zskyline/internal/codec"
+)
+
+func parsePrefs(spec string) ([]zskyline.Pref, error) {
+	var prefs []zskyline.Pref
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		attr, dir, found := strings.Cut(part, ":")
+		if !found {
+			return nil, fmt.Errorf("preference %q needs attr:direction", part)
+		}
+		p := zskyline.Pref{Attr: strings.TrimSpace(attr)}
+		switch strings.ToLower(strings.TrimSpace(dir)) {
+		case "min":
+			p.Dir = zskyline.Min
+		case "max":
+			p.Dir = zskyline.Max
+		case "ignore":
+			p.Dir = zskyline.Ignore
+		default:
+			return nil, fmt.Errorf("unknown direction %q (min|max|ignore)", dir)
+		}
+		prefs = append(prefs, p)
+	}
+	if len(prefs) == 0 {
+		return nil, fmt.Errorf("no preferences given")
+	}
+	return prefs, nil
+}
+
+func main() {
+	var (
+		in      = flag.String("in", "-", "input CSV ('-' for stdin); first line may be a header")
+		prefer  = flag.String("prefer", "", "comma-separated attr:min|max|ignore preferences (required)")
+		header  = flag.Bool("header", true, "print the header line before results")
+		explain = flag.Int("explain", -1, "explain row N instead of printing the skyline")
+	)
+	flag.Parse()
+	if *prefer == "" {
+		fmt.Fprintln(os.Stderr, "skyquery: -prefer is required")
+		os.Exit(2)
+	}
+	prefs, err := parsePrefs(*prefer)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skyquery: %v\n", err)
+		os.Exit(2)
+	}
+
+	r := os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skyquery: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r = f
+	}
+	attrs, rows, err := codec.ReadNamedCSV(r)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skyquery: %v\n", err)
+		os.Exit(1)
+	}
+	rel, err := zskyline.NewRelation(attrs, rows)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skyquery: %v\n", err)
+		os.Exit(1)
+	}
+	res, err := zskyline.RunQuery(context.Background(), rel, zskyline.Query{Prefer: prefs})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skyquery: %v\n", err)
+		os.Exit(1)
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	writeRow := func(row []float64) {
+		for i, v := range row {
+			if i > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		w.WriteByte('\n')
+	}
+
+	if *explain >= 0 {
+		if *explain >= len(rows) {
+			fmt.Fprintf(os.Stderr, "skyquery: row %d out of range (0..%d)\n", *explain, len(rows)-1)
+			os.Exit(2)
+		}
+		inSkyline := false
+		for _, id := range res.RowIDs {
+			if id == *explain {
+				inSkyline = true
+				break
+			}
+		}
+		if inSkyline {
+			fmt.Fprintf(w, "row %d is in the skyline\n", *explain)
+			return
+		}
+		fmt.Fprintf(w, "row %d is dominated by:\n", *explain)
+		target := rows[*explain]
+		for _, id := range res.RowIDs {
+			if dominatesUnder(rows[id], target, prefs, rel) {
+				writeRow(rows[id])
+			}
+		}
+		return
+	}
+
+	if *header {
+		fmt.Fprintln(w, strings.Join(attrs, ","))
+	}
+	for _, id := range res.RowIDs {
+		writeRow(rows[id])
+	}
+	fmt.Fprintf(os.Stderr, "skyquery: %d of %d rows in the skyline\n", len(res.RowIDs), len(rows))
+}
+
+// dominatesUnder checks preference-space dominance of row a over row b.
+func dominatesUnder(a, b []float64, prefs []zskyline.Pref, rel *zskyline.Relation) bool {
+	idx := map[string]int{}
+	for i, attr := range rel.Attrs {
+		idx[attr] = i
+	}
+	noWorse, better := true, false
+	for _, p := range prefs {
+		if p.Dir == zskyline.Ignore {
+			continue
+		}
+		i := idx[p.Attr]
+		av, bv := a[i], b[i]
+		if p.Dir == zskyline.Max {
+			av, bv = -av, -bv
+		}
+		if av > bv {
+			noWorse = false
+			break
+		}
+		if av < bv {
+			better = true
+		}
+	}
+	return noWorse && better
+}

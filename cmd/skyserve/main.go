@@ -1,0 +1,70 @@
+// Command skyserve serves skyline queries over a dataset as a JSON
+// HTTP API.
+//
+// Usage:
+//
+//	skyserve -in hotels.csv -listen :8080
+//	curl localhost:8080/healthz
+//	curl localhost:8080/skyline
+//	curl -X POST localhost:8080/query \
+//	     -d '{"prefer":[{"attr":"price","dir":"min"},{"attr":"rating","dir":"max"}]}'
+//	curl -X POST localhost:8080/explain -d '{"point":[90,3]}'
+//	curl -X POST localhost:8080/topk -d '{"k":5,"weights":[1,2]}'
+//
+// The CSV's first line may name the attributes; otherwise columns are
+// c0, c1, ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"zskyline/internal/codec"
+	"zskyline/internal/point"
+	"zskyline/internal/server"
+)
+
+func main() {
+	var (
+		in     = flag.String("in", "", "input CSV (required; first line may be a header)")
+		listen = flag.String("listen", "127.0.0.1:8080", "address to serve on")
+		bits   = flag.Int("bits", 16, "Z-order grid resolution")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "skyserve: -in is required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skyserve: %v\n", err)
+		os.Exit(1)
+	}
+	attrs, rows, err := codec.ReadNamedCSV(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skyserve: %v\n", err)
+		os.Exit(1)
+	}
+	pts := make([]point.Point, len(rows))
+	for i, r := range rows {
+		pts[i] = point.Point(r)
+	}
+	ds, err := point.NewDataset(len(attrs), pts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skyserve: %v\n", err)
+		os.Exit(1)
+	}
+	srv, err := server.New(attrs, ds, *bits)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skyserve: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("skyserve: %d points x %d attrs on http://%s\n", ds.Len(), ds.Dims, *listen)
+	if err := http.ListenAndServe(*listen, srv.Handler()); err != nil {
+		fmt.Fprintf(os.Stderr, "skyserve: %v\n", err)
+		os.Exit(1)
+	}
+}

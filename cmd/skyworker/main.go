@@ -1,0 +1,41 @@
+// Command skyworker runs one distributed skyline worker: an RPC server
+// that executes phase-2 map/combine/reduce and phase-3 Z-merge work
+// shipped to it by a skydist coordinator.
+//
+// Usage:
+//
+//	skyworker -listen :7071 &
+//	skyworker -listen :7072 &
+//	skydist -workers localhost:7071,localhost:7072 -in data.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"zskyline/internal/dist"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7071", "address to listen on")
+	flag.Parse()
+
+	ws, err := dist.StartWorker(*listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skyworker: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("skyworker listening on %s\n", ws.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("skyworker: shutting down")
+	if err := ws.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "skyworker: close: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,122 @@
+package zskyline_test
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"zskyline"
+)
+
+// The one-call API: exact skyline of a small dataset.
+func ExampleSkyline() {
+	pts := []zskyline.Point{
+		{1, 9}, // nearest hotel, most expensive
+		{4, 4},
+		{9, 1}, // farthest, cheapest
+		{5, 6}, // dominated by (4,4)
+	}
+	sky, err := zskyline.Skyline(context.Background(), 2, pts)
+	if err != nil {
+		panic(err)
+	}
+	sort.Slice(sky, func(i, j int) bool { return sky[i][0] < sky[j][0] })
+	for _, p := range sky {
+		fmt.Println(p)
+	}
+	// Output:
+	// (1, 9)
+	// (4, 4)
+	// (9, 1)
+}
+
+// Declarative queries name attributes and preference directions.
+func ExampleRunQuery() {
+	rel, err := zskyline.NewRelation(
+		[]string{"price", "rating"},
+		[][]float64{
+			{100, 5},
+			{50, 3},
+			{90, 3}, // dominated: pricier than row 1, no better rating
+		})
+	if err != nil {
+		panic(err)
+	}
+	res, err := zskyline.RunQuery(context.Background(), rel, zskyline.Query{
+		Prefer: []zskyline.Pref{{Attr: "price", Dir: zskyline.Min}, {Attr: "rating", Dir: zskyline.Max}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.RowIDs)
+	// Output:
+	// [0 1]
+}
+
+// Dominance is the library's core predicate.
+func ExampleDominates() {
+	fmt.Println(zskyline.Dominates(zskyline.Point{1, 2}, zskyline.Point{2, 2}))
+	fmt.Println(zskyline.Dominates(zskyline.Point{1, 2}, zskyline.Point{1, 2}))
+	fmt.Println(zskyline.Dominates(zskyline.Point{0, 5}, zskyline.Point{5, 0}))
+	// Output:
+	// true
+	// false
+	// false
+}
+
+// The Index answers "why is this option not on the list".
+func ExampleIndex_Dominators() {
+	ds, _ := zskyline.NewDataset(2, []zskyline.Point{{1, 1}, {2, 3}, {3, 2}})
+	ix, err := zskyline.BuildIndex(ds, 8)
+	if err != nil {
+		panic(err)
+	}
+	doms, _ := ix.Dominators(zskyline.Point{4, 4})
+	fmt.Println(len(doms), "points beat (4,4)")
+	doms, _ = ix.Dominators(zskyline.Point{1, 1})
+	fmt.Println(len(doms), "points beat (1,1)")
+	// Output:
+	// 3 points beat (4,4)
+	// 0 points beat (1,1)
+}
+
+// The maintainer keeps a skyline current as data streams in.
+func ExampleMaintainer() {
+	m, err := zskyline.NewUnitMaintainer(2, 10)
+	if err != nil {
+		panic(err)
+	}
+	m.Insert([]zskyline.Point{{0.5, 0.5}, {0.9, 0.9}})
+	fmt.Println("size after batch 1:", m.Size())
+	m.Insert([]zskyline.Point{{0.1, 0.1}}) // dominates everything so far
+	fmt.Println("size after batch 2:", m.Size())
+	// Output:
+	// size after batch 1: 1
+	// size after batch 2: 1
+}
+
+// k-dominant skylines shrink unwieldy high-dimensional results.
+func ExampleKDominantSkyline() {
+	pts := []zskyline.Point{
+		{1, 1, 9},
+		{2, 2, 0},
+		{9, 9, 9},
+	}
+	full, _ := zskyline.KDominantSkyline(pts, 3) // classic skyline
+	k2, _ := zskyline.KDominantSkyline(pts, 2)   // stricter
+	fmt.Println(len(full), len(k2))
+	// Output:
+	// 2 1
+}
+
+// WeightedSum ranks skyline points without losing the best option.
+func ExampleTopKByScore() {
+	score, _ := zskyline.WeightedSum([]float64{1, 1})
+	top := zskyline.TopKByScore([]zskyline.Point{{3, 1}, {1, 1}, {1, 3}}, 2, score)
+	for _, s := range top {
+		fmt.Printf("%v score=%.0f\n", s.P, s.Score)
+	}
+	// Output:
+	// (1, 1) score=2
+	// (1, 3) score=4
+}

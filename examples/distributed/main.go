@@ -1,0 +1,58 @@
+// Distributed: the full three-phase pipeline across real TCP worker
+// processes — three workers on loopback, a coordinator driving them,
+// and a failover demonstration mid-session.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"zskyline"
+)
+
+func main() {
+	// Spin up three workers on ephemeral loopback ports. In production
+	// these are separate `skyworker` processes on separate machines.
+	var addrs []string
+	var servers []*zskyline.WorkerServer
+	for i := 0; i < 3; i++ {
+		ws, err := zskyline.StartWorker("127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ws.Close()
+		servers = append(servers, ws)
+		addrs = append(addrs, ws.Addr())
+	}
+	fmt.Println("workers:", addrs)
+
+	cfg := zskyline.DefaultCoordinatorConfig()
+	cfg.M = 16
+	coord, err := zskyline.NewCoordinator(cfg, addrs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer coord.Close()
+
+	ds := zskyline.Generate(zskyline.AntiCorrelated, 80_000, 5, 3)
+	start := time.Now()
+	sky, rep, err := coord.Skyline(context.Background(), ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("3 workers: %d points -> %d skyline in %v (candidates %d, filtered %d)\n",
+		ds.Len(), len(sky), time.Since(start).Round(time.Millisecond),
+		rep.Candidates, rep.Filtered)
+
+	// Kill one worker; the coordinator fails its tasks over.
+	servers[2].Close()
+	start = time.Now()
+	sky2, _, err := coord.Skyline(context.Background(), ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after losing a worker: %d skyline points in %v (identical result: %v)\n",
+		len(sky2), time.Since(start).Round(time.Millisecond), len(sky) == len(sky2))
+}

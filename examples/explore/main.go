@@ -1,0 +1,72 @@
+// Explore: interactive-style use of the Index API — progressive
+// skyline streaming, constrained skylines over a box, "why is this
+// point not in the skyline" explanations, and influence ranking.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"zskyline"
+)
+
+func main() {
+	// A laptop catalogue: price, weight, battery-drain (all
+	// smaller-is-better after normalization).
+	ds := zskyline.Generate(zskyline.AntiCorrelated, 50_000, 3, 17)
+	ix, err := zskyline.BuildIndex(ds, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Progressive: show the first few answers before the query ends.
+	fmt.Println("first skyline results, streamed:")
+	ctx, cancel := context.WithCancel(context.Background())
+	count := 0
+	for p := range ix.SkylineProgressive(ctx) {
+		fmt.Printf("  %v\n", p)
+		count++
+		if count == 5 {
+			cancel()
+			break
+		}
+	}
+	cancel()
+
+	full := ix.Skyline()
+	fmt.Printf("full skyline: %d of %d products\n\n", len(full), ix.Len())
+
+	// Constrained: mid-range budget only.
+	lo := zskyline.Point{0.25, 0.0, 0.0}
+	hi := zskyline.Point{0.6, 1.0, 1.0}
+	constrained, err := ix.SkylineWithin(lo, hi)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("skyline within price band [0.25, 0.6]: %d products\n\n", len(constrained))
+
+	// Explain: why is this mediocre product not on the list?
+	probe := zskyline.Point{0.55, 0.55, 0.55}
+	doms, err := ix.Dominators(probe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%v is beaten by %d products; the first few:\n", probe, len(doms))
+	for i, d := range doms {
+		if i == 3 {
+			break
+		}
+		fmt.Printf("  %v\n", d)
+	}
+
+	// Influence: which skyline products beat the most of the market?
+	top, err := zskyline.TopKByDominance(full, ds.Points, ds.Dims, 12, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nmost dominant skyline products:")
+	for _, s := range top {
+		fmt.Printf("  %v beats %.0f products\n", s.P, s.Score)
+	}
+}

@@ -1,0 +1,89 @@
+// Hotels: the paper's Figure 1 scenario — pick hotels that are not
+// beaten on both price and distance to downtown, with a third
+// dimension (review "badness") showing how preference directions are
+// mapped onto the library's smaller-is-better convention.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"zskyline"
+)
+
+type hotel struct {
+	name     string
+	distance float64 // km to downtown (smaller is better)
+	rate     float64 // USD per night (smaller is better)
+	rating   float64 // stars 1..5 (LARGER is better -> negate)
+}
+
+func main() {
+	hotels := makeHotels(5000)
+
+	// Map each hotel onto a point. Ratings are better when larger, so
+	// we store 5-rating: the library minimizes every dimension.
+	pts := make([]zskyline.Point, len(hotels))
+	for i, h := range hotels {
+		pts[i] = zskyline.Point{h.distance, h.rate, 5 - h.rating}
+	}
+
+	sky, err := zskyline.Skyline(context.Background(), 3, pts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Index points back to hotels for display.
+	byKey := map[string][]hotel{}
+	for i, h := range hotels {
+		k := key(pts[i])
+		byKey[k] = append(byKey[k], h)
+	}
+	var winners []hotel
+	for _, p := range sky {
+		k := key(zskyline.Point(p))
+		if hs := byKey[k]; len(hs) > 0 {
+			winners = append(winners, hs[0])
+			byKey[k] = hs[1:]
+		}
+	}
+	sort.Slice(winners, func(i, j int) bool { return winners[i].rate < winners[j].rate })
+
+	fmt.Printf("%d hotels -> %d skyline hotels (undominated on distance, rate, rating)\n\n",
+		len(hotels), len(winners))
+	fmt.Printf("%-12s %8s %8s %7s\n", "hotel", "km", "$/night", "stars")
+	for i, h := range winners {
+		if i == 15 {
+			fmt.Printf("... and %d more\n", len(winners)-15)
+			break
+		}
+		fmt.Printf("%-12s %8.1f %8.0f %7.1f\n", h.name, h.distance, h.rate, h.rating)
+	}
+}
+
+func key(p zskyline.Point) string { return fmt.Sprint([]float64(p)) }
+
+// makeHotels synthesizes a market where location and price correlate
+// (downtown is expensive), the anti-correlation that makes skylines
+// interesting.
+func makeHotels(n int) []hotel {
+	r := rand.New(rand.NewSource(7))
+	hotels := make([]hotel, n)
+	for i := range hotels {
+		dist := r.Float64() * 20
+		base := 250 - dist*9 + r.NormFloat64()*30 // closer -> pricier
+		if base < 40 {
+			base = 40 + r.Float64()*20
+		}
+		hotels[i] = hotel{
+			name:     fmt.Sprintf("hotel-%04d", i),
+			distance: dist,
+			rate:     base,
+			rating:   1 + 4*r.Float64(),
+		}
+	}
+	return hotels
+}

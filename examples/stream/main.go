@@ -1,0 +1,54 @@
+// Stream: maintain a live skyline over an unbounded feed of points
+// with the incremental Maintainer — e.g. a market data feed where each
+// tick is (spread, latency, fee) and the trading desk always wants the
+// current set of undominated venues.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"zskyline"
+)
+
+func main() {
+	// 3 criteria, all smaller-better: spread (bps), latency (ms), fee.
+	m, err := zskyline.NewMaintainer(3, 12,
+		[]float64{0, 0, 0}, []float64{100, 50, 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	const batches, batchSize = 50, 2_000
+	for b := 0; b < batches; b++ {
+		batch := make([]zskyline.Point, batchSize)
+		for i := range batch {
+			// The market slowly improves: later batches are tighter.
+			improve := 1 - float64(b)/float64(batches*2)
+			batch[i] = zskyline.Point{
+				rng.Float64() * 100 * improve,
+				rng.Float64() * 50 * improve,
+				rng.Float64() * 10,
+			}
+		}
+		accepted, err := m.Insert(batch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if b%10 == 0 {
+			fmt.Printf("batch %2d: %6d quotes seen, skyline %4d (this batch contributed %d)\n",
+				b, m.Seen(), m.Size(), accepted)
+		}
+	}
+	fmt.Printf("\nfinal: %d quotes -> %d undominated venues\n", m.Seen(), m.Size())
+
+	// Probing before insert: a quote dominated by the current skyline
+	// can be dropped at the edge without touching the index.
+	probe := zskyline.Point{99, 49, 9.9}
+	fmt.Printf("probe %v dominated: %v\n", probe, m.Dominated(probe))
+	stats := m.Stats()
+	fmt.Printf("work done: %d point dominance tests, %d region tests\n",
+		stats.DominanceTests, stats.RegionTests)
+}

@@ -1,0 +1,3 @@
+module zskyline
+
+go 1.22

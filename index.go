@@ -1,0 +1,113 @@
+package zskyline
+
+import (
+	"context"
+	"fmt"
+
+	"zskyline/internal/metrics"
+	"zskyline/internal/point"
+	"zskyline/internal/zbtree"
+	"zskyline/internal/zorder"
+)
+
+// Index is a queryable ZB-tree over a dataset: the index form of the
+// paper's §3.2 machinery, exposed for repeated interactive queries —
+// skyline, progressive skyline, constrained (range) skyline, dominator
+// explanations, and dominance counting. Build once, query many times.
+// An Index is immutable after construction and safe for concurrent
+// reads.
+type Index struct {
+	tree  *zbtree.Tree
+	enc   *zorder.Encoder
+	tally *metrics.Tally
+}
+
+// BuildIndex indexes ds. bits <= 0 selects a resolution appropriate
+// for the dimensionality.
+func BuildIndex(ds *Dataset, bits int) (*Index, error) {
+	if ds == nil || ds.Len() == 0 {
+		return nil, fmt.Errorf("zskyline: cannot index an empty dataset")
+	}
+	if bits <= 0 {
+		switch {
+		case ds.Dims <= 16:
+			bits = 16
+		case ds.Dims <= 64:
+			bits = 12
+		default:
+			bits = 8
+		}
+	}
+	mins, maxs, err := ds.Bounds()
+	if err != nil {
+		return nil, err
+	}
+	enc, err := zorder.NewEncoder(ds.Dims, bits, mins, maxs)
+	if err != nil {
+		return nil, err
+	}
+	tally := &metrics.Tally{}
+	return &Index{
+		tree:  zbtree.BuildFromPoints(enc, 0, ds.Points, tally),
+		enc:   enc,
+		tally: tally,
+	}, nil
+}
+
+// Len returns the number of indexed points.
+func (ix *Index) Len() int { return ix.tree.Len() }
+
+// Skyline computes the exact skyline of the indexed points (Z-search).
+func (ix *Index) Skyline() []Point { return ix.tree.Skyline() }
+
+// SkylineProgressive streams skyline points as they are found; every
+// emitted point is final. The channel closes on completion or when ctx
+// is cancelled.
+func (ix *Index) SkylineProgressive(ctx context.Context) <-chan Point {
+	return ix.tree.SkylineProgressive(ctx)
+}
+
+// SkylineWithin computes the constrained skyline over the box
+// [lo, hi]: points dominated only by out-of-box points re-enter.
+func (ix *Index) SkylineWithin(lo, hi Point) ([]Point, error) {
+	if len(lo) != ix.enc.Dims() || len(hi) != ix.enc.Dims() {
+		return nil, fmt.Errorf("zskyline: box corners must have %d dims", ix.enc.Dims())
+	}
+	for k := range lo {
+		if lo[k] > hi[k] {
+			return nil, fmt.Errorf("zskyline: box corner %d inverted: %v > %v", k, lo[k], hi[k])
+		}
+	}
+	return ix.tree.SkylineWithin(lo, hi), nil
+}
+
+// Range returns every indexed point inside the box [lo, hi].
+func (ix *Index) Range(lo, hi Point) ([]Point, error) {
+	if len(lo) != ix.enc.Dims() || len(hi) != ix.enc.Dims() {
+		return nil, fmt.Errorf("zskyline: box corners must have %d dims", ix.enc.Dims())
+	}
+	return ix.tree.RangeQuery(lo, hi), nil
+}
+
+// Dominators answers the "why not" question: the indexed points that
+// strictly dominate p. Empty means p would be a skyline point.
+func (ix *Index) Dominators(p Point) ([]Point, error) {
+	if len(p) != ix.enc.Dims() {
+		return nil, fmt.Errorf("zskyline: point has %d dims, want %d", len(p), ix.enc.Dims())
+	}
+	e := zbtree.NewEntry(ix.enc, point.Point(p))
+	return ix.tree.DominatorsOf(e.G, e.P), nil
+}
+
+// DominatedCount returns how many indexed points p strictly dominates
+// — the influence score used by TopKByDominance.
+func (ix *Index) DominatedCount(p Point) (int, error) {
+	if len(p) != ix.enc.Dims() {
+		return 0, fmt.Errorf("zskyline: point has %d dims, want %d", len(p), ix.enc.Dims())
+	}
+	e := zbtree.NewEntry(ix.enc, point.Point(p))
+	return ix.tree.CountDominatedBy(e.G, e.P), nil
+}
+
+// Stats exposes the work counters accumulated by queries so far.
+func (ix *Index) Stats() metrics.Snapshot { return ix.tally.Snapshot() }

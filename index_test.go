@@ -1,0 +1,98 @@
+package zskyline
+
+import (
+	"context"
+	"testing"
+)
+
+func TestIndexBasics(t *testing.T) {
+	if _, err := BuildIndex(nil, 0); err == nil {
+		t.Error("empty dataset indexed")
+	}
+	ds := Generate(Independent, 3000, 4, 21)
+	ix, err := BuildIndex(ds, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 3000 {
+		t.Errorf("Len = %d", ix.Len())
+	}
+	want := SequentialSkyline(ds.Points)
+	if got := ix.Skyline(); len(got) != len(want) {
+		t.Errorf("skyline %d, want %d", len(got), len(want))
+	}
+}
+
+func TestIndexProgressive(t *testing.T) {
+	ds := Generate(AntiCorrelated, 2000, 3, 23)
+	ix, _ := BuildIndex(ds, 0)
+	var got []Point
+	for p := range ix.SkylineProgressive(context.Background()) {
+		got = append(got, p)
+	}
+	if len(got) != len(ix.Skyline()) {
+		t.Errorf("progressive %d points, batch %d", len(got), len(ix.Skyline()))
+	}
+}
+
+func TestIndexRangeAndConstrained(t *testing.T) {
+	ds := Generate(Independent, 2000, 2, 25)
+	ix, _ := BuildIndex(ds, 0)
+	lo, hi := Point{0.25, 0.25}, Point{0.75, 0.75}
+	inBox, err := ix.Range(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, p := range ds.Points {
+		if p[0] >= 0.25 && p[0] <= 0.75 && p[1] >= 0.25 && p[1] <= 0.75 {
+			want++
+		}
+	}
+	if len(inBox) != want {
+		t.Errorf("range %d, want %d", len(inBox), want)
+	}
+	sky, err := ix.SkylineWithin(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sky) == 0 || len(sky) > len(inBox) {
+		t.Errorf("constrained skyline %d of %d", len(sky), len(inBox))
+	}
+	if _, err := ix.SkylineWithin(hi, lo); err == nil {
+		t.Error("inverted box accepted")
+	}
+	if _, err := ix.Range(Point{0}, Point{1}); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+}
+
+func TestIndexExplain(t *testing.T) {
+	ds := Generate(Independent, 1000, 3, 27)
+	ix, _ := BuildIndex(ds, 0)
+	sky := ix.Skyline()
+	// A skyline point has no dominators.
+	doms, err := ix.Dominators(sky[0])
+	if err != nil || len(doms) != 0 {
+		t.Errorf("skyline point has dominators: %v %v", doms, err)
+	}
+	// The worst corner is dominated by everything that is strictly
+	// better in all dims.
+	doms, err = ix.Dominators(Point{1.1, 1.1, 1.1})
+	if err != nil || len(doms) == 0 {
+		t.Errorf("worst corner has no dominators: %v", err)
+	}
+	n, err := ix.DominatedCount(Point{-0.1, -0.1, -0.1})
+	if err != nil || n != ix.Len() {
+		t.Errorf("best corner dominates %d of %d", n, ix.Len())
+	}
+	if _, err := ix.Dominators(Point{1}); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+	if _, err := ix.DominatedCount(Point{1}); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+	if ix.Stats().RegionTests == 0 {
+		t.Error("no stats recorded")
+	}
+}

@@ -1,0 +1,129 @@
+// Package analysis implements the paper's §5.4 analytical model: the
+// total dominance volume of a grouped partitioning, the predicted
+// number of points pruned by the first MapReduce job under each data
+// distribution, and the predicted Z-merge cost class. The experiment
+// harness uses it to sanity-check measured pruning against the model.
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"zskyline/internal/partition"
+	"zskyline/internal/point"
+	"zskyline/internal/zorder"
+)
+
+// TotalDominanceVolume computes V_t = 1/2 * sum_{i,j} V_dom(Pt_i,
+// Pt_j) over the partitions' sample extents (§5.4).
+func TotalDominanceVolume(enc *zorder.Encoder, infos []partition.Info) float64 {
+	total := 0.0
+	for i := range infos {
+		for j := i + 1; j < len(infos); j++ {
+			total += enc.DominanceVolume(infos[i].Extent, infos[j].Extent)
+		}
+	}
+	return total
+}
+
+// DataVolume computes Q, the volume of the dataset's bounding box
+// (§5.4's denominator for the independent case).
+func DataVolume(ds *point.Dataset) (float64, error) {
+	mins, maxs, err := ds.Bounds()
+	if err != nil {
+		return 0, err
+	}
+	q := 1.0
+	for k := range mins {
+		side := maxs[k] - mins[k]
+		if side <= 0 {
+			// Degenerate dimension contributes no volume but should not
+			// zero out the estimate; treat as unit thickness.
+			side = 1
+		}
+		q *= side
+	}
+	return q, nil
+}
+
+// Prediction is the §5.4 pruning estimate for one distribution.
+type Prediction struct {
+	// PrunedPoints is n_p, the predicted number of points removed
+	// before the shuffle.
+	PrunedPoints float64
+	// Rationale names the §5.4 case applied.
+	Rationale string
+}
+
+// PredictPruning applies §5.4's case analysis.
+//
+//   - independent: n_p = n * V_t / Q, points uniform over the box;
+//   - correlated: one skyline point per group survives, n_p = n - M;
+//   - anti-correlated: between the extremes 0 (every point is skyline)
+//     and n - M (one skyline per group); the midpoint is reported and
+//     the bounds returned alongside.
+func PredictPruning(dist string, n, m int, vt, q float64) (Prediction, error) {
+	fn := float64(n)
+	switch dist {
+	case "independent":
+		if q <= 0 {
+			return Prediction{}, fmt.Errorf("analysis: non-positive data volume")
+		}
+		np := fn * vt / q
+		if np > fn {
+			np = fn
+		}
+		return Prediction{PrunedPoints: np, Rationale: "uniform density: n*Vt/Q"}, nil
+	case "correlated":
+		return Prediction{PrunedPoints: fn - float64(m), Rationale: "one skyline point per group survives"}, nil
+	case "anti-correlated":
+		return Prediction{PrunedPoints: (fn - float64(m)) / 2,
+			Rationale: "midpoint of the extremes [0, n-M]"}, nil
+	default:
+		return Prediction{}, fmt.Errorf("analysis: unknown distribution %q", dist)
+	}
+}
+
+// ZMergeCost classifies the §5.4 Z-merge processing-time estimate.
+type ZMergeCost struct {
+	// Operations approximates the number of UDominate invocations times
+	// their per-call cost.
+	Operations float64
+	// Class is the asymptotic form used.
+	Class string
+}
+
+// PredictZMergeCost applies §5.4's runtime analysis: for independent
+// and anti-correlated data most candidates are skyline points and the
+// cost is O(n_hat * d * log_f(n_hat)); for correlated data it is
+// O(M * d * log_f(|S|)).
+func PredictZMergeCost(dist string, candidates, m, d, fanout int) (ZMergeCost, error) {
+	if fanout < 2 {
+		fanout = 2
+	}
+	logf := func(x float64) float64 {
+		if x < 2 {
+			return 1
+		}
+		return math.Log(x) / math.Log(float64(fanout))
+	}
+	nhat := float64(candidates)
+	switch dist {
+	case "independent", "anti-correlated":
+		return ZMergeCost{
+			Operations: nhat * float64(d) * logf(nhat),
+			Class:      "O(n_hat * d * log_f n_hat)",
+		}, nil
+	case "correlated":
+		s := nhat / float64(m)
+		if s < 1 {
+			s = 1
+		}
+		return ZMergeCost{
+			Operations: float64(m) * float64(d) * logf(s),
+			Class:      "O(M * d * log_f |S|)",
+		}, nil
+	default:
+		return ZMergeCost{}, fmt.Errorf("analysis: unknown distribution %q", dist)
+	}
+}

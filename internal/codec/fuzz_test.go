@@ -1,0 +1,50 @@
+package codec
+
+import (
+	"bytes"
+	"testing"
+
+	"zskyline/internal/point"
+)
+
+// FuzzReadBinary hardens the binary parser: arbitrary input must never
+// panic, and valid-looking prefixes must fail cleanly.
+func FuzzReadBinary(f *testing.F) {
+	// Seed with a real encoding and mutations of it.
+	ds := mustTinyDataset()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, ds); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(Magic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadBinary(bytes.NewReader(data))
+		if err == nil {
+			// Anything accepted must re-encode cleanly.
+			var out bytes.Buffer
+			if err := WriteBinary(&out, got); err != nil {
+				t.Fatalf("accepted dataset fails to re-encode: %v", err)
+			}
+		}
+	})
+}
+
+// FuzzReadCSV hardens the CSV parser the same way.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("1,2\n3,4\n")
+	f.Add("# comment\n\n1\n")
+	f.Add("a,b\n1,2\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		ds, err := ReadCSV(bytes.NewReader([]byte(s)))
+		if err == nil && ds.Len() > 0 && len(ds.Points[0]) != ds.Dims {
+			t.Fatal("inconsistent dims accepted")
+		}
+		_, _, _ = ReadNamedCSV(bytes.NewReader([]byte(s)))
+	})
+}
+
+func mustTinyDataset() *point.Dataset {
+	return point.MustDataset(2, []point.Point{{1, 2}, {3, 4}})
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"zskyline/internal/estimate"
+	"zskyline/internal/point"
+)
+
+// AutoConfig derives a pipeline configuration from the dataset's shape
+// — the choices a downstream user would otherwise tune by hand:
+//
+//   - group count M scales with the data per worker, bounded so each
+//     group holds enough points to be worth a reducer;
+//   - the Z-grid resolution shrinks as dimensionality grows (address
+//     width is d*bits);
+//   - the sampling ratio grows for small inputs so the learned pivots
+//     stay meaningful;
+//   - the local algorithm follows the paper's finding: Z-search pays
+//     off for d >= 7, the sort-based filter wins below;
+//   - the partition expansion factor delta backs off when the expected
+//     skyline is tiny (correlated-like data needs no fine splitting).
+func AutoConfig(ds *point.Dataset, workers int) Config {
+	cfg := Defaults()
+	if workers > 0 {
+		cfg.Workers = workers
+	}
+	if ds == nil || ds.Len() == 0 {
+		return cfg
+	}
+	n, d := ds.Len(), ds.Dims
+
+	// Groups: ~2 per worker slot, capped so a group keeps >= 1000
+	// points, floored at 4.
+	m := 2 * cfg.Workers
+	if max := n / 1000; m > max {
+		m = max
+	}
+	if m < 4 {
+		m = 4
+	}
+	cfg.M = m
+
+	// Grid resolution by dimensionality.
+	switch {
+	case d <= 16:
+		cfg.Bits = 16
+	case d <= 64:
+		cfg.Bits = 12
+	default:
+		cfg.Bits = 8
+	}
+
+	// Sampling: small inputs need denser samples for stable pivots.
+	switch {
+	case n <= 20000:
+		cfg.SampleRatio = 0.05
+	case n <= 200000:
+		cfg.SampleRatio = 0.02
+	default:
+		cfg.SampleRatio = 0.01
+	}
+
+	// Local algorithm per the paper's crossover (§6.2).
+	if d >= 7 {
+		cfg.Local = ZS
+	} else {
+		cfg.Local = SB
+	}
+
+	// Expected skyline size tunes delta: when the whole skyline fits in
+	// a couple of groups there is nothing for redistribution to spread.
+	if est := estimate.Independent(n, d); est < float64(2*cfg.M) {
+		cfg.Delta = 1
+	}
+	return cfg
+}

@@ -1,0 +1,589 @@
+// Package core wires the paper's three-phase parallel skyline pipeline
+// (Figure 5) on top of the library's substrates:
+//
+//	Phase 1  (§5.1)  master-side preprocessing: reservoir sample, learn
+//	                 the partitioning rule (Grid / Angle / Random /
+//	                 Naive-Z / ZHG / ZDG), compute the sample skyline
+//	                 and its ZB-tree (the SZB-tree).
+//	Phase 2  (§5.2)  MapReduce job 1: mappers filter points against the
+//	                 SZB-tree and route them partition->group;
+//	                 combiners and reducers run a local skyline
+//	                 algorithm (SB or ZS) per group, emitting skyline
+//	                 candidates.
+//	Phase 3  (§5.3)  MapReduce job 2: merge candidates with Z-merge
+//	                 (ZM), or with the SB / ZS baselines the evaluation
+//	                 compares against.
+//
+// The Engine is the library's primary public entry point (re-exported
+// by the root zskyline package).
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"zskyline/internal/grouping"
+	"zskyline/internal/mapreduce"
+	"zskyline/internal/metrics"
+	"zskyline/internal/partition"
+	"zskyline/internal/point"
+	"zskyline/internal/sample"
+	"zskyline/internal/seq"
+	"zskyline/internal/zbtree"
+	"zskyline/internal/zorder"
+)
+
+// Strategy selects the partitioning/grouping scheme of phase 1.
+type Strategy int
+
+// The partitioning strategies of the paper's evaluation (§6.1).
+const (
+	// Grid is classic equal-width grid partitioning [9][11].
+	Grid Strategy = iota
+	// Angle is angle-based partitioning [8].
+	Angle
+	// Random is hash partitioning [18].
+	Random
+	// NaiveZ is plain Z-order equal-frequency partitioning (§4.1).
+	NaiveZ
+	// ZHG is Z-order partitioning plus Heuristic Grouping (§4.2).
+	ZHG
+	// ZDG is Z-order partitioning plus Dominance-based Grouping (§4.3),
+	// the paper's headline strategy.
+	ZDG
+)
+
+// String names the strategy as the paper does.
+func (s Strategy) String() string {
+	switch s {
+	case Grid:
+		return "Grid"
+	case Angle:
+		return "Angle"
+	case Random:
+		return "Random"
+	case NaiveZ:
+		return "Naive-Z"
+	case ZHG:
+		return "ZHG"
+	case ZDG:
+		return "ZDG"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// usesZOrder reports whether the strategy routes by Z-address and may
+// apply the SZB-tree mapper filter of Algorithm 3.
+func (s Strategy) usesZOrder() bool { return s == NaiveZ || s == ZHG || s == ZDG }
+
+// LocalAlgo selects the per-group skyline algorithm of phase 2.
+type LocalAlgo int
+
+// Local skyline algorithms (§6.1).
+const (
+	// SB sorts by coordinate sum then filters (block-nested-loops).
+	SB LocalAlgo = iota
+	// ZS is Z-search over a ZB-tree, the state of the art.
+	ZS
+)
+
+// String names the local algorithm.
+func (a LocalAlgo) String() string {
+	if a == SB {
+		return "SB"
+	}
+	return "ZS"
+}
+
+// MergeAlgo selects the phase-3 candidate merging algorithm.
+type MergeAlgo int
+
+// Merge algorithms compared in §6.3.
+const (
+	// MergeZM is the paper's Z-merge (Algorithm 4).
+	MergeZM MergeAlgo = iota
+	// MergeZS recomputes the skyline of all candidates with Z-search.
+	MergeZS
+	// MergeSB recomputes it with the sort-based filter.
+	MergeSB
+)
+
+// String names the merge algorithm.
+func (a MergeAlgo) String() string {
+	switch a {
+	case MergeZM:
+		return "ZM"
+	case MergeZS:
+		return "ZS"
+	default:
+		return "SB"
+	}
+}
+
+// Config parameterizes an Engine. The zero value is not valid; use
+// Defaults() or fill the fields explicitly.
+type Config struct {
+	// Strategy is the phase-1 partitioning scheme.
+	Strategy Strategy
+	// Local is the per-group skyline algorithm of phase 2.
+	Local LocalAlgo
+	// Merge is the phase-3 candidate merging algorithm.
+	Merge MergeAlgo
+	// M is the target number of groups (the paper's M); also the grid /
+	// angle / random partition count for the baselines.
+	M int
+	// Delta is the partition expansion factor delta >= 1: Z-order
+	// strategies first cut the curve into M*Delta partitions (§4.2).
+	Delta int
+	// SampleRatio is the reservoir sampling ratio of phase 1 (§6.6
+	// varies it between 0.005 and 0.04).
+	SampleRatio float64
+	// Bits is the Z-order grid resolution per dimension.
+	Bits int
+	// Fanout is the ZB-tree node capacity.
+	Fanout int
+	// Workers is the simulated cluster's concurrent task slots.
+	Workers int
+	// MapSplits is the number of map tasks; 0 selects 2x workers.
+	MapSplits int
+	// Seed drives sampling (and nothing else; the pipeline is
+	// deterministic given data and seed).
+	Seed int64
+	// Cluster optionally supplies a prebuilt cluster (for straggler or
+	// fault injection); nil builds a plain one from Workers.
+	Cluster *mapreduce.Cluster
+	// DisableSZBFilter turns off the Algorithm 3 mapper filter against
+	// the sample-skyline ZB-tree. Used by the ablation experiments to
+	// quantify the filter's contribution; leave false for normal runs.
+	DisableSZBFilter bool
+}
+
+// Defaults returns the configuration used throughout the experiments:
+// ZDG + ZS + ZM, M=32 groups, delta=4, 2% sample, 16-bit grids.
+func Defaults() Config {
+	return Config{
+		Strategy:    ZDG,
+		Local:       ZS,
+		Merge:       MergeZM,
+		M:           32,
+		Delta:       4,
+		SampleRatio: 0.02,
+		Bits:        16,
+		Fanout:      zbtree.DefaultFanout,
+		Workers:     8,
+	}
+}
+
+func (c *Config) validate() error {
+	if c.M < 1 {
+		return fmt.Errorf("core: M must be >= 1, got %d", c.M)
+	}
+	if c.Delta < 1 {
+		return fmt.Errorf("core: Delta must be >= 1, got %d", c.Delta)
+	}
+	if c.SampleRatio <= 0 || c.SampleRatio > 1 {
+		return fmt.Errorf("core: SampleRatio must be in (0,1], got %v", c.SampleRatio)
+	}
+	if c.Bits < 1 || c.Bits > zorder.MaxBits {
+		return fmt.Errorf("core: Bits must be in [1,%d], got %d", zorder.MaxBits, c.Bits)
+	}
+	if c.Workers < 1 {
+		return fmt.Errorf("core: Workers must be >= 1, got %d", c.Workers)
+	}
+	return nil
+}
+
+// Report describes one pipeline run: the numbers the paper's
+// evaluation plots.
+type Report struct {
+	Strategy Strategy
+	Local    LocalAlgo
+	Merge    MergeAlgo
+
+	// Phase wall-clock durations.
+	Preprocess time.Duration
+	Phase2     time.Duration
+	Phase3     time.Duration
+	Total      time.Duration
+
+	// SampleSize is the number of sampled points; SampleSkySize the
+	// size of the sample skyline loaded into every mapper.
+	SampleSize    int
+	SampleSkySize int
+
+	// Groups is the number of groups (= phase-2 reducers); Partitions
+	// the number of Z-partitions before grouping; PrunedPartitions how
+	// many were dropped as fully dominated.
+	Groups           int
+	Partitions       int
+	PrunedPartitions int
+
+	// MapperFiltered counts input points dropped by the SZB-tree filter
+	// or by pruned partitions before the shuffle.
+	MapperFiltered int64
+	// Candidates is the phase-2 output size (the paper's "number of
+	// skyline candidates", Figure 9).
+	Candidates int
+	// PerGroupCandidates are the candidate counts per group.
+	PerGroupCandidates []int
+	// SkylineSize is |S|.
+	SkylineSize int
+
+	// Job1 and Job2 are the MapReduce-level statistics.
+	Job1, Job2 *mapreduce.JobStats
+	// Tally aggregates dominance tests, region tests, shuffle bytes.
+	Tally metrics.Snapshot
+}
+
+// CandidateBalance summarizes the spread of candidates across groups —
+// the straggler metric for phase 3.
+func (r *Report) CandidateBalance() metrics.Balance {
+	return metrics.NewBalance(r.PerGroupCandidates)
+}
+
+// Engine executes the three-phase pipeline.
+type Engine struct {
+	cfg     Config
+	cluster *mapreduce.Cluster
+}
+
+// NewEngine validates cfg and builds an engine.
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.Fanout <= 0 {
+		cfg.Fanout = zbtree.DefaultFanout
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cl := cfg.Cluster
+	if cl == nil {
+		cl = mapreduce.NewCluster(mapreduce.ClusterConfig{Workers: cfg.Workers})
+	}
+	return &Engine{cfg: cfg, cluster: cl}, nil
+}
+
+// candidate is a phase-2 output record.
+type candidate struct {
+	gid int
+	p   point.Point
+}
+
+// rule is the learned phase-1 routing rule: point -> group, or drop.
+type rule struct {
+	assign func(p point.Point) (gid int, ok bool)
+	// route, when non-nil, replaces assign for Z-order strategies: it
+	// receives the point's precomputed ZB-tree entry so the mapper
+	// encodes each point exactly once for both the SZB filter and the
+	// partition search.
+	route   func(e zbtree.Entry) (gid int, ok bool)
+	szb     *zbtree.Tree // nil when the strategy does not filter
+	enc     *zorder.Encoder
+	groups  int
+	parts   int
+	pruned  int
+	skySize int
+}
+
+// Skyline computes the exact skyline of ds with the configured
+// strategy and returns it with a full Report.
+func (e *Engine) Skyline(ctx context.Context, ds *point.Dataset) ([]point.Point, *Report, error) {
+	if ds == nil || ds.Len() == 0 {
+		return nil, &Report{Strategy: e.cfg.Strategy, Local: e.cfg.Local, Merge: e.cfg.Merge}, nil
+	}
+	tally := &metrics.Tally{}
+	rep := &Report{Strategy: e.cfg.Strategy, Local: e.cfg.Local, Merge: e.cfg.Merge}
+	total := time.Now()
+
+	// ---- Phase 1: preprocessing on the master ----
+	t0 := time.Now()
+	smp, err := sample.Ratio(ds.Points, e.cfg.SampleRatio, e.cfg.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.SampleSize = len(smp)
+	mins, maxs, err := ds.Bounds()
+	if err != nil {
+		return nil, nil, err
+	}
+	enc, err := zorder.NewEncoder(ds.Dims, e.cfg.Bits, mins, maxs)
+	if err != nil {
+		return nil, nil, err
+	}
+	rt, err := e.learnRule(enc, smp, tally)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.Preprocess = time.Since(t0)
+	rep.Groups = rt.groups
+	rep.Partitions = rt.parts
+	rep.PrunedPartitions = rt.pruned
+	rep.SampleSkySize = rt.skySize
+
+	// ---- Phase 2: compute skyline candidates ----
+	t1 := time.Now()
+	cands, job1, filtered, err := e.phase2(ctx, ds, rt, tally)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.Phase2 = time.Since(t1)
+	rep.Job1 = job1
+	rep.MapperFiltered = filtered
+	rep.Candidates = len(cands)
+	perGroup := make([]int, rt.groups)
+	for _, c := range cands {
+		if c.gid >= 0 && c.gid < rt.groups {
+			perGroup[c.gid]++
+		}
+	}
+	rep.PerGroupCandidates = perGroup
+
+	// ---- Phase 3: merge skyline candidates ----
+	t2 := time.Now()
+	sky, job2, err := e.phase3(ctx, enc, cands, tally)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.Phase3 = time.Since(t2)
+	rep.Job2 = job2
+	rep.SkylineSize = len(sky)
+	rep.Total = time.Since(total)
+	rep.Tally = tally.Snapshot()
+	return sky, rep, nil
+}
+
+// learnRule builds the routing rule for the configured strategy.
+func (e *Engine) learnRule(enc *zorder.Encoder, smp []point.Point, tally *metrics.Tally) (*rule, error) {
+	cfg := e.cfg
+	switch cfg.Strategy {
+	case Grid:
+		g, err := partition.NewGrid(smp, cfg.M)
+		if err != nil {
+			return nil, err
+		}
+		return &rule{assign: func(p point.Point) (int, bool) { return g.Assign(p), true },
+			groups: g.N(), parts: g.N()}, nil
+	case Angle:
+		a, err := partition.NewAngle(smp, cfg.M)
+		if err != nil {
+			return nil, err
+		}
+		return &rule{assign: func(p point.Point) (int, bool) { return a.Assign(p), true },
+			groups: a.N(), parts: a.N()}, nil
+	case Random:
+		r, err := partition.NewRandom(cfg.M)
+		if err != nil {
+			return nil, err
+		}
+		return &rule{assign: func(p point.Point) (int, bool) { return r.Assign(p), true },
+			groups: r.N(), parts: r.N()}, nil
+	}
+
+	// Z-order strategies.
+	parts := cfg.M
+	if cfg.Strategy != NaiveZ {
+		parts = cfg.M * cfg.Delta
+	}
+	zc, err := partition.NewZCurve(enc, smp, parts)
+	if err != nil {
+		return nil, err
+	}
+	skyPts := zbtree.ZSearch(enc, cfg.Fanout, smp, tally)
+	// Naive-Z is the bare §4.1 partitioner: pivots only, no sample
+	// skyline broadcast, no grouping. Only the grouped strategies run
+	// Algorithm 3's SZB-tree mapper filter.
+	var szb *zbtree.Tree
+	if cfg.Strategy != NaiveZ {
+		szb = zbtree.BuildFromPoints(enc, cfg.Fanout, skyPts, tally)
+	}
+
+	var pg *grouping.PGMap
+	switch cfg.Strategy {
+	case NaiveZ:
+		pg = grouping.Identity(zc.Infos())
+	case ZHG:
+		scons := len(skyPts) / cfg.M
+		if scons < 1 {
+			scons = 1
+		}
+		zc = zc.Redistribute(smp, scons)
+		pg, err = grouping.Heuristic(zc.Infos(), cfg.M)
+	case ZDG:
+		scons := len(skyPts) / cfg.M
+		if scons < 1 {
+			scons = 1
+		}
+		zc = zc.Redistribute(smp, scons)
+		pg, err = grouping.Dominance(enc, zc.Infos(), cfg.M)
+	default:
+		return nil, fmt.Errorf("core: unknown strategy %v", cfg.Strategy)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &rule{
+		assign: func(p point.Point) (int, bool) {
+			return pg.GroupOf(zc.Assign(p))
+		},
+		route: func(e zbtree.Entry) (int, bool) {
+			return pg.GroupOf(zc.AssignAddr(e.Z))
+		},
+		szb:     szb,
+		enc:     enc,
+		groups:  pg.Groups,
+		parts:   zc.N(),
+		pruned:  len(pg.Pruned),
+		skySize: len(skyPts),
+	}, nil
+}
+
+// localSkyline runs the configured local algorithm.
+func (e *Engine) localSkyline(enc *zorder.Encoder, pts []point.Point, tally *metrics.Tally) []point.Point {
+	if e.cfg.Local == ZS {
+		return zbtree.ZSearch(enc, e.cfg.Fanout, pts, tally)
+	}
+	return seq.SB(pts, tally)
+}
+
+// phase2 runs MapReduce job 1 (Algorithm 3).
+func (e *Engine) phase2(ctx context.Context, ds *point.Dataset, rt *rule, tally *metrics.Tally) ([]candidate, *mapreduce.JobStats, int64, error) {
+	lenc := encOr(rt.encoderOrNil(), e, ds)
+	var filtered metrics.Tally
+	dims := ds.Dims
+	job := mapreduce.Job[point.Point, int, point.Point, candidate]{
+		Name: "skyline-candidates",
+		Map: func(_ *mapreduce.TaskContext, p point.Point, emit func(int, point.Point)) error {
+			var gid int
+			var ok bool
+			if rt.route != nil {
+				// One encode serves both the SZB filter and routing.
+				en := zbtree.NewEntry(rt.enc, p)
+				if rt.szb != nil && !e.cfg.DisableSZBFilter && rt.szb.DominatesPoint(en.G, en.P) {
+					filtered.AddPointsPruned(1)
+					return nil
+				}
+				gid, ok = rt.route(en)
+			} else {
+				gid, ok = rt.assign(p)
+			}
+			if !ok {
+				filtered.AddPointsPruned(1)
+				return nil
+			}
+			emit(gid, p)
+			return nil
+		},
+		Combine: func(_ *mapreduce.TaskContext, _ int, vals []point.Point) []point.Point {
+			return e.localSkyline(lenc, vals, tally)
+		},
+		Reduce: func(_ *mapreduce.TaskContext, gid int, vals []point.Point, emit func(candidate)) error {
+			for _, p := range e.localSkyline(lenc, vals, tally) {
+				emit(candidate{gid: gid, p: p})
+			}
+			return nil
+		},
+		Partition: func(gid, n int) int { return gid % n },
+		Reducers:  rt.groups,
+		SizeOf:    func(_ int, _ point.Point) int { return 8*dims + 8 },
+		Tally:     tally,
+	}
+	splits := e.cfg.MapSplits
+	if splits <= 0 {
+		splits = 2 * e.cfg.Workers
+	}
+	out, stats, err := mapreduce.Run(ctx, e.cluster, job, mapreduce.SplitSlice(ds.Points, splits))
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	tally.AddPointsPruned(filtered.Snapshot().PointsPruned)
+	return out, stats, filtered.Snapshot().PointsPruned, nil
+}
+
+// encoderOrNil returns the rule's Z-order encoder when present.
+func (r *rule) encoderOrNil() *zorder.Encoder { return r.enc }
+
+// encOr falls back to a lazily built unit encoder when the strategy
+// has no Z-order encoder but the local algorithm is ZS.
+func encOr(enc *zorder.Encoder, e *Engine, ds *point.Dataset) *zorder.Encoder {
+	if enc != nil {
+		return enc
+	}
+	// Cheap to construct; bounds [0,1] are where gen data lives. Exact
+	// correctness does not depend on bounds (clamping only weakens
+	// pruning), so the unit box is a safe default here.
+	u, err := zorder.NewUnitEncoder(ds.Dims, e.cfg.Bits)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// phase3 runs MapReduce job 2: merge candidates (§5.3).
+func (e *Engine) phase3(ctx context.Context, enc *zorder.Encoder, cands []candidate, tally *metrics.Tally) ([]point.Point, *mapreduce.JobStats, error) {
+	if len(cands) == 0 {
+		return nil, &mapreduce.JobStats{Name: "skyline-merge"}, nil
+	}
+	dims := len(cands[0].p)
+	fanout := e.cfg.Fanout
+	mergeAlgo := e.cfg.Merge
+	job := mapreduce.Job[candidate, int, candidate, point.Point]{
+		Name: "skyline-merge",
+		Map: func(_ *mapreduce.TaskContext, c candidate, emit func(int, candidate)) error {
+			emit(0, c)
+			return nil
+		},
+		Reduce: func(_ *mapreduce.TaskContext, _ int, vals []candidate, emit func(point.Point)) error {
+			var sky []point.Point
+			switch mergeAlgo {
+			case MergeZM:
+				// One candidate ZB-tree per group, then Z-merge.
+				byGroup := map[int][]point.Point{}
+				var order []int
+				for _, c := range vals {
+					if _, ok := byGroup[c.gid]; !ok {
+						order = append(order, c.gid)
+					}
+					byGroup[c.gid] = append(byGroup[c.gid], c.p)
+				}
+				trees := make([]*zbtree.Tree, 0, len(order))
+				for _, gid := range order {
+					trees = append(trees, zbtree.BuildFromPoints(enc, fanout, byGroup[gid], tally))
+				}
+				sky = zbtree.MergeAll(enc, fanout, trees, tally).Points()
+			case MergeZS:
+				all := make([]point.Point, len(vals))
+				for i, c := range vals {
+					all[i] = c.p
+				}
+				sky = zbtree.ZSearch(enc, fanout, all, tally)
+			default: // MergeSB
+				all := make([]point.Point, len(vals))
+				for i, c := range vals {
+					all[i] = c.p
+				}
+				sky = seq.SB(all, tally)
+			}
+			for _, p := range sky {
+				emit(p)
+			}
+			return nil
+		},
+		Partition: func(_, _ int) int { return 0 },
+		Reducers:  1,
+		SizeOf:    func(_ int, _ candidate) int { return 8*dims + 16 },
+		Tally:     tally,
+	}
+	splits := e.cfg.MapSplits
+	if splits <= 0 {
+		splits = 2 * e.cfg.Workers
+	}
+	return runPhase3(ctx, e.cluster, job, cands, splits)
+}
+
+func runPhase3(ctx context.Context, cl *mapreduce.Cluster,
+	job mapreduce.Job[candidate, int, candidate, point.Point],
+	cands []candidate, splits int,
+) ([]point.Point, *mapreduce.JobStats, error) {
+	return mapreduce.Run(ctx, cl, job, mapreduce.SplitSlice(cands, splits))
+}

@@ -1,0 +1,413 @@
+package dist
+
+import (
+	"context"
+	cryptorand "crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"net/rpc"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zskyline/internal/grouping"
+	"zskyline/internal/partition"
+	"zskyline/internal/point"
+	"zskyline/internal/sample"
+	"zskyline/internal/zbtree"
+	"zskyline/internal/zorder"
+)
+
+// CoordinatorConfig parameterizes a distributed run; it mirrors
+// core.Config where the concepts overlap.
+type CoordinatorConfig struct {
+	// M is the target group count.
+	M int
+	// Delta is the partition expansion factor.
+	Delta int
+	// SampleRatio drives phase-1 reservoir sampling.
+	SampleRatio float64
+	// Bits is the Z-order resolution per dimension.
+	Bits int
+	// Fanout is the ZB-tree fanout.
+	Fanout int
+	// UseZS selects the local skyline algorithm on workers.
+	UseZS bool
+	// Heuristic selects ZHG instead of ZDG grouping.
+	Heuristic bool
+	// ChunkSize bounds the points per MapChunk call; 0 selects 8192.
+	ChunkSize int
+	// TreeMerge, when true, runs phase 3 as a parallel merge reduction
+	// across all workers instead of the paper's single merge reducer:
+	// each round pairs up partial skylines and Z-merges them on
+	// whichever workers are free.
+	TreeMerge bool
+	// Seed drives sampling.
+	Seed int64
+}
+
+// DefaultCoordinatorConfig mirrors core.Defaults for the distributed
+// deployment.
+func DefaultCoordinatorConfig() CoordinatorConfig {
+	return CoordinatorConfig{M: 32, Delta: 4, SampleRatio: 0.02, Bits: 16,
+		Fanout: zbtree.DefaultFanout, UseZS: true}
+}
+
+// Report describes a distributed run.
+type Report struct {
+	Workers    int
+	Groups     int
+	Partitions int
+	Candidates int
+	Filtered   int64
+	Preprocess time.Duration
+	Phase2     time.Duration
+	Phase3     time.Duration
+	Total      time.Duration
+}
+
+// ruleCounter makes rule IDs unique across coordinators in this
+// process; a random salt makes them unique across processes sharing
+// workers, so a fresh coordinator can never collide with a stale rule
+// cached from another one.
+var ruleCounter atomic.Uint64
+
+// Coordinator drives a set of TCP workers through the three phases.
+// Workers that fail an RPC are marked dead and their tasks retried on
+// the surviving ones; a query only fails once no worker is left.
+type Coordinator struct {
+	cfg     CoordinatorConfig
+	clients []*rpc.Client
+	addrs   []string
+	salt    uint64
+	mu      sync.Mutex
+	dead    []bool
+}
+
+// NewCoordinator dials every worker address and verifies liveness.
+func NewCoordinator(cfg CoordinatorConfig, workerAddrs []string) (*Coordinator, error) {
+	if len(workerAddrs) == 0 {
+		return nil, fmt.Errorf("dist: no workers")
+	}
+	if cfg.M < 1 || cfg.Delta < 1 || cfg.SampleRatio <= 0 || cfg.SampleRatio > 1 {
+		return nil, fmt.Errorf("dist: invalid config %+v", cfg)
+	}
+	if cfg.ChunkSize <= 0 {
+		cfg.ChunkSize = 8192
+	}
+	var saltBytes [4]byte
+	if _, err := cryptorand.Read(saltBytes[:]); err != nil {
+		return nil, fmt.Errorf("dist: salt: %w", err)
+	}
+	salt := uint64(binary.LittleEndian.Uint32(saltBytes[:]))
+	c := &Coordinator{cfg: cfg, addrs: workerAddrs, salt: salt,
+		dead: make([]bool, len(workerAddrs))}
+	for _, addr := range workerAddrs {
+		cl, err := rpc.Dial("tcp", addr)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("dist: dial %s: %w", addr, err)
+		}
+		var pong PingReply
+		if err := cl.Call("Worker.Ping", PingArgs{}, &pong); err != nil {
+			cl.Close()
+			c.Close()
+			return nil, fmt.Errorf("dist: ping %s: %w", addr, err)
+		}
+		c.clients = append(c.clients, cl)
+	}
+	return c, nil
+}
+
+// Close hangs up all worker connections.
+func (c *Coordinator) Close() error {
+	var first error
+	for _, cl := range c.clients {
+		if cl != nil {
+			if err := cl.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	c.clients = nil
+	return first
+}
+
+// Skyline runs the full distributed pipeline and returns the exact
+// skyline of ds.
+func (c *Coordinator) Skyline(ctx context.Context, ds *point.Dataset) ([]point.Point, *Report, error) {
+	rep := &Report{Workers: len(c.clients)}
+	if ds == nil || ds.Len() == 0 {
+		return nil, rep, nil
+	}
+	start := time.Now()
+
+	// ---- Phase 1 on the coordinator (master node) ----
+	t0 := time.Now()
+	smp, err := sample.Ratio(ds.Points, c.cfg.SampleRatio, c.cfg.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	mins, maxs, err := ds.Bounds()
+	if err != nil {
+		return nil, nil, err
+	}
+	enc, err := zorder.NewEncoder(ds.Dims, c.cfg.Bits, mins, maxs)
+	if err != nil {
+		return nil, nil, err
+	}
+	zc, err := partition.NewZCurve(enc, smp, c.cfg.M*c.cfg.Delta)
+	if err != nil {
+		return nil, nil, err
+	}
+	skyPts := zbtree.ZSearch(enc, c.cfg.Fanout, smp, nil)
+	scons := len(skyPts) / c.cfg.M
+	if scons < 1 {
+		scons = 1
+	}
+	zc = zc.Redistribute(smp, scons)
+	var pg *grouping.PGMap
+	if c.cfg.Heuristic {
+		pg, err = grouping.Heuristic(zc.Infos(), c.cfg.M)
+	} else {
+		pg, err = grouping.Dominance(enc, zc.Infos(), c.cfg.M)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.Partitions = zc.N()
+	rep.Groups = pg.Groups
+
+	// Broadcast the rule (distributed cache).
+	blob := RuleBlob{
+		ID:            c.salt<<32 | ruleCounter.Add(1),
+		Dims:          ds.Dims,
+		Bits:          c.cfg.Bits,
+		Mins:          mins,
+		Maxs:          maxs,
+		GroupOf:       pg.Assign,
+		Groups:        pg.Groups,
+		SampleSkyline: skyPts,
+		Fanout:        c.cfg.Fanout,
+		UseZS:         c.cfg.UseZS,
+	}
+	for _, piv := range zc.Pivots() {
+		blob.Pivots = append(blob.Pivots, piv)
+	}
+	if err := c.broadcast(ctx, blob); err != nil {
+		return nil, nil, err
+	}
+	rep.Preprocess = time.Since(t0)
+
+	// ---- Phase 2: map+combine chunks across workers, then reduce ----
+	t1 := time.Now()
+	chunks := chunkPoints(ds.Points, c.cfg.ChunkSize)
+	mapOuts := make([]*MapReply, len(chunks))
+	if err := c.forEach(ctx, len(chunks), func(i, worker int) error {
+		var reply MapReply
+		if err := c.call("Worker.MapChunk",
+			MapArgs{RuleID: blob.ID, Points: chunks[i]}, &reply, worker); err != nil {
+			return err
+		}
+		mapOuts[i] = &reply
+		return nil
+	}); err != nil {
+		return nil, nil, err
+	}
+	// Shuffle: gather per-group candidate lists in deterministic order.
+	byGroup := map[int][]point.Point{}
+	var order []int
+	for _, out := range mapOuts {
+		rep.Filtered += out.Filtered
+		for _, g := range out.Groups {
+			if _, seen := byGroup[g.Gid]; !seen {
+				order = append(order, g.Gid)
+			}
+			byGroup[g.Gid] = append(byGroup[g.Gid], g.Points...)
+		}
+	}
+	reduced := make([]GroupPoints, len(order))
+	if err := c.forEach(ctx, len(order), func(i, worker int) error {
+		gid := order[i]
+		var reply ReduceReply
+		if err := c.call("Worker.ReduceGroup",
+			ReduceArgs{RuleID: blob.ID, Group: GroupPoints{Gid: gid, Points: byGroup[gid]}},
+			&reply, worker); err != nil {
+			return err
+		}
+		reduced[i] = GroupPoints{Gid: gid, Points: reply.Candidates}
+		return nil
+	}); err != nil {
+		return nil, nil, err
+	}
+	for _, g := range reduced {
+		rep.Candidates += len(g.Points)
+	}
+	rep.Phase2 = time.Since(t1)
+
+	// ---- Phase 3: Z-merge, single-reducer or tree reduction ----
+	t2 := time.Now()
+	sky, err := c.merge(ctx, blob.ID, reduced)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.Phase3 = time.Since(t2)
+	rep.Total = time.Since(start)
+	return sky, rep, nil
+}
+
+// merge runs phase 3. The default mirrors the paper (one merge
+// reducer); TreeMerge reduces pairwise across workers, halving the
+// partial-skyline count per round.
+func (c *Coordinator) merge(ctx context.Context, ruleID uint64, groups []GroupPoints) ([]point.Point, error) {
+	if !c.cfg.TreeMerge || len(groups) <= 2 {
+		var merged MergeReply
+		if err := c.call("Worker.MergeGroups",
+			MergeArgs{RuleID: ruleID, Groups: groups}, &merged, 0); err != nil {
+			return nil, err
+		}
+		return merged.Skyline, nil
+	}
+	parts := groups
+	for len(parts) > 1 {
+		pairs := (len(parts) + 1) / 2
+		next := make([]GroupPoints, pairs)
+		if err := c.forEach(ctx, pairs, func(i, worker int) error {
+			lo := 2 * i
+			if lo+1 >= len(parts) {
+				next[i] = parts[lo]
+				return nil
+			}
+			var merged MergeReply
+			if err := c.call("Worker.MergeGroups",
+				MergeArgs{RuleID: ruleID, Groups: []GroupPoints{parts[lo], parts[lo+1]}},
+				&merged, worker); err != nil {
+				return err
+			}
+			next[i] = GroupPoints{Gid: i, Points: merged.Skyline}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		parts = next
+	}
+	return parts[0].Points, nil
+}
+
+// broadcast installs the rule on every live worker; workers that fail
+// the broadcast are marked dead. It errors only when nobody is left.
+func (c *Coordinator) broadcast(ctx context.Context, blob RuleBlob) error {
+	var wg sync.WaitGroup
+	for w := range c.clients {
+		if c.isDead(w) {
+			continue
+		}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var reply LoadRuleReply
+			if err := c.clients[w].Call("Worker.LoadRule", LoadRuleArgs{Rule: blob}, &reply); err != nil {
+				c.markDead(w)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.aliveCount() == 0 {
+		return fmt.Errorf("dist: all workers failed the rule broadcast")
+	}
+	return nil
+}
+
+func (c *Coordinator) isDead(w int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dead[w]
+}
+
+func (c *Coordinator) markDead(w int) {
+	c.mu.Lock()
+	c.dead[w] = true
+	c.mu.Unlock()
+}
+
+func (c *Coordinator) aliveCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, d := range c.dead {
+		if !d {
+			n++
+		}
+	}
+	return n
+}
+
+// call invokes one worker method with failover: a failed worker is
+// marked dead and the call retried on the next live one.
+func (c *Coordinator) call(method string, args, reply any, preferred int) error {
+	tried := 0
+	w := preferred % len(c.clients)
+	for tried < len(c.clients) {
+		if !c.isDead(w) {
+			err := c.clients[w].Call(method, args, reply)
+			if err == nil {
+				return nil
+			}
+			c.markDead(w)
+		}
+		w = (w + 1) % len(c.clients)
+		tried++
+	}
+	return fmt.Errorf("dist: %s failed on every worker", method)
+}
+
+// forEach fans n tasks out over the live workers with bounded
+// concurrency (one in-flight call per worker connection) and failover.
+func (c *Coordinator) forEach(ctx context.Context, n int, f func(task, worker int) error) error {
+	if n == 0 {
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	sem := make(chan int, len(c.clients))
+	for w := range c.clients {
+		sem <- w
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case <-ctx.Done():
+			wg.Wait()
+			return ctx.Err()
+		case worker := <-sem:
+			wg.Add(1)
+			go func(i, worker int) {
+				defer wg.Done()
+				defer func() { sem <- worker }()
+				if err := f(i, worker); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("dist: task %d: %w", i, err)
+					}
+					mu.Unlock()
+				}
+			}(i, worker)
+		}
+	}
+	wg.Wait()
+	return firstErr
+}
+
+func chunkPoints(pts []point.Point, size int) [][]point.Point {
+	var out [][]point.Point
+	for lo := 0; lo < len(pts); lo += size {
+		hi := lo + size
+		if hi > len(pts) {
+			hi = len(pts)
+		}
+		out = append(out, pts[lo:hi:hi])
+	}
+	return out
+}

@@ -1,0 +1,249 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"zskyline/internal/codec"
+	"zskyline/internal/grouping"
+	"zskyline/internal/partition"
+	"zskyline/internal/point"
+	"zskyline/internal/sample"
+	"zskyline/internal/zbtree"
+	"zskyline/internal/zorder"
+)
+
+// SkylineFile computes the skyline of a ZSKY binary file without ever
+// loading it into the coordinator's memory: pass 1 streams the file to
+// learn the bounding box and a reservoir sample (phase 1's input),
+// pass 2 streams chunks straight to the workers' MapChunk RPCs. This
+// is the deployment shape for datasets larger than the coordinator —
+// the same regime the paper's HDFS-resident inputs live in.
+func (c *Coordinator) SkylineFile(ctx context.Context, path string) ([]point.Point, *Report, error) {
+	rep := &Report{Workers: len(c.clients)}
+	start := time.Now()
+
+	// ---- Pass 1: bounds + reservoir sample + count ----
+	t0 := time.Now()
+	dims, n, mins, maxs, smp, err := c.scanFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n == 0 {
+		return nil, rep, nil
+	}
+
+	// ---- Phase 1 on the sample (identical to the in-memory path) ----
+	enc, err := zorder.NewEncoder(dims, c.cfg.Bits, mins, maxs)
+	if err != nil {
+		return nil, nil, err
+	}
+	zc, err := partition.NewZCurve(enc, smp, c.cfg.M*c.cfg.Delta)
+	if err != nil {
+		return nil, nil, err
+	}
+	skyPts := zbtree.ZSearch(enc, c.cfg.Fanout, smp, nil)
+	scons := len(skyPts) / c.cfg.M
+	if scons < 1 {
+		scons = 1
+	}
+	zc = zc.Redistribute(smp, scons)
+	var pg *grouping.PGMap
+	if c.cfg.Heuristic {
+		pg, err = grouping.Heuristic(zc.Infos(), c.cfg.M)
+	} else {
+		pg, err = grouping.Dominance(enc, zc.Infos(), c.cfg.M)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.Partitions = zc.N()
+	rep.Groups = pg.Groups
+	blob := RuleBlob{
+		ID:            c.salt<<32 | ruleCounter.Add(1),
+		Dims:          dims,
+		Bits:          c.cfg.Bits,
+		Mins:          mins,
+		Maxs:          maxs,
+		GroupOf:       pg.Assign,
+		Groups:        pg.Groups,
+		SampleSkyline: skyPts,
+		Fanout:        c.cfg.Fanout,
+		UseZS:         c.cfg.UseZS,
+	}
+	for _, piv := range zc.Pivots() {
+		blob.Pivots = append(blob.Pivots, piv)
+	}
+	if err := c.broadcast(ctx, blob); err != nil {
+		return nil, nil, err
+	}
+	rep.Preprocess = time.Since(t0)
+
+	// ---- Pass 2 / phase 2: stream chunks to workers ----
+	t1 := time.Now()
+	mapOuts, err := c.streamMap(ctx, path, blob.ID)
+	if err != nil {
+		return nil, nil, err
+	}
+	byGroup := map[int][]point.Point{}
+	var order []int
+	for _, out := range mapOuts {
+		rep.Filtered += out.Filtered
+		for _, g := range out.Groups {
+			if _, seen := byGroup[g.Gid]; !seen {
+				order = append(order, g.Gid)
+			}
+			byGroup[g.Gid] = append(byGroup[g.Gid], g.Points...)
+		}
+	}
+	reduced := make([]GroupPoints, len(order))
+	if err := c.forEach(ctx, len(order), func(i, worker int) error {
+		gid := order[i]
+		var reply ReduceReply
+		if err := c.call("Worker.ReduceGroup",
+			ReduceArgs{RuleID: blob.ID, Group: GroupPoints{Gid: gid, Points: byGroup[gid]}},
+			&reply, worker); err != nil {
+			return err
+		}
+		reduced[i] = GroupPoints{Gid: gid, Points: reply.Candidates}
+		return nil
+	}); err != nil {
+		return nil, nil, err
+	}
+	for _, g := range reduced {
+		rep.Candidates += len(g.Points)
+	}
+	rep.Phase2 = time.Since(t1)
+
+	// ---- Phase 3 ----
+	t2 := time.Now()
+	sky, err := c.merge(ctx, blob.ID, reduced)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.Phase3 = time.Since(t2)
+	rep.Total = time.Since(start)
+	return sky, rep, nil
+}
+
+// scanFile streams the file once for dims, count, bounds and a
+// reservoir sample sized by the configured ratio (estimated from the
+// header's point count).
+func (c *Coordinator) scanFile(path string) (dims int, n int64, mins, maxs []float64, smp []point.Point, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, nil, nil, nil, err
+	}
+	defer f.Close()
+	br, err := codec.NewBinaryReader(f)
+	if err != nil {
+		return 0, 0, nil, nil, nil, err
+	}
+	dims = br.Dims()
+	k := int(c.cfg.SampleRatio * float64(br.Remaining()))
+	if k < 64 {
+		k = 64
+	}
+	res, err := sample.NewStream(k, c.cfg.Seed)
+	if err != nil {
+		return 0, 0, nil, nil, nil, err
+	}
+	for {
+		batch, err := br.Next(c.cfg.ChunkSize)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return 0, 0, nil, nil, nil, err
+		}
+		for _, p := range batch {
+			if mins == nil {
+				mins = append([]float64(nil), p...)
+				maxs = append([]float64(nil), p...)
+			} else {
+				for d, v := range p {
+					if v < mins[d] {
+						mins[d] = v
+					}
+					if v > maxs[d] {
+						maxs[d] = v
+					}
+				}
+			}
+		}
+		res.AddBatch(batch)
+		n += int64(len(batch))
+	}
+	if n > 0 && len(res.Sample()) == 0 {
+		return 0, 0, nil, nil, nil, fmt.Errorf("dist: empty sample from %d points", n)
+	}
+	return dims, n, mins, maxs, res.Sample(), nil
+}
+
+// streamMap streams the file's chunks to the workers with bounded
+// in-flight RPCs (one per worker connection), so coordinator memory
+// holds at most workers+1 batches at any moment.
+func (c *Coordinator) streamMap(ctx context.Context, path string, ruleID uint64) ([]*MapReply, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br, err := codec.NewBinaryReader(f)
+	if err != nil {
+		return nil, err
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		outs     []*MapReply
+	)
+	sem := make(chan int, len(c.clients))
+	for w := range c.clients {
+		sem <- w
+	}
+	for {
+		batch, err := br.Next(c.cfg.ChunkSize)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			wg.Wait()
+			return nil, err
+		}
+		select {
+		case <-ctx.Done():
+			wg.Wait()
+			return nil, ctx.Err()
+		case worker := <-sem:
+			wg.Add(1)
+			go func(batch []point.Point, worker int) {
+				defer wg.Done()
+				defer func() { sem <- worker }()
+				var reply MapReply
+				if err := c.call("Worker.MapChunk",
+					MapArgs{RuleID: ruleID, Points: batch}, &reply, worker); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				mu.Lock()
+				outs = append(outs, &reply)
+				mu.Unlock()
+			}(batch, worker)
+		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return outs, nil
+}

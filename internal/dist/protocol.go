@@ -1,0 +1,101 @@
+// Package dist executes the paper's three-phase pipeline across real
+// processes: a coordinator and N workers that speak net/rpc over TCP
+// with gob encoding. It is the share-*nothing* deployment of the same
+// algorithms the in-process substrate runs — phase 1 happens on the
+// coordinator (master node), phase 2's map+combine and reduce run on
+// the workers, and phase 3's Z-merge runs on one worker, exactly
+// mirroring the paper's Hadoop layout (Figure 5).
+//
+// Workers are stateful only in that they cache the broadcast
+// partitioning rule (the distributed-cache step of Algorithm 3) keyed
+// by a rule ID, so repeated jobs pay the broadcast once.
+package dist
+
+import (
+	"zskyline/internal/point"
+)
+
+// RuleBlob is the serialized phase-1 routing rule broadcast to every
+// worker: everything a mapper needs to filter and route points.
+type RuleBlob struct {
+	// ID identifies the rule so workers can cache it across calls.
+	ID uint64
+	// Dims, Bits, Mins, Maxs rebuild the Z-order encoder.
+	Dims int
+	Bits int
+	Mins []float64
+	Maxs []float64
+	// Pivots are the Z-curve cut points, each a packed address.
+	Pivots [][]uint64
+	// GroupOf maps partition id -> group id; missing = pruned.
+	GroupOf map[int]int
+	// Groups is the total group count.
+	Groups int
+	// SampleSkyline seeds the worker-side SZB-tree filter. Empty
+	// disables the filter (Naive-Z semantics).
+	SampleSkyline []point.Point
+	// Fanout is the ZB-tree fanout.
+	Fanout int
+	// UseZS selects Z-search (true) or SB (false) for local skylines.
+	UseZS bool
+}
+
+// LoadRuleArgs asks a worker to install a rule.
+type LoadRuleArgs struct {
+	Rule RuleBlob
+}
+
+// LoadRuleReply acknowledges installation.
+type LoadRuleReply struct {
+	Cached bool // true if the worker already had this rule
+}
+
+// MapArgs carries one input chunk for phase 2's map+combine step.
+type MapArgs struct {
+	RuleID uint64
+	Points []point.Point
+}
+
+// GroupPoints is a group's worth of routed points or candidates.
+type GroupPoints struct {
+	Gid    int
+	Points []point.Point
+}
+
+// MapReply returns the chunk's local skyline candidates per group.
+type MapReply struct {
+	Groups   []GroupPoints
+	Filtered int64 // points dropped by the SZB filter / pruned partitions
+}
+
+// ReduceArgs carries all of one group's candidates for the per-group
+// skyline (phase 2 reduce).
+type ReduceArgs struct {
+	RuleID uint64
+	Group  GroupPoints
+}
+
+// ReduceReply returns the group's skyline candidates.
+type ReduceReply struct {
+	Candidates []point.Point
+}
+
+// MergeArgs carries every group's candidates for the final Z-merge
+// (phase 3).
+type MergeArgs struct {
+	RuleID uint64
+	Groups []GroupPoints
+}
+
+// MergeReply returns the global skyline.
+type MergeReply struct {
+	Skyline []point.Point
+}
+
+// PingArgs/PingReply support liveness checks.
+type PingArgs struct{}
+
+// PingReply reports worker identity.
+type PingReply struct {
+	Addr string
+}

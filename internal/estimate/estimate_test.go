@@ -1,0 +1,101 @@
+package estimate
+
+import (
+	"math"
+	"testing"
+
+	"zskyline/internal/gen"
+	"zskyline/internal/seq"
+)
+
+func TestIndependentModelBasics(t *testing.T) {
+	if got := Independent(0, 3); got != 0 {
+		t.Errorf("n=0: %v", got)
+	}
+	if got := Independent(1, 3); got != 1 {
+		t.Errorf("n=1: %v", got)
+	}
+	if got := Independent(1000, 1); got != 1 {
+		t.Errorf("d=1: %v", got)
+	}
+	// Monotone in both n and d (within plausible ranges).
+	if Independent(10000, 4) <= Independent(1000, 4) {
+		t.Error("not monotone in n")
+	}
+	if Independent(10000, 5) <= Independent(10000, 3) {
+		t.Error("not monotone in d")
+	}
+	// Clamped to n.
+	if got := Independent(10, 10); got > 10 {
+		t.Errorf("exceeds n: %v", got)
+	}
+	// Closed form check: d=3, n=e^6 -> 6^2/2! = 18.
+	n := int(math.Round(math.Exp(6)))
+	if got := Independent(n, 3); math.Abs(got-18) > 0.2 {
+		t.Errorf("closed form: %v, want ~18", got)
+	}
+}
+
+// The analytic model should be in the right ballpark for actual
+// independent data (within 2.5x across sizes and dims).
+func TestModelTracksReality(t *testing.T) {
+	for _, tc := range []struct{ n, d int }{
+		{2000, 2}, {5000, 3}, {10000, 4}, {10000, 5},
+	} {
+		ds := gen.Synthetic(gen.Independent, tc.n, tc.d, 7)
+		truth := float64(len(seq.SB(ds.Points, nil)))
+		model := Independent(tc.n, tc.d)
+		ratio := model / truth
+		if ratio < 0.4 || ratio > 2.5 {
+			t.Errorf("n=%d d=%d: model %.0f vs truth %.0f (ratio %.2f)",
+				tc.n, tc.d, model, truth, ratio)
+		}
+	}
+}
+
+func TestFromSampleBeatsNaive(t *testing.T) {
+	ds := gen.Synthetic(gen.Independent, 40000, 4, 21)
+	truth := float64(len(seq.SB(ds.Points, nil)))
+	est, err := FromSample(ds.Points, 0.02, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaledErr := math.Abs(est.Scaled - truth)
+	naiveErr := math.Abs(est.Naive - truth)
+	if scaledErr >= naiveErr {
+		t.Errorf("scaled %.0f (err %.0f) should beat naive %.0f (err %.0f); truth %.0f",
+			est.Scaled, scaledErr, est.Naive, naiveErr, truth)
+	}
+	// Within 3x of truth.
+	if est.Scaled < truth/3 || est.Scaled > truth*3 {
+		t.Errorf("scaled %.0f outside 3x of truth %.0f", est.Scaled, truth)
+	}
+}
+
+func TestFromSampleEdges(t *testing.T) {
+	est, err := FromSample(nil, 0.5, 1)
+	if err != nil || est.SampleSize != 0 {
+		t.Errorf("empty: %+v %v", est, err)
+	}
+	ds := gen.Synthetic(gen.Independent, 100, 3, 1)
+	if _, err := FromSample(ds.Points, 0, 1); err == nil {
+		t.Error("ratio 0 accepted")
+	}
+	// Full-ratio sample: scaled equals the exact skyline.
+	est, err = FromSample(ds.Points, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(est.Scaled) != est.SampleSkyline {
+		t.Errorf("full sample: scaled %.0f != sample skyline %d", est.Scaled, est.SampleSkyline)
+	}
+}
+
+func TestGrowthRatio(t *testing.T) {
+	if r := GrowthRatio(1000, 1000, 4); math.Abs(r-1) > 1e-12 {
+		t.Errorf("k=n ratio = %v", r)
+	}
+	if r := GrowthRatio(1000, 100000, 4); r <= 1 {
+		t.Errorf("growth ratio should exceed 1: %v", r)
+	}
+}

@@ -1,0 +1,152 @@
+package gpmrs
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"zskyline/internal/gen"
+	"zskyline/internal/point"
+	"zskyline/internal/seq"
+)
+
+func sameSet(t *testing.T, got, want []point.Point, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d points, want %d", label, len(got), len(want))
+	}
+	g := append([]point.Point(nil), got...)
+	w := append([]point.Point(nil), want...)
+	point.SortLexicographic(g)
+	point.SortLexicographic(w)
+	for i := range g {
+		if !g[i].Equal(w[i]) {
+			t.Fatalf("%s: [%d] = %v, want %v", label, i, g[i], w[i])
+		}
+	}
+}
+
+func TestEmptyAndNil(t *testing.T) {
+	sky, rep, err := Skyline(context.Background(), nil, Config{})
+	if err != nil || sky != nil || rep == nil {
+		t.Fatalf("nil dataset: %v %v %v", sky, rep, err)
+	}
+	sky, _, err = Skyline(context.Background(), &point.Dataset{Dims: 2}, Config{})
+	if err != nil || len(sky) != 0 {
+		t.Fatalf("empty dataset: %v %v", sky, err)
+	}
+}
+
+func TestExactAcrossDistributions(t *testing.T) {
+	for _, dist := range []gen.Distribution{gen.Independent, gen.Correlated, gen.AntiCorrelated} {
+		for _, d := range []int{2, 4, 6} {
+			ds := gen.Synthetic(dist, 3000, d, 11)
+			want := seq.SB(ds.Points, nil)
+			got, rep, err := Skyline(context.Background(), ds, Config{Workers: 4, Reducers: 5, SampleRatio: 0.05})
+			if err != nil {
+				t.Fatalf("%v/d=%d: %v", dist, d, err)
+			}
+			sameSet(t, got, want, dist.String())
+			if rep.Candidates < len(want) {
+				t.Errorf("%v/d=%d: %d candidates < %d skyline", dist, d, rep.Candidates, len(want))
+			}
+		}
+	}
+}
+
+func TestExactHighDimensionalCap(t *testing.T) {
+	// d > MaxGridDims: the grid covers only a prefix of dimensions; the
+	// result must still be exact and no cell may be dropped.
+	ds := gen.Synthetic(gen.Independent, 800, 15, 3)
+	want := seq.BruteForce(ds.Points)
+	got, rep, err := Skyline(context.Background(), ds, Config{Workers: 4, SampleRatio: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSet(t, got, want, "d=15")
+	if rep.UsedDims != MaxGridDims {
+		t.Errorf("used dims = %d, want %d", rep.UsedDims, MaxGridDims)
+	}
+	if rep.DroppedCells != 0 {
+		t.Errorf("dropped %d cells with partial grid; unsound", rep.DroppedCells)
+	}
+}
+
+func TestCellFilterFires(t *testing.T) {
+	// Correlated low-d data populates both extreme cells, so the
+	// all-ones cell gets dropped.
+	ds := gen.Synthetic(gen.Correlated, 5000, 3, 7)
+	_, rep, err := Skyline(context.Background(), ds, Config{Workers: 4, SampleRatio: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DroppedCells == 0 || rep.FilteredPoints == 0 {
+		t.Errorf("cell filter never fired: %+v", rep)
+	}
+}
+
+func TestDuplicationGrowsWithDim(t *testing.T) {
+	// GPMRS's replication overhead should grow with dimensionality —
+	// the effect that makes it lose in Figure 12.
+	dup := map[int]int64{}
+	for _, d := range []int{3, 8} {
+		ds := gen.Synthetic(gen.Independent, 4000, d, 9)
+		_, rep, err := Skyline(context.Background(), ds, Config{Workers: 4, Reducers: 8, SampleRatio: 0.05})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dup[d] = rep.DuplicatedRecords
+	}
+	if dup[8] <= dup[3] {
+		t.Errorf("duplication did not grow with dim: %v", dup)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	ds := gen.Synthetic(gen.Independent, 500, 3, 1)
+	_, rep, err := Skyline(context.Background(), ds, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.String() == "" || rep.Total <= 0 {
+		t.Errorf("report: %+v", rep)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	ds := gen.Synthetic(gen.AntiCorrelated, 2000, 4, 13)
+	a, _, err := Skyline(context.Background(), ds, Config{Workers: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Skyline(context.Background(), ds, Config{Workers: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSet(t, a, b, "rerun")
+}
+
+// quick property: GPMRS is exact for arbitrary sizes, dims and reducer
+// counts.
+func TestQuickGPMRSExact(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := 1 + r.Intn(6)
+		n := 50 + r.Intn(800)
+		ds := gen.Synthetic(gen.Distribution(r.Intn(3)), n, d, seed)
+		got, _, err := Skyline(context.Background(), ds, Config{
+			Workers:     1 + r.Intn(4),
+			Reducers:    1 + r.Intn(8),
+			SampleRatio: 0.05 + r.Float64()*0.3,
+			Seed:        seed,
+		})
+		if err != nil {
+			return false
+		}
+		return len(got) == len(seq.BruteForce(ds.Points))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

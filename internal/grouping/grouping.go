@@ -1,0 +1,322 @@
+// Package grouping implements the paper's two partition-grouping
+// strategies: Heuristic grouping (§4.2, Algorithm 1), which spreads
+// sample skyline points evenly over groups to kill stragglers, and
+// Dominance-based grouping (§4.3, Algorithm 2), which additionally
+// maximizes intra-group dominance volume so that redundant skyline
+// candidates are pruned inside each worker.
+//
+// Both take the per-partition sample statistics produced by
+// partition.ZCurve and emit a PGMap: the partition-ID to group-ID
+// routing rule that the first MapReduce job broadcasts to every mapper
+// (Algorithm 3). Partitions pruned by dominance have no entry — their
+// points can never contribute a skyline point, so mappers drop them
+// (Algorithm 3, line 7).
+package grouping
+
+import (
+	"fmt"
+	"sort"
+
+	"zskyline/internal/partition"
+	"zskyline/internal/zorder"
+)
+
+// PGMap is the learned routing rule between partitions and groups.
+type PGMap struct {
+	// Assign maps partition ID to group ID. A missing key means the
+	// partition was pruned as fully dominated.
+	Assign map[int]int
+	// Groups is the number of groups actually created.
+	Groups int
+	// Pruned lists the partition IDs dropped by dominance pruning.
+	Pruned []int
+}
+
+// GroupOf resolves a partition to its group; ok is false if the
+// partition was pruned.
+func (m *PGMap) GroupOf(pid int) (int, bool) {
+	g, ok := m.Assign[pid]
+	return g, ok
+}
+
+// String summarizes the map for logs.
+func (m *PGMap) String() string {
+	return fmt.Sprintf("PGMap{groups: %d, partitions: %d, pruned: %d}",
+		m.Groups, len(m.Assign), len(m.Pruned))
+}
+
+// caps returns the per-group ceilings the paper calls tcons (points)
+// and scons (skyline points): averages over the requested group count.
+func caps(infos []partition.Info, m int) (tcons, scons int) {
+	totalCount, totalSky := 0, 0
+	for _, in := range infos {
+		totalCount += in.Count
+		totalSky += in.SkyCount
+	}
+	tcons = (totalCount + m - 1) / m
+	scons = (totalSky + m - 1) / m
+	if scons < 1 {
+		scons = 1
+	}
+	if tcons < 1 {
+		tcons = 1
+	}
+	return tcons, scons
+}
+
+// Heuristic is Algorithm 1: sort partitions by descending sample
+// skyline count and fill groups sequentially, opening a new group
+// whenever the running point count would exceed tcons or the running
+// skyline count would exceed scons. Callers wanting the paper's full
+// ZHG behaviour should Redistribute the partitioner first so no single
+// partition exceeds scons.
+func Heuristic(infos []partition.Info, m int) (*PGMap, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("grouping: need at least one group, got %d", m)
+	}
+	if len(infos) == 0 {
+		return nil, fmt.Errorf("grouping: no partitions to group")
+	}
+	tcons, scons := caps(infos, m)
+	order := append([]partition.Info(nil), infos...)
+	sort.SliceStable(order, func(i, j int) bool {
+		if order[i].SkyCount != order[j].SkyCount {
+			return order[i].SkyCount > order[j].SkyCount
+		}
+		return order[i].Count > order[j].Count
+	})
+	pg := &PGMap{Assign: make(map[int]int, len(infos))}
+	g, tcount, scount := 0, 0, 0
+	started := false
+	for _, in := range order {
+		if started && (tcount+in.Count > tcons || scount+in.SkyCount > scons) {
+			g++
+			tcount, scount = 0, 0
+		}
+		pg.Assign[in.ID] = g
+		tcount += in.Count
+		scount += in.SkyCount
+		started = true
+	}
+	pg.Groups = g + 1
+	consolidate(pg, infos, m)
+	return pg, nil
+}
+
+// Dominance is Algorithm 2: prune fully-dominated partitions, build
+// the dominance matrix DM over partition RZ-regions (Definition 6),
+// rank partitions by skyline count times dominance power (Definition
+// 7), and greedily grow each group by repeatedly admitting the
+// partition with the largest total dominance volume against the
+// group's current members (the maxDominate step), subject to the
+// tcons/scons ceilings.
+func Dominance(enc *zorder.Encoder, infos []partition.Info, m int) (*PGMap, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("grouping: need at least one group, got %d", m)
+	}
+	if len(infos) == 0 {
+		return nil, fmt.Errorf("grouping: no partitions to group")
+	}
+	pg := &PGMap{Assign: make(map[int]int, len(infos))}
+
+	// Prune partitions whose full Z-interval is dominated by another
+	// partition's sample extent: every real point routed to them is
+	// dominated by every sample point of the dominating partition.
+	alive := make([]partition.Info, 0, len(infos))
+	for _, in := range infos {
+		pruned := false
+		for _, other := range infos {
+			if other.ID == in.ID || other.Count == 0 {
+				continue
+			}
+			if zorder.RegionDominatesRegion(other.Extent, in.Interval) {
+				pruned = true
+				break
+			}
+		}
+		if pruned {
+			pg.Pruned = append(pg.Pruned, in.ID)
+		} else {
+			alive = append(alive, in)
+		}
+	}
+	if len(alive) == 0 {
+		// Degenerate: everything dominated everything (identical
+		// regions). Keep all rather than route nothing.
+		alive = append(alive, infos...)
+		pg.Pruned = nil
+	}
+
+	tcons, scons := caps(alive, m)
+
+	// Dominance matrix over sample extents (Definition 6), indexed by
+	// position in alive.
+	k := len(alive)
+	dm := make([][]float64, k)
+	power := make([]float64, k)
+	for i := range dm {
+		dm[i] = make([]float64, k)
+	}
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			v := enc.DominanceVolume(alive[i].Extent, alive[j].Extent)
+			dm[i][j] = v
+			dm[j][i] = v
+			power[i] += v
+			power[j] += v
+		}
+	}
+
+	// Rank by |Pts_i| x Gamma(Pt_i) descending (Algorithm 2, sort()).
+	order := make([]int, k)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ka := float64(alive[order[a]].SkyCount) * power[order[a]]
+		kb := float64(alive[order[b]].SkyCount) * power[order[b]]
+		if ka != kb {
+			return ka > kb
+		}
+		if power[order[a]] != power[order[b]] {
+			return power[order[a]] > power[order[b]]
+		}
+		return alive[order[a]].SkyCount > alive[order[b]].SkyCount
+	})
+
+	assigned := make([]bool, k)
+	g := 0
+	for seedPos := 0; seedPos < k; seedPos++ {
+		seed := order[seedPos]
+		if assigned[seed] {
+			continue
+		}
+		// Open a group with the highest-ranked unassigned partition.
+		group := []int{seed}
+		assigned[seed] = true
+		tcount := alive[seed].Count
+		scount := alive[seed].SkyCount
+		for {
+			// maxDominate: unassigned partition with largest total
+			// volume against current members.
+			best, bestVol := -1, -1.0
+			for _, cand := range order {
+				if assigned[cand] {
+					continue
+				}
+				if tcount+alive[cand].Count > tcons || scount+alive[cand].SkyCount > scons {
+					continue
+				}
+				vol := 0.0
+				for _, memb := range group {
+					vol += dm[memb][cand]
+				}
+				if vol > bestVol {
+					best, bestVol = cand, vol
+				}
+			}
+			if best == -1 {
+				break
+			}
+			assigned[best] = true
+			group = append(group, best)
+			tcount += alive[best].Count
+			scount += alive[best].SkyCount
+		}
+		for _, memb := range group {
+			pg.Assign[alive[memb].ID] = g
+		}
+		g++
+	}
+	pg.Groups = g
+	consolidate(pg, alive, m)
+	return pg, nil
+}
+
+// consolidate merges the lightest groups until at most m remain. The
+// greedy passes above open a new group whenever a ceiling would be
+// crossed, which can overshoot the requested group count; the paper's
+// workers are fixed at M, so we fold the smallest groups together —
+// they violate the ceilings the least and keep the worker count (and
+// thus the candidate-set count) at M.
+func consolidate(pg *PGMap, infos []partition.Info, m int) {
+	for pg.Groups > m {
+		points, _ := GroupLoads(infos, pg)
+		// Find the two lightest groups.
+		a, b := -1, -1
+		for g, load := range points {
+			switch {
+			case a == -1 || load < points[a]:
+				b = a
+				a = g
+			case b == -1 || load < points[b]:
+				b = g
+			}
+		}
+		if a == -1 || b == -1 {
+			return
+		}
+		// Merge b into a, relabel the last group to fill b's slot.
+		last := pg.Groups - 1
+		for pid, g := range pg.Assign {
+			if g == b {
+				pg.Assign[pid] = a
+			}
+		}
+		if b != last {
+			for pid, g := range pg.Assign {
+				if g == last {
+					pg.Assign[pid] = b
+				}
+			}
+		}
+		pg.Groups--
+	}
+}
+
+// GroupLoads aggregates per-group point and skyline counts under a
+// PGMap — the balance signals the experiments report.
+func GroupLoads(infos []partition.Info, pg *PGMap) (points, sky []int) {
+	points = make([]int, pg.Groups)
+	sky = make([]int, pg.Groups)
+	for _, in := range infos {
+		if g, ok := pg.GroupOf(in.ID); ok {
+			points[g] += in.Count
+			sky[g] += in.SkyCount
+		}
+	}
+	return points, sky
+}
+
+// Identity maps every partition to its own group — the Naive-Z
+// strategy of §6.1 (Z-order partitioning with no grouping).
+func Identity(infos []partition.Info) *PGMap {
+	pg := &PGMap{Assign: make(map[int]int, len(infos)), Groups: len(infos)}
+	for i, in := range infos {
+		pg.Assign[in.ID] = i
+	}
+	return pg
+}
+
+// DominanceMatrix exposes Definition 6's matrix for analysis: entry
+// [i][j] is the dominance volume between partitions i and j's sample
+// extents, and the returned power vector is each partition's Gamma
+// (Definition 7).
+func DominanceMatrix(enc *zorder.Encoder, infos []partition.Info) (dm [][]float64, power []float64) {
+	k := len(infos)
+	dm = make([][]float64, k)
+	power = make([]float64, k)
+	for i := range dm {
+		dm[i] = make([]float64, k)
+	}
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			v := enc.DominanceVolume(infos[i].Extent, infos[j].Extent)
+			dm[i][j] = v
+			dm[j][i] = v
+			power[i] += v
+			power[j] += v
+		}
+	}
+	return dm, power
+}

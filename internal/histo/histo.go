@@ -1,0 +1,120 @@
+// Package histo provides the small histogram toolkit the analysis
+// experiments use: equi-width and equi-depth 1-D histograms (the same
+// constructions the paper's §4 uses to study skyline distribution
+// across partitions, Figures 3-4).
+package histo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram is a 1-D histogram over float values.
+type Histogram struct {
+	// Bounds has len(Counts)+1 entries; bucket i covers
+	// [Bounds[i], Bounds[i+1]) with the last bucket closed.
+	Bounds []float64
+	Counts []int
+}
+
+// EquiWidth builds a histogram with buckets of equal value range.
+func EquiWidth(values []float64, buckets int) (*Histogram, error) {
+	if buckets < 1 {
+		return nil, fmt.Errorf("histo: need at least one bucket")
+	}
+	if len(values) == 0 {
+		return nil, fmt.Errorf("histo: no values")
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	h := &Histogram{Bounds: make([]float64, buckets+1), Counts: make([]int, buckets)}
+	span := hi - lo
+	for i := 0; i <= buckets; i++ {
+		h.Bounds[i] = lo + span*float64(i)/float64(buckets)
+	}
+	for _, v := range values {
+		i := buckets - 1
+		if span > 0 {
+			i = int((v - lo) / span * float64(buckets))
+			if i >= buckets {
+				i = buckets - 1
+			}
+		}
+		h.Counts[i]++
+	}
+	return h, nil
+}
+
+// EquiDepth builds a histogram whose buckets hold (approximately)
+// equal counts; bucket boundaries are the value quantiles. This is the
+// construction behind the Z-curve's equal-frequency pivots.
+func EquiDepth(values []float64, buckets int) (*Histogram, error) {
+	if buckets < 1 {
+		return nil, fmt.Errorf("histo: need at least one bucket")
+	}
+	if len(values) == 0 {
+		return nil, fmt.Errorf("histo: no values")
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	h := &Histogram{Bounds: make([]float64, buckets+1), Counts: make([]int, buckets)}
+	h.Bounds[0] = sorted[0]
+	h.Bounds[buckets] = sorted[len(sorted)-1]
+	for i := 1; i < buckets; i++ {
+		h.Bounds[i] = sorted[i*len(sorted)/buckets]
+	}
+	// Count by boundary search so duplicate-heavy data still sums
+	// correctly (buckets may be unevenly filled when values repeat).
+	for _, v := range values {
+		i := sort.SearchFloat64s(h.Bounds[1:buckets], v+math.SmallestNonzeroFloat64)
+		h.Counts[i]++
+	}
+	return h, nil
+}
+
+// Total returns the number of recorded values.
+func (h *Histogram) Total() int {
+	t := 0
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// MaxCount returns the largest bucket count.
+func (h *Histogram) MaxCount() int {
+	m := 0
+	for _, c := range h.Counts {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// Render draws the histogram as ASCII bars of at most width cells.
+func (h *Histogram) Render(width int) string {
+	if width < 1 {
+		width = 40
+	}
+	max := h.MaxCount()
+	var b strings.Builder
+	for i, c := range h.Counts {
+		bar := 0
+		if max > 0 {
+			bar = c * width / max
+		}
+		fmt.Fprintf(&b, "[%10.4g, %10.4g) %6d %s\n",
+			h.Bounds[i], h.Bounds[i+1], c, strings.Repeat("#", bar))
+	}
+	return b.String()
+}

@@ -1,0 +1,89 @@
+package histo
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestEquiWidthBasics(t *testing.T) {
+	h, err := EquiWidth([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Total() != 10 {
+		t.Errorf("total = %d", h.Total())
+	}
+	for i, c := range h.Counts {
+		if c != 2 {
+			t.Errorf("bucket %d = %d, want 2", i, c)
+		}
+	}
+	if _, err := EquiWidth(nil, 4); err == nil {
+		t.Error("empty values accepted")
+	}
+	if _, err := EquiWidth([]float64{1}, 0); err == nil {
+		t.Error("zero buckets accepted")
+	}
+}
+
+func TestEquiWidthConstantValues(t *testing.T) {
+	h, err := EquiWidth([]float64{5, 5, 5}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Total() != 3 {
+		t.Errorf("total = %d", h.Total())
+	}
+}
+
+func TestEquiDepthBalances(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// Heavily skewed data: equi-depth should still balance counts.
+	values := make([]float64, 10000)
+	for i := range values {
+		v := rng.NormFloat64() * rng.NormFloat64()
+		values[i] = v * v
+	}
+	h, err := EquiDepth(values, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Total() != len(values) {
+		t.Fatalf("total = %d", h.Total())
+	}
+	for i, c := range h.Counts {
+		if c < len(values)/16 || c > len(values)/4 {
+			t.Errorf("equi-depth bucket %d badly unbalanced: %d", i, c)
+		}
+	}
+	// Equi-width on the same data should be far more skewed.
+	w, _ := EquiWidth(values, 8)
+	if w.MaxCount() <= h.MaxCount() {
+		t.Errorf("equi-width max %d should exceed equi-depth max %d on skewed data",
+			w.MaxCount(), h.MaxCount())
+	}
+}
+
+func TestEquiDepthDuplicateHeavy(t *testing.T) {
+	values := make([]float64, 100)
+	for i := range values {
+		values[i] = float64(i % 2)
+	}
+	h, err := EquiDepth(values, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Total() != 100 {
+		t.Fatalf("total = %d", h.Total())
+	}
+}
+
+func TestRender(t *testing.T) {
+	h, _ := EquiWidth([]float64{1, 2, 3, 4}, 2)
+	out := h.Render(10)
+	if !strings.Contains(out, "#") || len(strings.Split(strings.TrimSpace(out), "\n")) != 2 {
+		t.Errorf("render: %q", out)
+	}
+	h.Render(0) // default width must not panic
+}

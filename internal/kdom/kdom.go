@@ -1,0 +1,130 @@
+// Package kdom implements k-dominant skylines (Chan et al., SIGMOD
+// 2006), the standard remedy for the paper's motivating pain point
+// that full skylines explode in high dimensions: p k-dominates q when
+// p is no worse on at least k of the d dimensions and strictly better
+// on at least one of those k. Lowering k below d shrinks the result
+// set aggressively.
+//
+// k-dominance is not transitive, so the one-pass window algorithms of
+// package seq are unsound here; this package implements the Two-Scan
+// Algorithm (TSA): a first scan produces candidates, a second scan
+// verifies every candidate against the full dataset.
+package kdom
+
+import (
+	"fmt"
+
+	"zskyline/internal/metrics"
+	"zskyline/internal/point"
+)
+
+// KDominates reports whether p k-dominates q: at least k dimensions
+// where p <= q, at least one of them strict, and no... precisely: p is
+// no worse than q in at least k dims and better in at least one of
+// those k dims.
+func KDominates(p, q point.Point, k int) bool {
+	if len(p) != len(q) || k <= 0 || k > len(p) {
+		return false
+	}
+	noWorse, better := 0, false
+	for i := range p {
+		if p[i] <= q[i] {
+			noWorse++
+			if p[i] < q[i] {
+				better = true
+			}
+		}
+	}
+	return noWorse >= k && better
+}
+
+// Skyline computes the k-dominant skyline with the Two-Scan Algorithm.
+// k == d degenerates to the classic skyline. tally may be nil.
+func Skyline(pts []point.Point, k int, tally *metrics.Tally) ([]point.Point, error) {
+	if len(pts) == 0 {
+		return nil, nil
+	}
+	d := len(pts[0])
+	if k <= 0 || k > d {
+		return nil, fmt.Errorf("kdom: k must be in [1,%d], got %d", d, k)
+	}
+
+	// Scan 1: build a candidate set. A candidate may still be a false
+	// positive (k-dominated by a point that was itself eliminated).
+	var cands []point.Point
+	var tests int64
+	for _, p := range pts {
+		dominated := false
+		keep := cands[:0]
+		for i, q := range cands {
+			tests++
+			if KDominates(q, p, k) {
+				dominated = true
+				keep = append(keep, cands[i:]...)
+				break
+			}
+			tests++
+			if KDominates(p, q, k) {
+				continue // evict q
+			}
+			keep = append(keep, q)
+		}
+		cands = keep
+		if !dominated {
+			cands = append(cands, p)
+		}
+	}
+
+	// Scan 2: verify candidates against the whole dataset, because
+	// non-transitivity means an eliminated point can still k-dominate a
+	// candidate.
+	var out []point.Point
+	for _, c := range cands {
+		ok := true
+		for _, q := range pts {
+			if sameSlice(c, q) {
+				continue
+			}
+			tests++
+			if KDominates(q, c, k) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, c)
+		}
+	}
+	tally.AddDominanceTests(tests)
+	return out, nil
+}
+
+// sameSlice reports whether two points are the same backing slice (the
+// identity check scan 2 needs so a point does not disqualify itself;
+// coordinate-equal duplicates must still be compared, as equal points
+// never k-dominate each other anyway).
+func sameSlice(a, b point.Point) bool {
+	return len(a) == len(b) && len(a) > 0 && &a[0] == &b[0]
+}
+
+// BruteForce is the quadratic oracle: keep p iff no other point
+// k-dominates it.
+func BruteForce(pts []point.Point, k int) []point.Point {
+	var out []point.Point
+	for i, p := range pts {
+		dominated := false
+		for j, q := range pts {
+			if i == j {
+				continue
+			}
+			if KDominates(q, p, k) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+// Package maintain provides incremental skyline maintenance on top of
+// the ZB-tree and Z-merge: a Maintainer ingests batches of new points
+// and keeps the running skyline available at all times. This is the
+// streaming counterpart of the paper's phase 3 — each batch is reduced
+// to its own skyline tree and Z-merged into the maintained tree, so
+// per-batch cost tracks the batch's skyline size rather than the
+// stream length.
+//
+// Deletions are intentionally unsupported: removing a skyline point
+// may resurrect points the maintainer has already discarded, which
+// requires keeping the full history. Callers that need deletion should
+// rebuild from retained data.
+package maintain
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+
+	"zskyline/internal/codec"
+	"zskyline/internal/metrics"
+	"zskyline/internal/point"
+	"zskyline/internal/zbtree"
+	"zskyline/internal/zorder"
+)
+
+// Maintainer keeps the skyline of everything inserted so far. It is
+// safe for concurrent use; reads and writes serialize on one mutex
+// (batched inserts make the critical section coarse but rare).
+type Maintainer struct {
+	mu    sync.Mutex
+	enc   *zorder.Encoder
+	sky   *zbtree.Tree
+	tally *metrics.Tally
+	seen  int64
+}
+
+// New creates a Maintainer for dims-dimensional points over the value
+// box [mins, maxs]. Points outside the box are still handled exactly
+// (quantization clamps; exact float tests decide), but pruning works
+// best when the box matches the data.
+func New(dims, bits int, mins, maxs []float64) (*Maintainer, error) {
+	enc, err := zorder.NewEncoder(dims, bits, mins, maxs)
+	if err != nil {
+		return nil, err
+	}
+	tally := &metrics.Tally{}
+	return &Maintainer{enc: enc, sky: zbtree.New(enc, 0, tally), tally: tally}, nil
+}
+
+// NewUnit creates a Maintainer over the unit hypercube.
+func NewUnit(dims, bits int) (*Maintainer, error) {
+	mins := make([]float64, dims)
+	maxs := make([]float64, dims)
+	for i := range maxs {
+		maxs[i] = 1
+	}
+	return New(dims, bits, mins, maxs)
+}
+
+// Insert merges a batch of points into the maintained skyline and
+// returns how many of the batch's points are part of the new skyline.
+func (m *Maintainer) Insert(batch []point.Point) (int, error) {
+	for i, p := range batch {
+		if len(p) != m.enc.Dims() {
+			return 0, fmt.Errorf("maintain: point %d has %d dims, want %d", i, len(p), m.enc.Dims())
+		}
+	}
+	if len(batch) == 0 {
+		return 0, nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.seen += int64(len(batch))
+	// Reduce the batch to its own skyline tree, then Z-merge.
+	batchSky := zbtree.BuildFromPoints(m.enc, 0, batch, m.tally).SkylineTree()
+	m.sky = zbtree.Merge(m.sky, batchSky)
+	return m.countFromBatch(batch), nil
+}
+
+// countFromBatch reports how many maintained skyline points coordinate-
+// match points of batch. Duplicates count once per stored copy.
+func (m *Maintainer) countFromBatch(batch []point.Point) int {
+	keys := make(map[string]int, len(batch))
+	for _, p := range batch {
+		keys[p.String()]++
+	}
+	n := 0
+	for _, p := range m.sky.Points() {
+		k := p.String()
+		if keys[k] > 0 {
+			keys[k]--
+			n++
+		}
+	}
+	return n
+}
+
+// Skyline returns a copy of the current skyline in Z-order.
+func (m *Maintainer) Skyline() []point.Point {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sky.Points()
+}
+
+// Size returns the current skyline cardinality.
+func (m *Maintainer) Size() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sky.Len()
+}
+
+// Seen returns how many points have been inserted in total.
+func (m *Maintainer) Seen() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.seen
+}
+
+// Dominated reports whether p is strictly dominated by the current
+// skyline (i.e. inserting it would be a no-op).
+func (m *Maintainer) Dominated(p point.Point) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := zbtree.NewEntry(m.enc, p)
+	return m.sky.DominatesPoint(e.G, e.P)
+}
+
+// Stats exposes the accumulated dominance/region test counters.
+func (m *Maintainer) Stats() metrics.Snapshot {
+	return m.tally.Snapshot()
+}
+
+// Save serializes the maintainer's state: a small header (bits,
+// encoder box, points seen) followed by the skyline in ZSKY binary
+// form. The full input stream is NOT retained — only the skyline —
+// which is exactly the information needed to continue inserting.
+func (m *Maintainer) Save(w io.Writer) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	dims := m.enc.Dims()
+	hdr := make([]byte, 4+4+8+16*dims)
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(m.enc.Bits()))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(dims))
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(m.seen))
+	mins, maxs := m.bounds()
+	for k := 0; k < dims; k++ {
+		binary.LittleEndian.PutUint64(hdr[16+16*k:], math.Float64bits(mins[k]))
+		binary.LittleEndian.PutUint64(hdr[24+16*k:], math.Float64bits(maxs[k]))
+	}
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	ds := point.Dataset{Dims: dims, Points: m.sky.Points()}
+	return codec.WriteBinary(w, &ds)
+}
+
+// bounds recovers the encoder's box from cell corners.
+func (m *Maintainer) bounds() (mins, maxs []float64) {
+	dims := m.enc.Dims()
+	zero := make([]uint32, dims)
+	top := make([]uint32, dims)
+	for k := range top {
+		top[k] = m.enc.MaxGrid()
+	}
+	return m.enc.CellMin(zero), m.enc.CellMax(top)
+}
+
+// Load restores a maintainer previously written by Save.
+func Load(r io.Reader) (*Maintainer, error) {
+	head := make([]byte, 16)
+	if _, err := io.ReadFull(r, head); err != nil {
+		return nil, fmt.Errorf("maintain: reading header: %w", err)
+	}
+	bits := int(binary.LittleEndian.Uint32(head[0:4]))
+	dims := int(binary.LittleEndian.Uint32(head[4:8]))
+	seen := int64(binary.LittleEndian.Uint64(head[8:16]))
+	if dims <= 0 || dims > 1<<20 || bits <= 0 || bits > 32 {
+		return nil, fmt.Errorf("maintain: implausible header dims=%d bits=%d", dims, bits)
+	}
+	box := make([]byte, 16*dims)
+	if _, err := io.ReadFull(r, box); err != nil {
+		return nil, fmt.Errorf("maintain: reading bounds: %w", err)
+	}
+	mins := make([]float64, dims)
+	maxs := make([]float64, dims)
+	for k := 0; k < dims; k++ {
+		mins[k] = math.Float64frombits(binary.LittleEndian.Uint64(box[16*k:]))
+		maxs[k] = math.Float64frombits(binary.LittleEndian.Uint64(box[8+16*k:]))
+	}
+	m, err := New(dims, bits, mins, maxs)
+	if err != nil {
+		return nil, err
+	}
+	ds, err := codec.ReadBinary(r)
+	if err != nil {
+		return nil, fmt.Errorf("maintain: reading skyline: %w", err)
+	}
+	if ds.Dims != dims {
+		return nil, fmt.Errorf("maintain: skyline dims %d != header %d", ds.Dims, dims)
+	}
+	m.sky = zbtree.BuildFromPoints(m.enc, 0, ds.Points, m.tally)
+	m.seen = seen
+	return m, nil
+}

@@ -1,0 +1,141 @@
+// Package ooc computes skylines out of core: datasets stored in the
+// ZSKY binary format are streamed in bounded batches through the
+// incremental maintainer, so memory use tracks the skyline size plus
+// one batch rather than the dataset size. This is how the library
+// handles files larger than RAM — the same regime the paper's
+// disk-backed Hadoop deployment targets.
+package ooc
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"zskyline/internal/codec"
+	"zskyline/internal/maintain"
+	"zskyline/internal/point"
+)
+
+// Options tunes a streaming run.
+type Options struct {
+	// BatchSize bounds points in memory per step; 0 selects 65536.
+	BatchSize int
+	// Bits is the maintainer's grid resolution; 0 selects 16.
+	Bits int
+	// Mins/Maxs optionally give the data's bounding box. When nil, a
+	// first streaming pass computes it (two-pass mode).
+	Mins, Maxs []float64
+}
+
+// SkylineReader computes the skyline of a ZSKY stream. When no bounds
+// are supplied the source must be re-readable (use SkylineFile for
+// files); a one-pass run over an io.Reader requires bounds.
+func SkylineReader(r io.Reader, opts Options) ([]point.Point, error) {
+	if opts.Mins == nil || opts.Maxs == nil {
+		return nil, fmt.Errorf("ooc: one-pass streaming needs explicit bounds; use SkylineFile for two-pass")
+	}
+	br, err := codec.NewBinaryReader(r)
+	if err != nil {
+		return nil, err
+	}
+	return streamSkyline(br, opts)
+}
+
+// SkylineFile computes the skyline of a ZSKY file. Without explicit
+// bounds it makes two passes: one to find the bounding box (needed for
+// a well-fitted Z-order grid), one to maintain the skyline.
+func SkylineFile(path string, opts Options) ([]point.Point, error) {
+	if opts.Mins == nil || opts.Maxs == nil {
+		mins, maxs, err := scanBounds(path, opts)
+		if err != nil {
+			return nil, err
+		}
+		opts.Mins, opts.Maxs = mins, maxs
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br, err := codec.NewBinaryReader(f)
+	if err != nil {
+		return nil, err
+	}
+	return streamSkyline(br, opts)
+}
+
+func (o Options) normalize() Options {
+	if o.BatchSize < 1 {
+		o.BatchSize = 65536
+	}
+	if o.Bits < 1 {
+		o.Bits = 16
+	}
+	return o
+}
+
+func scanBounds(path string, opts Options) ([]float64, []float64, error) {
+	opts = opts.normalize()
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	br, err := codec.NewBinaryReader(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	var mins, maxs []float64
+	for {
+		batch, err := br.Next(opts.BatchSize)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, p := range batch {
+			if mins == nil {
+				mins = append([]float64(nil), p...)
+				maxs = append([]float64(nil), p...)
+				continue
+			}
+			for k, v := range p {
+				if v < mins[k] {
+					mins[k] = v
+				}
+				if v > maxs[k] {
+					maxs[k] = v
+				}
+			}
+		}
+	}
+	if mins == nil {
+		return nil, nil, fmt.Errorf("ooc: empty file")
+	}
+	return mins, maxs, nil
+}
+
+func streamSkyline(br *codec.BinaryReader, opts Options) ([]point.Point, error) {
+	opts = opts.normalize()
+	if len(opts.Mins) != br.Dims() || len(opts.Maxs) != br.Dims() {
+		return nil, fmt.Errorf("ooc: bounds have %d dims, stream has %d", len(opts.Mins), br.Dims())
+	}
+	m, err := maintain.New(br.Dims(), opts.Bits, opts.Mins, opts.Maxs)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		batch, err := br.Next(opts.BatchSize)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if _, err := m.Insert(batch); err != nil {
+			return nil, err
+		}
+	}
+	return m.Skyline(), nil
+}

@@ -1,0 +1,113 @@
+// Package parallel computes skylines on shared-memory multicores
+// without the MapReduce machinery: the input is sharded across
+// goroutines, each shard is solved with Z-search, and the shard
+// skylines are combined with a parallel Z-merge reduction tree. This
+// is the lightweight entry point for users who want the paper's
+// algorithms but run on one machine, not a simulated cluster.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"zskyline/internal/metrics"
+	"zskyline/internal/point"
+	"zskyline/internal/zbtree"
+	"zskyline/internal/zorder"
+)
+
+// Options tunes Skyline.
+type Options struct {
+	// Workers is the shard/goroutine count; 0 selects GOMAXPROCS.
+	Workers int
+	// Bits is the Z-order resolution; 0 selects 16 (capped for very
+	// high dimensionality).
+	Bits int
+	// Fanout is the ZB-tree fanout; 0 selects the default.
+	Fanout int
+	// Tally receives work counters; may be nil.
+	Tally *metrics.Tally
+}
+
+func (o Options) normalize(dims int) Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Bits <= 0 {
+		switch {
+		case dims <= 16:
+			o.Bits = 16
+		case dims <= 64:
+			o.Bits = 12
+		default:
+			o.Bits = 8
+		}
+	}
+	return o
+}
+
+// Skyline computes the exact skyline of ds using opts.Workers
+// goroutines.
+func Skyline(ds *point.Dataset, opts Options) ([]point.Point, error) {
+	if ds == nil || ds.Len() == 0 {
+		return nil, nil
+	}
+	opts = opts.normalize(ds.Dims)
+	mins, maxs, err := ds.Bounds()
+	if err != nil {
+		return nil, err
+	}
+	enc, err := zorder.NewEncoder(ds.Dims, opts.Bits, mins, maxs)
+	if err != nil {
+		return nil, err
+	}
+
+	// Shard and solve locally.
+	shards := opts.Workers
+	if shards > ds.Len() {
+		shards = ds.Len()
+	}
+	trees := make([]*zbtree.Tree, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		lo := s * ds.Len() / shards
+		hi := (s + 1) * ds.Len() / shards
+		wg.Add(1)
+		go func(s int, pts []point.Point) {
+			defer wg.Done()
+			trees[s] = zbtree.BuildFromPoints(enc, opts.Fanout, pts, opts.Tally).SkylineTree()
+		}(s, ds.Points[lo:hi:hi])
+	}
+	wg.Wait()
+
+	// Parallel pairwise Z-merge reduction.
+	for len(trees) > 1 {
+		half := (len(trees) + 1) / 2
+		next := make([]*zbtree.Tree, half)
+		for i := 0; i < half; i++ {
+			j := i + half
+			if j >= len(trees) {
+				next[i] = trees[i]
+				continue
+			}
+			wg.Add(1)
+			go func(i, j int) {
+				defer wg.Done()
+				next[i] = zbtree.Merge(trees[i], trees[j])
+			}(i, j)
+		}
+		wg.Wait()
+		trees = next
+	}
+	return trees[0].Points(), nil
+}
+
+// SkylineOf is a convenience wrapper over raw points.
+func SkylineOf(dims int, pts []point.Point, opts Options) ([]point.Point, error) {
+	ds, err := point.NewDataset(dims, pts)
+	if err != nil {
+		return nil, fmt.Errorf("parallel: %w", err)
+	}
+	return Skyline(ds, opts)
+}

@@ -1,0 +1,117 @@
+package rank
+
+import (
+	"math/rand"
+	"testing"
+
+	"zskyline/internal/gen"
+	"zskyline/internal/point"
+	"zskyline/internal/seq"
+	"zskyline/internal/zorder"
+)
+
+func TestTopKByScore(t *testing.T) {
+	pts := []point.Point{{3, 3}, {1, 5}, {5, 1}, {2, 2}}
+	score, err := WeightedSum([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := TopKByScore(pts, 2, score)
+	if len(top) != 2 || !top[0].P.Equal(point.Point{2, 2}) {
+		t.Fatalf("top = %+v", top)
+	}
+	if top[0].Score != 4 {
+		t.Errorf("score = %v", top[0].Score)
+	}
+	if got := TopKByScore(pts, 0, score); got != nil {
+		t.Error("k=0 should return nil")
+	}
+	if got := TopKByScore(pts, 99, score); len(got) != 4 {
+		t.Errorf("k>n returned %d", len(got))
+	}
+	if got := TopKByScore(nil, 3, score); got != nil {
+		t.Error("empty input should return nil")
+	}
+}
+
+func TestTopKDeterministicTies(t *testing.T) {
+	pts := []point.Point{{2, 0}, {0, 2}, {1, 1}}
+	score, _ := WeightedSum([]float64{1, 1})
+	a := TopKByScore(pts, 3, score)
+	b := TopKByScore([]point.Point{{1, 1}, {0, 2}, {2, 0}}, 3, score)
+	for i := range a {
+		if !a[i].P.Equal(b[i].P) {
+			t.Fatalf("tie order not deterministic: %v vs %v", a[i].P, b[i].P)
+		}
+	}
+}
+
+func TestWeightedSumValidation(t *testing.T) {
+	if _, err := WeightedSum([]float64{1, -1}); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+// Monotone scorer: the global best by score must be a skyline point.
+func TestMonotoneScorerBestIsSkyline(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		ds := gen.Synthetic(gen.Independent, 300, 3, rng.Int63())
+		w := []float64{rng.Float64() + 0.1, rng.Float64() + 0.1, rng.Float64() + 0.1}
+		score, _ := WeightedSum(w)
+		best := TopKByScore(ds.Points, 1, score)[0]
+		sky := seq.BruteForce(ds.Points)
+		found := false
+		for _, s := range sky {
+			if s.Equal(best.P) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("best scored point %v not in skyline", best.P)
+		}
+	}
+}
+
+func TestTopKByDominanceMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 15; trial++ {
+		d := 2 + rng.Intn(3)
+		ds := gen.Synthetic(gen.Independent, 400, d, rng.Int63())
+		sky := seq.BruteForce(ds.Points)
+		enc, _ := zorder.NewUnitEncoder(d, 10)
+		got := TopKByDominance(sky, ds.Points, enc, len(sky), nil)
+		if len(got) != len(sky) {
+			t.Fatalf("got %d ranked, want %d", len(got), len(sky))
+		}
+		for _, s := range got {
+			want := 0
+			for _, q := range ds.Points {
+				if point.Dominates(s.P, q) {
+					want++
+				}
+			}
+			if int(s.Score) != want {
+				t.Fatalf("dominance count for %v = %v, want %d", s.P, s.Score, want)
+			}
+		}
+		// Descending order.
+		for i := 1; i < len(got); i++ {
+			if got[i].Score > got[i-1].Score {
+				t.Fatal("not sorted descending")
+			}
+		}
+	}
+}
+
+func TestTopKByDominanceEdges(t *testing.T) {
+	enc, _ := zorder.NewUnitEncoder(2, 8)
+	if got := TopKByDominance(nil, nil, enc, 5, nil); got != nil {
+		t.Error("empty skyline should return nil")
+	}
+	sky := []point.Point{{0.1, 0.1}}
+	if got := TopKByDominance(sky, nil, enc, 1, nil); len(got) != 1 || got[0].Score != 0 {
+		t.Errorf("empty data: %+v", got)
+	}
+}

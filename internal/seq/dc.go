@@ -1,0 +1,66 @@
+package seq
+
+import (
+	"sort"
+
+	"zskyline/internal/metrics"
+	"zskyline/internal/point"
+)
+
+// dcBase is the subproblem size below which DC falls back to SB.
+const dcBase = 64
+
+// DC is Börzsönyi et al.'s divide-and-conquer skyline: split at the
+// median of one dimension, solve both halves recursively, and filter
+// the upper half's skyline against the lower half's (points with a
+// strictly smaller split coordinate can never be dominated from the
+// upper half). Included as the classic centralized baseline alongside
+// BNL and SB.
+func DC(pts []point.Point, tally *metrics.Tally) []point.Point {
+	if len(pts) == 0 {
+		return nil
+	}
+	work := make([]point.Point, len(pts))
+	copy(work, pts)
+	return dc(work, 0, tally)
+}
+
+// dc consumes (and may reorder) its input slice.
+func dc(pts []point.Point, dim int, tally *metrics.Tally) []point.Point {
+	if len(pts) <= dcBase {
+		return SB(pts, tally)
+	}
+	d := len(pts[0])
+	// Find a dimension (starting at dim, cycling) whose median actually
+	// splits the data; fully-duplicated dimensions cannot.
+	for tries := 0; tries < d; tries++ {
+		k := (dim + tries) % d
+		sort.SliceStable(pts, func(i, j int) bool { return pts[i][k] < pts[j][k] })
+		median := pts[len(pts)/2][k]
+		// Prefer lower = {v <= median}; when the median equals the
+		// maximum that cut is empty, so fall back to lower = {v <
+		// median}. Either way every lower coordinate is strictly below
+		// every upper coordinate on dimension k.
+		split := sort.Search(len(pts), func(i int) bool { return pts[i][k] > median })
+		if split == len(pts) {
+			split = sort.Search(len(pts), func(i int) bool { return pts[i][k] >= median })
+		}
+		if split == 0 || split == len(pts) {
+			continue // dimension is constant; try another
+		}
+		lower := dc(pts[:split], (k+1)%d, tally)
+		upper := dc(pts[split:], (k+1)%d, tally)
+		// Points in lower have coordinate <= median < upper's, so no
+		// upper point dominates a lower point; only the reverse filter
+		// is needed. The result must be a fresh slice: lower may alias
+		// pts, and appending in place would stomp the parent's halves.
+		kept := Filter(upper, lower, tally)
+		out := make([]point.Point, 0, len(lower)+len(kept))
+		out = append(out, lower...)
+		out = append(out, kept...)
+		return out
+	}
+	// Every dimension is constant across pts: all points are identical,
+	// so none dominates another.
+	return pts
+}

@@ -1,0 +1,129 @@
+// Package seq implements the centralized (single-worker) skyline
+// algorithms the paper uses as local building blocks and baselines:
+//
+//   - BNL: Börzsönyi et al.'s block-nested-loops over an unsorted
+//     input.
+//   - SB ("sort-based"): sort by the sum of coordinates first, then a
+//     single filtering pass — the paper's SB local algorithm (§6.1).
+//     Sorting by a monotone score makes the window append-only.
+//   - BruteForce: the quadratic oracle used by tests.
+//
+// The paper's third algorithm, Z-search (ZS), lives in package zbtree
+// because it is built on the ZB-tree index.
+package seq
+
+import (
+	"sort"
+
+	"zskyline/internal/metrics"
+	"zskyline/internal/point"
+)
+
+// BruteForce computes the skyline by comparing all pairs. It is the
+// O(n^2 d) oracle the rest of the test suite is validated against.
+// Duplicate points (identical coordinates) are all retained, since
+// equal points do not dominate one another.
+func BruteForce(pts []point.Point) []point.Point {
+	var out []point.Point
+	for i, p := range pts {
+		dominated := false
+		for j, q := range pts {
+			if i == j {
+				continue
+			}
+			if point.Dominates(q, p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// BNL is the classic block-nested-loops skyline: maintain a window of
+// incomparable points; each input point is compared against the
+// window, evicting dominated window entries and being discarded if it
+// is itself dominated. tally may be nil.
+func BNL(pts []point.Point, tally *metrics.Tally) []point.Point {
+	window := make([]point.Point, 0, 64)
+	var tests int64
+	for _, p := range pts {
+		dominated := false
+		w := window[:0]
+		for i, q := range window {
+			tests++
+			rel := point.Compare(q, p)
+			if rel == point.PDominatesQ { // q dominates p
+				dominated = true
+				w = append(w, window[i:]...)
+				break
+			}
+			if rel == point.QDominatesP { // p dominates q: evict q
+				continue
+			}
+			w = append(w, q)
+		}
+		window = w
+		if !dominated {
+			window = append(window, p)
+		}
+	}
+	tally.AddDominanceTests(tests)
+	return window
+}
+
+// SB sorts the input by the sum of coordinates (a topological order
+// for dominance: a dominator always has a strictly smaller sum) and
+// then performs one filtering pass. After sorting, no later point can
+// dominate an earlier one, so the window only grows — this is the
+// paper's "sort data first, then Block-Nest-Loop" local algorithm.
+func SB(pts []point.Point, tally *metrics.Tally) []point.Point {
+	sorted := make([]point.Point, len(pts))
+	copy(sorted, pts)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return point.SumCoords(sorted[i]) < point.SumCoords(sorted[j])
+	})
+	var out []point.Point
+	var tests int64
+	for _, p := range sorted {
+		dominated := false
+		for _, q := range out {
+			tests++
+			if point.Dominates(q, p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, p)
+		}
+	}
+	tally.AddDominanceTests(tests)
+	return out
+}
+
+// Filter removes from candidates every point dominated by some point
+// in against (exact float tests). It is the primitive mappers use to
+// apply the sample-skyline filter when no index is available.
+func Filter(candidates, against []point.Point, tally *metrics.Tally) []point.Point {
+	var out []point.Point
+	var tests int64
+	for _, p := range candidates {
+		dominated := false
+		for _, q := range against {
+			tests++
+			if point.Dominates(q, p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, p)
+		}
+	}
+	tally.AddDominanceTests(tests)
+	return out
+}

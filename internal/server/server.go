@@ -1,0 +1,250 @@
+// Package server exposes a loaded dataset over HTTP as a small JSON
+// query service — the shape in which a skyline engine is typically
+// consumed by applications:
+//
+//	GET  /healthz            liveness + dataset shape
+//	GET  /skyline            the full skyline
+//	POST /query              {"prefer":[{"attr":"price","dir":"min"},...]}
+//	POST /explain            {"point":[...]} -> dominators of the point
+//	POST /topk               {"k":5,"weights":[...]} -> ranked skyline
+//
+// The handler set is stateless over an immutable dataset + index, so
+// it is safe under concurrent requests.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"zskyline/internal/metrics"
+	"zskyline/internal/point"
+	"zskyline/internal/rank"
+	"zskyline/internal/seq"
+	"zskyline/internal/zbtree"
+	"zskyline/internal/zorder"
+)
+
+// Server answers skyline queries over one relation.
+type Server struct {
+	attrs []string
+	index map[string]int
+	ds    *point.Dataset
+	enc   *zorder.Encoder
+	tree  *zbtree.Tree
+	tally *metrics.Tally
+
+	once sync.Once
+	sky  []point.Point
+}
+
+// New builds a server over a named-attribute dataset.
+func New(attrs []string, ds *point.Dataset, bits int) (*Server, error) {
+	if ds == nil || ds.Len() == 0 {
+		return nil, fmt.Errorf("server: empty dataset")
+	}
+	if len(attrs) != ds.Dims {
+		return nil, fmt.Errorf("server: %d attrs for %d dims", len(attrs), ds.Dims)
+	}
+	idx := map[string]int{}
+	for i, a := range attrs {
+		if a == "" {
+			return nil, fmt.Errorf("server: empty attribute name at %d", i)
+		}
+		if _, dup := idx[a]; dup {
+			return nil, fmt.Errorf("server: duplicate attribute %q", a)
+		}
+		idx[a] = i
+	}
+	if bits <= 0 {
+		bits = 16
+	}
+	mins, maxs, err := ds.Bounds()
+	if err != nil {
+		return nil, err
+	}
+	enc, err := zorder.NewEncoder(ds.Dims, bits, mins, maxs)
+	if err != nil {
+		return nil, err
+	}
+	tally := &metrics.Tally{}
+	return &Server{
+		attrs: attrs,
+		index: idx,
+		ds:    ds,
+		enc:   enc,
+		tree:  zbtree.BuildFromPoints(enc, 0, ds.Points, tally),
+		tally: tally,
+	}, nil
+}
+
+// Handler returns the HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /skyline", s.handleSkyline)
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /explain", s.handleExplain)
+	mux.HandleFunc("POST /topk", s.handleTopK)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"points": s.ds.Len(),
+		"dims":   s.ds.Dims,
+		"attrs":  s.attrs,
+	})
+}
+
+// fullSkyline computes (once) and caches the all-min skyline.
+func (s *Server) fullSkyline() []point.Point {
+	s.once.Do(func() { s.sky = s.tree.Skyline() })
+	return s.sky
+}
+
+func (s *Server) handleSkyline(w http.ResponseWriter, _ *http.Request) {
+	sky := s.fullSkyline()
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(sky), "points": sky})
+}
+
+// queryRequest is the /query body.
+type queryRequest struct {
+	Prefer []struct {
+		Attr string `json:"attr"`
+		Dir  string `json:"dir"`
+	} `json:"prefer"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Prefer) == 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("no preferences"))
+		return
+	}
+	type col struct {
+		idx    int
+		negate bool
+	}
+	var cols []col
+	for _, p := range req.Prefer {
+		i, ok := s.index[p.Attr]
+		if !ok {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown attribute %q", p.Attr))
+			return
+		}
+		switch p.Dir {
+		case "min":
+			cols = append(cols, col{i, false})
+		case "max":
+			cols = append(cols, col{i, true})
+		case "ignore":
+		default:
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("direction %q (want min|max|ignore)", p.Dir))
+			return
+		}
+	}
+	if len(cols) == 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("every attribute ignored"))
+		return
+	}
+	// Project and solve.
+	proj := make([]point.Point, s.ds.Len())
+	for r0, row := range s.ds.Points {
+		p := make(point.Point, len(cols))
+		for k, c := range cols {
+			v := row[c.idx]
+			if c.negate {
+				v = -v
+			}
+			p[k] = v
+		}
+		proj[r0] = p
+	}
+	sky := seq.SB(proj, s.tally)
+	// Map back to rows (duplicates consume matching rows).
+	byKey := map[string][]int{}
+	for i, p := range proj {
+		byKey[p.String()] = append(byKey[p.String()], i)
+	}
+	var rows []int
+	for _, p := range sky {
+		k := p.String()
+		ids := byKey[k]
+		if len(ids) > 0 {
+			rows = append(rows, ids[0])
+			byKey[k] = ids[1:]
+		}
+	}
+	sort.Ints(rows)
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(rows), "rows": rows})
+}
+
+// explainRequest is the /explain body.
+type explainRequest struct {
+	Point []float64 `json:"point"`
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var req explainRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Point) != s.ds.Dims {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("point has %d dims, want %d", len(req.Point), s.ds.Dims))
+		return
+	}
+	e := zbtree.NewEntry(s.enc, point.Point(req.Point))
+	doms := s.tree.DominatorsOf(e.G, e.P)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"dominated":  len(doms) > 0,
+		"dominators": doms,
+	})
+}
+
+// topkRequest is the /topk body.
+type topkRequest struct {
+	K       int       `json:"k"`
+	Weights []float64 `json:"weights"`
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	var req topkRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.K < 1 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("k must be positive"))
+		return
+	}
+	if len(req.Weights) != s.ds.Dims {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("weights have %d dims, want %d", len(req.Weights), s.ds.Dims))
+		return
+	}
+	score, err := rank.WeightedSum(req.Weights)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	top := rank.TopKByScore(s.fullSkyline(), req.K, score)
+	writeJSON(w, http.StatusOK, map[string]any{"results": top})
+}

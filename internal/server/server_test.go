@@ -1,0 +1,156 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"zskyline/internal/gen"
+	"zskyline/internal/point"
+	"zskyline/internal/seq"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server, *point.Dataset) {
+	t.Helper()
+	ds := gen.Synthetic(gen.AntiCorrelated, 1000, 3, 7)
+	s, err := New([]string{"price", "distance", "noise"}, ds, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts, ds
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, map[string]any) {
+	t.Helper()
+	b, _ := json.Marshal(body)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func TestNewValidation(t *testing.T) {
+	ds := gen.Synthetic(gen.Independent, 10, 2, 1)
+	if _, err := New([]string{"a"}, ds, 8); err == nil {
+		t.Error("attr/dims mismatch accepted")
+	}
+	if _, err := New([]string{"a", "a"}, ds, 8); err == nil {
+		t.Error("duplicate attrs accepted")
+	}
+	if _, err := New([]string{"a", ""}, ds, 8); err == nil {
+		t.Error("empty attr accepted")
+	}
+	if _, err := New([]string{"a", "b"}, &point.Dataset{Dims: 2}, 8); err == nil {
+		t.Error("empty dataset accepted")
+	}
+}
+
+func TestHealthAndSkyline(t *testing.T) {
+	_, ts, ds := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var health map[string]any
+	json.NewDecoder(resp.Body).Decode(&health)
+	if health["points"].(float64) != 1000 || health["dims"].(float64) != 3 {
+		t.Errorf("health = %v", health)
+	}
+
+	resp2, err := http.Get(ts.URL + "/skyline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var sky map[string]any
+	json.NewDecoder(resp2.Body).Decode(&sky)
+	want := len(seq.SB(ds.Points, nil))
+	if int(sky["count"].(float64)) != want {
+		t.Errorf("skyline count %v, want %d", sky["count"], want)
+	}
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	_, ts, ds := newTestServer(t)
+	resp, out := postJSON(t, ts.URL+"/query", map[string]any{
+		"prefer": []map[string]string{
+			{"attr": "price", "dir": "min"},
+			{"attr": "distance", "dir": "min"},
+			{"attr": "noise", "dir": "ignore"},
+		},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %v", resp.StatusCode, out)
+	}
+	// Oracle: 2-d subspace skyline size.
+	proj := make([]point.Point, ds.Len())
+	for i, p := range ds.Points {
+		proj[i] = point.Point{p[0], p[1]}
+	}
+	want := len(seq.BruteForce(proj))
+	if int(out["count"].(float64)) != want {
+		t.Errorf("query count %v, want %d", out["count"], want)
+	}
+
+	// Error paths.
+	for _, bad := range []map[string]any{
+		{},
+		{"prefer": []map[string]string{{"attr": "nope", "dir": "min"}}},
+		{"prefer": []map[string]string{{"attr": "price", "dir": "sideways"}}},
+		{"prefer": []map[string]string{{"attr": "price", "dir": "ignore"}}},
+	} {
+		resp, _ := postJSON(t, ts.URL+"/query", bad)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("bad request %v got status %d", bad, resp.StatusCode)
+		}
+	}
+}
+
+func TestExplainEndpoint(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	resp, out := postJSON(t, ts.URL+"/explain", map[string]any{"point": []float64{2, 2, 2}})
+	if resp.StatusCode != http.StatusOK || out["dominated"] != true {
+		t.Errorf("explain worst corner: %d %v", resp.StatusCode, out)
+	}
+	resp, out = postJSON(t, ts.URL+"/explain", map[string]any{"point": []float64{-1, -1, -1}})
+	if resp.StatusCode != http.StatusOK || out["dominated"] != false {
+		t.Errorf("explain best corner: %d %v", resp.StatusCode, out)
+	}
+	resp, _ = postJSON(t, ts.URL+"/explain", map[string]any{"point": []float64{1}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("dim mismatch accepted: %d", resp.StatusCode)
+	}
+}
+
+func TestTopKEndpoint(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	resp, out := postJSON(t, ts.URL+"/topk", map[string]any{"k": 3, "weights": []float64{1, 1, 1}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %v", resp.StatusCode, out)
+	}
+	results := out["results"].([]any)
+	if len(results) != 3 {
+		t.Errorf("topk returned %d", len(results))
+	}
+	for _, bad := range []map[string]any{
+		{"k": 0, "weights": []float64{1, 1, 1}},
+		{"k": 3, "weights": []float64{1}},
+		{"k": 3, "weights": []float64{1, -1, 1}},
+	} {
+		resp, _ := postJSON(t, ts.URL+"/topk", bad)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("bad topk %v got %d", bad, resp.StatusCode)
+		}
+	}
+}

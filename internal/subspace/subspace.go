@@ -1,0 +1,161 @@
+// Package subspace computes subspace skylines and the skycube: the
+// skyline of a dataset restricted to a subset of its dimensions, and
+// the collection of skylines over every non-empty dimension subset.
+// Subspace results are reported as row indices because projections
+// collapse points: rows distinct in full space may coincide in a
+// subspace, and all non-dominated copies belong to the answer.
+package subspace
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
+
+	"zskyline/internal/metrics"
+	"zskyline/internal/point"
+)
+
+// MaxCubeDims bounds SkyCube's dimensionality (2^d - 1 subspaces).
+const MaxCubeDims = 16
+
+// Skyline returns the indices of rows whose projection onto dims is
+// not dominated by any other row's projection, ascending. dims must be
+// non-empty, unique and within range.
+func Skyline(ds *point.Dataset, dims []int, tally *metrics.Tally) ([]int, error) {
+	if ds == nil || ds.Len() == 0 {
+		return nil, nil
+	}
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("subspace: no dimensions selected")
+	}
+	seen := map[int]bool{}
+	for _, d := range dims {
+		if d < 0 || d >= ds.Dims {
+			return nil, fmt.Errorf("subspace: dimension %d out of range [0,%d)", d, ds.Dims)
+		}
+		if seen[d] {
+			return nil, fmt.Errorf("subspace: dimension %d selected twice", d)
+		}
+		seen[d] = true
+	}
+	return skylineIndices(ds, dims, tally), nil
+}
+
+// skylineIndices is the index-tracking sort-filter skyline over the
+// projection (the SB algorithm with provenance).
+func skylineIndices(ds *point.Dataset, dims []int, tally *metrics.Tally) []int {
+	n := ds.Len()
+	order := make([]int, n)
+	sums := make([]float64, n)
+	for i := 0; i < n; i++ {
+		order[i] = i
+		s := 0.0
+		for _, d := range dims {
+			s += ds.Points[i][d]
+		}
+		sums[i] = s
+	}
+	sort.SliceStable(order, func(a, b int) bool { return sums[order[a]] < sums[order[b]] })
+
+	dominates := func(a, b int) bool {
+		strict := false
+		for _, d := range dims {
+			av, bv := ds.Points[a][d], ds.Points[b][d]
+			if av > bv {
+				return false
+			}
+			if av < bv {
+				strict = true
+			}
+		}
+		return strict
+	}
+	var window []int
+	var tests int64
+	for _, i := range order {
+		dominated := false
+		for _, j := range window {
+			tests++
+			if dominates(j, i) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			window = append(window, i)
+		}
+	}
+	tally.AddDominanceTests(tests)
+	sort.Ints(window)
+	return window
+}
+
+// Cube holds one skyline per non-empty dimension subset; keys are
+// bitmasks over the dataset's dimensions (bit d set = dimension d
+// participates).
+type Cube struct {
+	Dims     int
+	Skylines map[uint32][]int
+}
+
+// SkyCube computes every subspace skyline of ds concurrently. It
+// refuses dimensionalities above MaxCubeDims, because 2^d - 1 subspace
+// computations stop being a sane request.
+func SkyCube(ds *point.Dataset, workers int, tally *metrics.Tally) (*Cube, error) {
+	if ds == nil || ds.Len() == 0 {
+		return &Cube{Skylines: map[uint32][]int{}}, nil
+	}
+	if ds.Dims > MaxCubeDims {
+		return nil, fmt.Errorf("subspace: skycube over %d dims (max %d)", ds.Dims, MaxCubeDims)
+	}
+	if workers < 1 {
+		workers = 4
+	}
+	total := uint32(1)<<uint(ds.Dims) - 1
+	cube := &Cube{Dims: ds.Dims, Skylines: make(map[uint32][]int, total)}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for mask := uint32(1); mask <= total; mask++ {
+		mask := mask
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			dims := maskDims(mask)
+			ids := skylineIndices(ds, dims, tally)
+			mu.Lock()
+			cube.Skylines[mask] = ids
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return cube, nil
+}
+
+// maskDims expands a bitmask into dimension indices.
+func maskDims(mask uint32) []int {
+	dims := make([]int, 0, bits.OnesCount32(mask))
+	for d := 0; mask != 0; d++ {
+		if mask&1 != 0 {
+			dims = append(dims, d)
+		}
+		mask >>= 1
+	}
+	return dims
+}
+
+// Of looks up the skyline of the subspace spanned by dims.
+func (c *Cube) Of(dims []int) ([]int, bool) {
+	var mask uint32
+	for _, d := range dims {
+		if d < 0 || d >= c.Dims {
+			return nil, false
+		}
+		mask |= 1 << uint(d)
+	}
+	ids, ok := c.Skylines[mask]
+	return ids, ok
+}

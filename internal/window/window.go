@@ -1,0 +1,142 @@
+// Package window maintains the skyline of the most recent N points of
+// a stream (a count-based sliding window). Unlike package maintain,
+// points expire: an expiring point that was on the skyline may
+// "resurrect" points it had been dominating, so the full window must
+// be retained.
+//
+// The implementation keeps the window in a ring buffer and the current
+// skyline in a ZB-tree. Arrivals update the tree incrementally (the
+// cheap, common case); expiries of non-skyline points are free, while
+// expiry of a skyline point triggers a recompute of the skyline from
+// the live window — the classic lazy strategy, exact at every step and
+// amortized well because most expiring points are not skyline points.
+package window
+
+import (
+	"fmt"
+
+	"zskyline/internal/metrics"
+	"zskyline/internal/point"
+	"zskyline/internal/zbtree"
+	"zskyline/internal/zorder"
+)
+
+// Skyline is a sliding-window skyline maintainer. Not safe for
+// concurrent use; wrap with a mutex if shared.
+type Skyline struct {
+	enc      *zorder.Encoder
+	capacity int
+	ring     []point.Point
+	head     int // index of the oldest point
+	size     int
+	sky      *zbtree.Tree
+	tally    *metrics.Tally
+	// dirty marks that the tree must be rebuilt from the ring before
+	// the next read (set when a skyline point expired).
+	dirty bool
+}
+
+// New creates a window of the given capacity for dims-dimensional
+// points over [mins, maxs].
+func New(capacity, dims, bits int, mins, maxs []float64) (*Skyline, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("window: capacity must be positive, got %d", capacity)
+	}
+	enc, err := zorder.NewEncoder(dims, bits, mins, maxs)
+	if err != nil {
+		return nil, err
+	}
+	tally := &metrics.Tally{}
+	return &Skyline{
+		enc:      enc,
+		capacity: capacity,
+		ring:     make([]point.Point, capacity),
+		sky:      zbtree.New(enc, 0, tally),
+		tally:    tally,
+	}, nil
+}
+
+// NewUnit creates a window over the unit hypercube.
+func NewUnit(capacity, dims, bits int) (*Skyline, error) {
+	mins := make([]float64, dims)
+	maxs := make([]float64, dims)
+	for i := range maxs {
+		maxs[i] = 1
+	}
+	return New(capacity, dims, bits, mins, maxs)
+}
+
+// Len returns the number of live points in the window.
+func (w *Skyline) Len() int { return w.size }
+
+// Push appends p to the stream, expiring the oldest point if the
+// window is full. It returns whether p is currently a skyline point.
+func (w *Skyline) Push(p point.Point) (bool, error) {
+	if len(p) != w.enc.Dims() {
+		return false, fmt.Errorf("window: point has %d dims, want %d", len(p), w.enc.Dims())
+	}
+	// Expire the oldest point first.
+	if w.size == w.capacity {
+		old := w.ring[w.head]
+		w.ring[w.head] = nil
+		w.head = (w.head + 1) % w.capacity
+		w.size--
+		if !w.dirty && w.contains(old) {
+			// A skyline point left the window: lazily rebuild.
+			w.dirty = true
+		}
+	}
+	w.ring[(w.head+w.size)%w.capacity] = p
+	w.size++
+
+	e := zbtree.NewEntry(w.enc, p)
+	if w.dirty {
+		// The rebuild recomputes the exact skyline of the live window,
+		// which already includes p — do not insert it a second time.
+		w.rebuild()
+		return !w.sky.DominatesPoint(e.G, e.P), nil
+	}
+	// Incremental arrival: if p is dominated by the current skyline it
+	// changes nothing; otherwise it evicts what it dominates and joins.
+	if w.sky.DominatesPoint(e.G, e.P) {
+		return false, nil
+	}
+	w.sky.RemoveDominatedBy(e.G, e.P)
+	// Rebuild-and-insert keeps the tree balanced and sidesteps the
+	// append-only Z-order restriction for out-of-order arrivals.
+	entries := append(w.sky.Entries(), e)
+	w.sky = zbtree.Build(w.enc, 0, entries, w.tally)
+	return true, nil
+}
+
+// contains reports whether the current skyline holds a point with
+// exactly p's coordinates.
+func (w *Skyline) contains(p point.Point) bool {
+	for _, q := range w.sky.Points() {
+		if q.Equal(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// rebuild recomputes the skyline from the live window.
+func (w *Skyline) rebuild() {
+	live := make([]point.Point, 0, w.size)
+	for i := 0; i < w.size; i++ {
+		live = append(live, w.ring[(w.head+i)%w.capacity])
+	}
+	w.sky = zbtree.BuildFromPoints(w.enc, 0, live, w.tally).SkylineTree()
+	w.dirty = false
+}
+
+// Current returns the skyline of the live window.
+func (w *Skyline) Current() []point.Point {
+	if w.dirty {
+		w.rebuild()
+	}
+	return w.sky.Points()
+}
+
+// Stats exposes the accumulated test counters.
+func (w *Skyline) Stats() metrics.Snapshot { return w.tally.Snapshot() }

@@ -1,0 +1,4 @@
+package zbtree
+
+// Validate exposes the structural invariant checker to tests.
+func (t *Tree) Validate() error { return t.validate() }

@@ -1,0 +1,141 @@
+package zbtree
+
+import (
+	"context"
+
+	"zskyline/internal/point"
+	"zskyline/internal/zorder"
+)
+
+// SkylineProgressive streams skyline points as Z-search discovers
+// them, for first-results-fast consumers. Emission is deferred until
+// the traversal's Z-address moves strictly past a point's own address:
+// a point can only ever be evicted by an equal-address tie, so every
+// emitted point is final. The channel closes when the traversal
+// completes or ctx is cancelled.
+func (t *Tree) SkylineProgressive(ctx context.Context) <-chan point.Point {
+	out := make(chan point.Point)
+	go func() {
+		defer close(out)
+		sky := New(t.enc, t.fanout, t.tally)
+		var pending []Entry // accepted entries sharing the current address
+		flush := func() bool {
+			for _, e := range pending {
+				select {
+				case out <- e.P:
+				case <-ctx.Done():
+					return false
+				}
+			}
+			pending = pending[:0]
+			return true
+		}
+		ok := t.progressive(ctx, t.root, sky, &pending, flush)
+		if ok {
+			flush()
+		}
+	}()
+	return out
+}
+
+func (t *Tree) progressive(ctx context.Context, n *node, sky *Tree, pending *[]Entry, flush func() bool) bool {
+	if n == nil {
+		return true
+	}
+	select {
+	case <-ctx.Done():
+		return false
+	default:
+	}
+	if sky.DominatesAllOfRegion(n.region) {
+		return true
+	}
+	if !n.isLeaf() {
+		for _, c := range n.children {
+			if !t.progressive(ctx, c, sky, pending, flush) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, e := range n.entries {
+		// The traversal's address advanced: everything pending is
+		// final and can be streamed out.
+		if len(*pending) > 0 && zorder.Compare((*pending)[0].Z, e.Z) < 0 {
+			if !flush() {
+				return false
+			}
+		}
+		if sky.DominatesPoint(e.G, e.P) {
+			continue
+		}
+		if sky.RemoveDominatedBy(e.G, e.P) > 0 {
+			// Ties: drop evicted entries from the pending buffer too.
+			kept := (*pending)[:0]
+			for _, pe := range *pending {
+				if !point.Dominates(e.P, pe.P) {
+					kept = append(kept, pe)
+				}
+			}
+			*pending = kept
+		}
+		sky.Append(e)
+		*pending = append(*pending, e)
+	}
+	return true
+}
+
+// RangeQuery returns every stored point p with lo <= p <= hi
+// componentwise, pruning subtrees whose region cannot intersect the
+// box.
+func (t *Tree) RangeQuery(lo, hi point.Point) []point.Point {
+	gLo := t.enc.Grid(lo)
+	gHi := t.enc.Grid(hi)
+	var out []point.Point
+	t.rangeQuery(t.root, gLo, gHi, lo, hi, &out)
+	return out
+}
+
+func (t *Tree) rangeQuery(n *node, gLo, gHi []uint32, lo, hi point.Point, out *[]point.Point) {
+	if n == nil {
+		return
+	}
+	t.tally.AddRegionTests(1)
+	// Conservative disjointness: some dimension of the node's region
+	// lies entirely outside the box's grid shadow.
+	for k := range gLo {
+		if n.region.MinG[k] > gHi[k] || n.region.MaxG[k] < gLo[k] {
+			return
+		}
+	}
+	if n.isLeaf() {
+		for _, e := range n.entries {
+			if inBox(e.P, lo, hi) {
+				*out = append(*out, e.P)
+			}
+		}
+		return
+	}
+	for _, c := range n.children {
+		t.rangeQuery(c, gLo, gHi, lo, hi, out)
+	}
+}
+
+func inBox(p, lo, hi point.Point) bool {
+	for k := range p {
+		if p[k] < lo[k] || p[k] > hi[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// SkylineWithin computes the constrained skyline: the skyline of the
+// stored points that fall inside the box [lo, hi]. Constraints change
+// the answer fundamentally (points dominated by out-of-box points can
+// re-enter), so this is a range query followed by a Z-search over the
+// survivors.
+func (t *Tree) SkylineWithin(lo, hi point.Point) []point.Point {
+	pts := t.RangeQuery(lo, hi)
+	return BuildFromPoints(t.enc, t.fanout, pts, t.tally).Skyline()
+}

@@ -1,0 +1,458 @@
+package zbtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"zskyline/internal/metrics"
+	"zskyline/internal/point"
+	"zskyline/internal/seq"
+	"zskyline/internal/zorder"
+)
+
+func unitEnc(t testing.TB, dims, bits int) *zorder.Encoder {
+	t.Helper()
+	e, err := zorder.NewUnitEncoder(dims, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func randPts(r *rand.Rand, n, d, domain int) []point.Point {
+	pts := make([]point.Point, n)
+	for i := range pts {
+		p := make(point.Point, d)
+		for k := range p {
+			if domain > 0 {
+				p[k] = float64(r.Intn(domain)) / float64(domain)
+			} else {
+				p[k] = r.Float64()
+			}
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func sameSet(t *testing.T, got, want []point.Point, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d points, want %d", label, len(got), len(want))
+	}
+	g := append([]point.Point(nil), got...)
+	w := append([]point.Point(nil), want...)
+	point.SortLexicographic(g)
+	point.SortLexicographic(w)
+	for i := range g {
+		if !g[i].Equal(w[i]) {
+			t.Fatalf("%s: [%d] = %v, want %v", label, i, g[i], w[i])
+		}
+	}
+}
+
+func TestBuildEmptyAndSmall(t *testing.T) {
+	enc := unitEnc(t, 2, 8)
+	tr := Build(enc, 4, nil, nil)
+	if !tr.Empty() || tr.Len() != 0 || tr.Height() != 0 {
+		t.Errorf("empty tree: len=%d h=%d", tr.Len(), tr.Height())
+	}
+	tr = BuildFromPoints(enc, 4, []point.Point{{0.5, 0.5}}, nil)
+	if tr.Len() != 1 || tr.Height() != 1 {
+		t.Errorf("singleton: len=%d h=%d", tr.Len(), tr.Height())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 3, 4, 5, 16, 17, 64, 100, 257, 1000} {
+		for _, fanout := range []int{2, 3, 4, 16} {
+			enc := unitEnc(t, 3, 10)
+			tr := BuildFromPoints(enc, fanout, randPts(rng, n, 3, 0), nil)
+			if tr.Len() != n {
+				t.Fatalf("n=%d fanout=%d: Len=%d", n, fanout, tr.Len())
+			}
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("n=%d fanout=%d: %v", n, fanout, err)
+			}
+		}
+	}
+}
+
+func TestEntriesAreZSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	enc := unitEnc(t, 4, 8)
+	tr := BuildFromPoints(enc, 8, randPts(rng, 500, 4, 0), nil)
+	es := tr.Entries()
+	if len(es) != 500 {
+		t.Fatalf("Entries len = %d", len(es))
+	}
+	for i := 1; i < len(es); i++ {
+		if zorder.Compare(es[i-1].Z, es[i].Z) > 0 {
+			t.Fatalf("entries out of Z-order at %d", i)
+		}
+	}
+}
+
+func TestAppendMatchesBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	enc := unitEnc(t, 3, 8)
+	for _, n := range []int{1, 2, 7, 33, 200, 1025} {
+		pts := randPts(rng, n, 3, 0)
+		entries := make([]Entry, n)
+		for i, p := range pts {
+			entries[i] = NewEntry(enc, p)
+		}
+		sort.SliceStable(entries, func(i, j int) bool { return zorder.Compare(entries[i].Z, entries[j].Z) < 0 })
+		tr := New(enc, 4, nil)
+		for _, e := range entries {
+			tr.Append(e)
+		}
+		if tr.Len() != n {
+			t.Fatalf("append n=%d: Len=%d", n, tr.Len())
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("append n=%d: %v", n, err)
+		}
+		got := tr.Points()
+		want := Build(enc, 4, entries, nil).Points()
+		for i := range want {
+			if !got[i].Equal(want[i]) {
+				t.Fatalf("append vs build mismatch at %d", i)
+			}
+		}
+	}
+}
+
+func TestAppendOutOfOrderPanics(t *testing.T) {
+	enc := unitEnc(t, 2, 8)
+	tr := New(enc, 4, nil)
+	tr.Append(NewEntry(enc, point.Point{0.9, 0.9}))
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-order Append did not panic")
+		}
+	}()
+	tr.Append(NewEntry(enc, point.Point{0.1, 0.1}))
+}
+
+func TestDominatesPoint(t *testing.T) {
+	enc := unitEnc(t, 2, 8)
+	tr := BuildFromPoints(enc, 4, []point.Point{{0.5, 0.5}, {0.1, 0.9}}, nil)
+	cases := []struct {
+		p    point.Point
+		want bool
+	}{
+		{point.Point{0.6, 0.6}, true},  // dominated by (0.5,0.5)
+		{point.Point{0.5, 0.5}, false}, // equal, not dominated
+		{point.Point{0.4, 0.4}, false}, // dominates the tree point
+		{point.Point{0.2, 0.95}, true}, // dominated by (0.1,0.9)
+		{point.Point{0.05, 0.05}, false},
+	}
+	for _, c := range cases {
+		e := NewEntry(enc, c.p)
+		if got := tr.DominatesPoint(e.G, e.P); got != c.want {
+			t.Errorf("DominatesPoint(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+// Property: DominatesPoint agrees with a linear scan.
+func TestDominatesPointAgreesWithScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 60; iter++ {
+		d := 1 + rng.Intn(5)
+		enc := unitEnc(t, d, 6) // coarse grid: exercise tie handling
+		pts := randPts(rng, 150, d, 8)
+		tr := BuildFromPoints(enc, 4, pts, nil)
+		for probe := 0; probe < 30; probe++ {
+			q := randPts(rng, 1, d, 8)[0]
+			want := false
+			for _, p := range pts {
+				if point.Dominates(p, q) {
+					want = true
+					break
+				}
+			}
+			e := NewEntry(enc, q)
+			if got := tr.DominatesPoint(e.G, e.P); got != want {
+				t.Fatalf("DominatesPoint(%v) = %v, want %v", q, got, want)
+			}
+		}
+	}
+}
+
+// Property: RemoveDominatedBy removes exactly the dominated points.
+func TestRemoveDominatedBy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 60; iter++ {
+		d := 1 + rng.Intn(4)
+		enc := unitEnc(t, d, 6)
+		pts := randPts(rng, 120, d, 6)
+		tr := BuildFromPoints(enc, 4, pts, nil)
+		q := randPts(rng, 1, d, 6)[0]
+		var want []point.Point
+		wantRemoved := 0
+		for _, p := range pts {
+			if point.Dominates(q, p) {
+				wantRemoved++
+			} else {
+				want = append(want, p)
+			}
+		}
+		e := NewEntry(enc, q)
+		got := tr.RemoveDominatedBy(e.G, e.P)
+		if got != wantRemoved {
+			t.Fatalf("removed %d, want %d", got, wantRemoved)
+		}
+		sameSet(t, tr.Points(), want, "survivors")
+		if tr.Len() != len(want) {
+			t.Fatalf("Len=%d want %d", tr.Len(), len(want))
+		}
+	}
+}
+
+func TestRemoveAllThenEmpty(t *testing.T) {
+	enc := unitEnc(t, 2, 8)
+	tr := BuildFromPoints(enc, 2, []point.Point{{0.5, 0.5}, {0.6, 0.6}, {0.9, 0.9}}, nil)
+	e := NewEntry(enc, point.Point{0.01, 0.01})
+	if got := tr.RemoveDominatedBy(e.G, e.P); got != 3 {
+		t.Fatalf("removed %d, want 3", got)
+	}
+	if !tr.Empty() {
+		t.Error("tree should be empty")
+	}
+}
+
+func TestDominatesAllOfRegion(t *testing.T) {
+	enc := unitEnc(t, 2, 8)
+	tr := BuildFromPoints(enc, 4, []point.Point{{0.1, 0.1}}, nil)
+	// Region well above the point.
+	lo := NewEntry(enc, point.Point{0.5, 0.5})
+	hi := NewEntry(enc, point.Point{0.6, 0.6})
+	r := enc.RegionOf(lo.Z, hi.Z)
+	if !tr.DominatesAllOfRegion(r) {
+		t.Error("point should dominate the whole region")
+	}
+	// Region containing the point itself can never be fully dominated.
+	r2 := enc.RegionOf(NewEntry(enc, point.Point{0, 0}).Z, hi.Z)
+	if tr.DominatesAllOfRegion(r2) {
+		t.Error("region containing the dominator cannot be fully dominated")
+	}
+}
+
+func TestSkylineMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 80; iter++ {
+		d := 1 + rng.Intn(6)
+		bits := []int{4, 8, 16}[rng.Intn(3)]
+		n := rng.Intn(300)
+		domain := 0
+		if iter%3 == 0 {
+			domain = 2 + rng.Intn(8) // tie-heavy
+		}
+		enc := unitEnc(t, d, bits)
+		pts := randPts(rng, n, d, domain)
+		want := seq.BruteForce(pts)
+		got := ZSearch(enc, 4+rng.Intn(12), pts, nil)
+		sameSet(t, got, want, "zsearch")
+	}
+}
+
+func TestSkylineAntiChain(t *testing.T) {
+	enc := unitEnc(t, 2, 16)
+	var pts []point.Point
+	for i := 0; i < 64; i++ {
+		pts = append(pts, point.Point{float64(i) / 64, float64(63-i) / 64})
+	}
+	got := ZSearch(enc, 8, pts, nil)
+	if len(got) != 64 {
+		t.Fatalf("anti-chain skyline = %d, want 64", len(got))
+	}
+}
+
+func TestSkylineDuplicates(t *testing.T) {
+	enc := unitEnc(t, 2, 8)
+	pts := []point.Point{{0.3, 0.3}, {0.3, 0.3}, {0.7, 0.7}}
+	got := ZSearch(enc, 4, pts, nil)
+	if len(got) != 2 {
+		t.Fatalf("duplicates: skyline = %v, want both copies of (0.3,0.3)", got)
+	}
+}
+
+func TestSkylineTreeValidatesAndMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	enc := unitEnc(t, 4, 10)
+	pts := randPts(rng, 400, 4, 0)
+	tr := BuildFromPoints(enc, 8, pts, nil)
+	skyTree := tr.SkylineTree()
+	if err := skyTree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sameSet(t, skyTree.Points(), seq.BruteForce(pts), "skyline tree")
+}
+
+func TestMergeTwoSkylines(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 60; iter++ {
+		d := 1 + rng.Intn(5)
+		enc := unitEnc(t, d, 8)
+		a := randPts(rng, 100+rng.Intn(100), d, 0)
+		b := randPts(rng, 100+rng.Intn(100), d, 0)
+		skyA := BuildFromPoints(enc, 8, seq.BruteForce(a), nil)
+		skyB := BuildFromPoints(enc, 8, seq.BruteForce(b), nil)
+		merged := Merge(skyA, skyB)
+		if err := merged.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		want := seq.BruteForce(append(append([]point.Point{}, a...), b...))
+		sameSet(t, merged.Points(), want, "merge")
+	}
+}
+
+func TestMergeWithEmpty(t *testing.T) {
+	enc := unitEnc(t, 2, 8)
+	empty := New(enc, 4, nil)
+	sky := BuildFromPoints(enc, 4, []point.Point{{0.1, 0.9}, {0.9, 0.1}}, nil)
+	if got := Merge(empty, sky); got.Len() != 2 {
+		t.Errorf("merge(empty, sky) len = %d", got.Len())
+	}
+	if got := Merge(sky, empty); got.Len() != 2 {
+		t.Errorf("merge(sky, empty) len = %d", got.Len())
+	}
+}
+
+func TestMergeDisjointIncomparableSets(t *testing.T) {
+	// Two anti-chain halves that are mutually incomparable: stash path.
+	enc := unitEnc(t, 2, 10)
+	var a, b []point.Point
+	for i := 0; i < 20; i++ {
+		a = append(a, point.Point{float64(i) / 100, float64(40-i) / 100})
+		b = append(b, point.Point{float64(60+i) / 100, float64(20-i) / 1000})
+	}
+	skyA := BuildFromPoints(enc, 4, seq.BruteForce(a), nil)
+	skyB := BuildFromPoints(enc, 4, seq.BruteForce(b), nil)
+	merged := Merge(skyA, skyB)
+	want := seq.BruteForce(append(append([]point.Point{}, a...), b...))
+	sameSet(t, merged.Points(), want, "disjoint merge")
+}
+
+func TestMergeAllManyGroups(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for iter := 0; iter < 20; iter++ {
+		d := 2 + rng.Intn(4)
+		enc := unitEnc(t, d, 8)
+		var all []point.Point
+		var trees []*Tree
+		groups := 2 + rng.Intn(6)
+		for g := 0; g < groups; g++ {
+			pts := randPts(rng, 50+rng.Intn(100), d, 0)
+			all = append(all, pts...)
+			trees = append(trees, BuildFromPoints(enc, 8, seq.BruteForce(pts), nil))
+		}
+		merged := MergeAll(enc, 8, trees, nil)
+		sameSet(t, merged.Points(), seq.BruteForce(all), "merge-all")
+	}
+}
+
+func TestTallyCountsRegionTests(t *testing.T) {
+	tal := &metrics.Tally{}
+	rng := rand.New(rand.NewSource(23))
+	enc := unitEnc(t, 5, 10)
+	ZSearch(enc, 8, randPts(rng, 500, 5, 0), tal)
+	s := tal.Snapshot()
+	if s.RegionTests == 0 || s.DominanceTests == 0 {
+		t.Errorf("tally = %+v, want nonzero region and dominance tests", s)
+	}
+}
+
+// Z-merge should do far fewer point dominance tests than recomputing
+// the union skyline with SB when the sets are large and incomparable.
+func TestMergeCheaperThanRecompute(t *testing.T) {
+	enc := unitEnc(t, 2, 16)
+	var a, b []point.Point
+	for i := 0; i < 400; i++ {
+		a = append(a, point.Point{float64(i) / 1000, float64(999-i) / 1000})
+		b = append(b, point.Point{float64(500+i/2) / 1000, float64(400-i) / 1000})
+	}
+	talM := &metrics.Tally{}
+	skyA := BuildFromPoints(enc, 16, seq.BruteForce(a), talM)
+	skyB := BuildFromPoints(enc, 16, seq.BruteForce(b), talM)
+	Merge(skyA, skyB)
+	talS := &metrics.Tally{}
+	seq.SB(append(append([]point.Point{}, a...), b...), talS)
+	if talM.Snapshot().DominanceTests >= talS.Snapshot().DominanceTests {
+		t.Errorf("Z-merge used %d point tests vs SB %d; expected fewer",
+			talM.Snapshot().DominanceTests, talS.Snapshot().DominanceTests)
+	}
+}
+
+func BenchmarkZSearch5k5d(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	enc := unitEnc(b, 5, 16)
+	pts := randPts(rng, 5000, 5, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ZSearch(enc, 16, pts, nil)
+	}
+}
+
+func BenchmarkMergeAnti(b *testing.B) {
+	enc := unitEnc(b, 2, 16)
+	var a2, b2 []point.Point
+	for i := 0; i < 2000; i++ {
+		a2 = append(a2, point.Point{float64(i) / 4000, float64(3999-i) / 4000})
+		b2 = append(b2, point.Point{float64(2000+i) / 4000, float64(1999-i) / 4000})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		skyA := BuildFromPoints(enc, 16, a2, nil)
+		skyB := BuildFromPoints(enc, 16, b2, nil)
+		Merge(skyA, skyB)
+	}
+}
+
+func TestDominatorsOf(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for iter := 0; iter < 40; iter++ {
+		d := 2 + rng.Intn(3)
+		enc := unitEnc(t, d, 8)
+		pts := randPts(rng, 200, d, 6)
+		tr := BuildFromPoints(enc, 8, pts, nil)
+		q := randPts(rng, 1, d, 6)[0]
+		var want []point.Point
+		for _, p := range pts {
+			if point.Dominates(p, q) {
+				want = append(want, p)
+			}
+		}
+		e := NewEntry(enc, q)
+		got := tr.DominatorsOf(e.G, e.P)
+		sameSet(t, got, want, "dominators")
+	}
+}
+
+func TestCountDominatedByMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	for iter := 0; iter < 40; iter++ {
+		d := 2 + rng.Intn(3)
+		enc := unitEnc(t, d, 8)
+		pts := randPts(rng, 200, d, 6)
+		tr := BuildFromPoints(enc, 8, pts, nil)
+		q := randPts(rng, 1, d, 6)[0]
+		want := 0
+		for _, p := range pts {
+			if point.Dominates(q, p) {
+				want++
+			}
+		}
+		e := NewEntry(enc, q)
+		if got := tr.CountDominatedBy(e.G, e.P); got != want {
+			t.Fatalf("count = %d, want %d", got, want)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package zbtree
+
+import (
+	"zskyline/internal/metrics"
+	"zskyline/internal/point"
+	"zskyline/internal/zorder"
+)
+
+// Skyline runs Z-search over the tree: a depth-first traversal in
+// Z-order that maintains the running skyline in a second ZB-tree.
+// Because Z-order is a topological order for dominance (a dominator's
+// Z-address is never larger than its dominatee's), each point only
+// needs to be tested against already-accepted points; the only
+// exception is grid-level ties, which the per-acceptance
+// RemoveDominatedBy sweep repairs. The result is the exact skyline of
+// the stored float points.
+func (t *Tree) Skyline() []point.Point {
+	sky := New(t.enc, t.fanout, t.tally)
+	t.zsearch(t.root, sky)
+	return sky.Points()
+}
+
+func (t *Tree) zsearch(n *node, sky *Tree) {
+	if n == nil {
+		return
+	}
+	if sky.DominatesAllOfRegion(n.region) {
+		return
+	}
+	if n.isLeaf() {
+		for _, e := range n.entries {
+			if sky.DominatesPoint(e.G, e.P) {
+				continue
+			}
+			sky.RemoveDominatedBy(e.G, e.P)
+			sky.Append(e)
+		}
+		return
+	}
+	for _, c := range n.children {
+		t.zsearch(c, sky)
+	}
+}
+
+// SkylineTree is Skyline but returns the result as a fresh balanced
+// ZB-tree, which is what the merge phase consumes.
+func (t *Tree) SkylineTree() *Tree {
+	sky := New(t.enc, t.fanout, t.tally)
+	t.zsearch(t.root, sky)
+	return Build(t.enc, t.fanout, sky.Entries(), t.tally)
+}
+
+// ZSearch is the convenience entry point for the "ZS" algorithm of the
+// paper's evaluation: index pts into a ZB-tree and compute the skyline.
+func ZSearch(enc *zorder.Encoder, fanout int, pts []point.Point, tally *metrics.Tally) []point.Point {
+	return BuildFromPoints(enc, fanout, pts, tally).Skyline()
+}
+
+// Merge implements Z-merge (Algorithm 4): it merges the skyline tree
+// src ("new coming data points") into sky ("the existing skyline set")
+// and returns a freshly balanced tree holding the skyline of the union.
+//
+// Precondition: each input tree individually holds a set of mutually
+// non-dominated points (a skyline candidate set), which is exactly
+// what phase 2 of the pipeline produces. The traversal is BFS over
+// src; whole src branches are discarded when an existing skyline point
+// dominates their RZ-region, appended wholesale when they are
+// incomparable with the skyline tree, and opened otherwise. Surviving
+// leaf points prune dominated sky entries (the UDominate step) before
+// the final rebalance.
+func Merge(sky, src *Tree) *Tree {
+	if src.Empty() {
+		return sky
+	}
+	if sky.Empty() {
+		return src
+	}
+	enc, fanout, tally := sky.enc, sky.fanout, sky.tally
+	var stash []Entry
+	var survivors []Entry
+	queue := []*node{src.root}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if sky.DominatesAllOfRegion(n.region) {
+			continue
+		}
+		if sky.incomparableWith(sky.root, n.region, 2) {
+			collectEntries(n, &stash)
+			continue
+		}
+		if !n.isLeaf() {
+			queue = append(queue, n.children...)
+			continue
+		}
+		for _, e := range n.entries {
+			if sky.DominatesPoint(e.G, e.P) {
+				continue
+			}
+			sky.RemoveDominatedBy(e.G, e.P)
+			survivors = append(survivors, e)
+		}
+	}
+	all := sky.Entries()
+	all = append(all, survivors...)
+	all = append(all, stash...)
+	return Build(enc, fanout, all, tally)
+}
+
+// incomparableWith reports (conservatively, descending at most depth
+// levels) that no point under skyN and no float point in region r can
+// dominate one another, so a whole src branch can be stashed without
+// opening it — the fast path that gives Z-merge its speed.
+func (t *Tree) incomparableWith(skyN *node, r zorder.Region, depth int) bool {
+	if skyN == nil {
+		return false
+	}
+	t.tally.AddRegionTests(1)
+	if zorder.RegionsIncomparable(skyN.region, r) {
+		return true
+	}
+	if depth == 0 || skyN.isLeaf() {
+		return false
+	}
+	for _, c := range skyN.children {
+		if !t.incomparableWith(c, r, depth-1) {
+			return false
+		}
+	}
+	return true
+}
+
+func collectEntries(n *node, out *[]Entry) {
+	if n.isLeaf() {
+		*out = append(*out, n.entries...)
+		return
+	}
+	for _, c := range n.children {
+		collectEntries(c, out)
+	}
+}
+
+// MergeAll left-folds Merge over a list of candidate trees, returning
+// the skyline tree of their union. Empty input yields an empty tree
+// built on enc.
+func MergeAll(enc *zorder.Encoder, fanout int, trees []*Tree, tally *metrics.Tally) *Tree {
+	acc := New(enc, fanout, tally)
+	for _, t := range trees {
+		acc = Merge(acc, t)
+	}
+	return acc
+}

@@ -1,0 +1,52 @@
+package zorder
+
+import (
+	"testing"
+)
+
+// FuzzEncodeDecode: every grid coordinate vector must roundtrip, and
+// monotonicity must hold under arbitrary fuzz-chosen inputs.
+func FuzzEncodeDecode(f *testing.F) {
+	f.Add(uint16(3), uint16(7), uint32(5), uint32(9))
+	f.Fuzz(func(t *testing.T, dRaw, bitsRaw uint16, a, b uint32) {
+		dims := int(dRaw%12) + 1
+		bits := int(bitsRaw%MaxBits) + 1
+		enc, err := NewUnitEncoder(dims, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ga := make([]uint32, dims)
+		gb := make([]uint32, dims)
+		for i := range ga {
+			ga[i] = (a + uint32(i)*2654435761) & enc.MaxGrid()
+			gb[i] = (b + uint32(i)*40503) & enc.MaxGrid()
+		}
+		if got := enc.DecodeGrid(enc.EncodeGrid(ga)); !equalU32(got, ga) {
+			t.Fatalf("roundtrip %v -> %v", ga, got)
+		}
+		// Monotonicity: componentwise min encodes <= both.
+		lo := make([]uint32, dims)
+		for i := range lo {
+			lo[i] = ga[i]
+			if gb[i] < lo[i] {
+				lo[i] = gb[i]
+			}
+		}
+		zlo := enc.EncodeGrid(lo)
+		if Compare(zlo, enc.EncodeGrid(ga)) > 0 || Compare(zlo, enc.EncodeGrid(gb)) > 0 {
+			t.Fatalf("monotonicity violated: lo=%v a=%v b=%v", lo, ga, gb)
+		}
+	})
+}
+
+func equalU32(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,66 @@
+package zskyline
+
+import (
+	"context"
+	"testing"
+)
+
+func TestFacadeSkyline(t *testing.T) {
+	ds := Generate(AntiCorrelated, 2000, 4, 7)
+	sky, err := Skyline(context.Background(), ds.Dims, ds.Points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := SequentialSkyline(ds.Points)
+	if len(sky) != len(want) {
+		t.Fatalf("facade skyline %d points, want %d", len(sky), len(want))
+	}
+}
+
+func TestFacadeEngine(t *testing.T) {
+	cfg := Defaults()
+	cfg.M = 8
+	cfg.SampleRatio = 0.05
+	cfg.Strategy = ZHG
+	cfg.Local = SB
+	cfg.Merge = MergeZS
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := Generate(Independent, 3000, 5, 9)
+	sky, rep, err := eng.Skyline(context.Background(), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SkylineSize != len(sky) || rep.Candidates < len(sky) {
+		t.Errorf("report inconsistent: %d/%d/%d", rep.SkylineSize, len(sky), rep.Candidates)
+	}
+}
+
+func TestFacadeGPMRS(t *testing.T) {
+	ds := Generate(Independent, 2000, 4, 11)
+	sky, rep, err := GPMRSSkyline(context.Background(), ds, GPMRSConfig{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := SequentialSkyline(ds.Points)
+	if len(sky) != len(want) {
+		t.Fatalf("gpmrs %d points, want %d", len(sky), len(want))
+	}
+	if rep.Candidates == 0 {
+		t.Error("empty gpmrs report")
+	}
+}
+
+func TestFacadeValidation(t *testing.T) {
+	if _, err := NewDataset(2, []Point{{1}}); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+	if !Dominates(Point{1, 1}, Point{2, 2}) {
+		t.Error("Dominates broken")
+	}
+	if _, err := Skyline(context.Background(), 0, nil); err == nil {
+		t.Error("invalid dims accepted")
+	}
+}
