@@ -165,7 +165,13 @@ type ParallelOptions = parallel.Options
 // parallel Z-merge reduction. The lightweight choice when the input
 // already fits in memory on one machine.
 func ParallelSkyline(ds *Dataset, opts ParallelOptions) ([]Point, error) {
-	return parallel.Skyline(ds, opts)
+	return parallel.Skyline(context.Background(), ds, opts)
+}
+
+// ParallelSkylineContext is ParallelSkyline honoring ctx: cancellation
+// is checked between merge rounds, matching the other substrates.
+func ParallelSkylineContext(ctx context.Context, ds *Dataset, opts ParallelOptions) ([]Point, error) {
+	return parallel.Skyline(ctx, ds, opts)
 }
 
 // --- Subspace skylines & skycube ---

@@ -1,5 +1,8 @@
-// Package core wires the paper's three-phase parallel skyline pipeline
-// (Figure 5) on top of the library's substrates:
+// Package core runs the paper's three-phase parallel skyline pipeline
+// (Figure 5) on the in-process MapReduce simulator. The phase logic
+// itself — rule learning, mapper filter/routing, local skylines, and
+// candidate merging — lives once in internal/plan; core contributes
+// the executor that schedules those phases as simulator jobs:
 //
 //	Phase 1  (§5.1)  master-side preprocessing: reservoir sample, learn
 //	                 the partitioning rule (Grid / Angle / Random /
@@ -23,104 +26,56 @@ import (
 	"fmt"
 	"time"
 
-	"zskyline/internal/grouping"
 	"zskyline/internal/mapreduce"
 	"zskyline/internal/metrics"
-	"zskyline/internal/partition"
+	"zskyline/internal/plan"
 	"zskyline/internal/point"
-	"zskyline/internal/sample"
-	"zskyline/internal/seq"
 	"zskyline/internal/zbtree"
-	"zskyline/internal/zorder"
 )
 
 // Strategy selects the partitioning/grouping scheme of phase 1.
-type Strategy int
+type Strategy = plan.Strategy
 
 // The partitioning strategies of the paper's evaluation (§6.1).
 const (
 	// Grid is classic equal-width grid partitioning [9][11].
-	Grid Strategy = iota
+	Grid = plan.Grid
 	// Angle is angle-based partitioning [8].
-	Angle
+	Angle = plan.Angle
 	// Random is hash partitioning [18].
-	Random
+	Random = plan.Random
 	// NaiveZ is plain Z-order equal-frequency partitioning (§4.1).
-	NaiveZ
+	NaiveZ = plan.NaiveZ
 	// ZHG is Z-order partitioning plus Heuristic Grouping (§4.2).
-	ZHG
+	ZHG = plan.ZHG
 	// ZDG is Z-order partitioning plus Dominance-based Grouping (§4.3),
 	// the paper's headline strategy.
-	ZDG
+	ZDG = plan.ZDG
 )
 
-// String names the strategy as the paper does.
-func (s Strategy) String() string {
-	switch s {
-	case Grid:
-		return "Grid"
-	case Angle:
-		return "Angle"
-	case Random:
-		return "Random"
-	case NaiveZ:
-		return "Naive-Z"
-	case ZHG:
-		return "ZHG"
-	case ZDG:
-		return "ZDG"
-	default:
-		return fmt.Sprintf("Strategy(%d)", int(s))
-	}
-}
-
-// usesZOrder reports whether the strategy routes by Z-address and may
-// apply the SZB-tree mapper filter of Algorithm 3.
-func (s Strategy) usesZOrder() bool { return s == NaiveZ || s == ZHG || s == ZDG }
-
 // LocalAlgo selects the per-group skyline algorithm of phase 2.
-type LocalAlgo int
+type LocalAlgo = plan.LocalAlgo
 
 // Local skyline algorithms (§6.1).
 const (
 	// SB sorts by coordinate sum then filters (block-nested-loops).
-	SB LocalAlgo = iota
+	SB = plan.SB
 	// ZS is Z-search over a ZB-tree, the state of the art.
-	ZS
+	ZS = plan.ZS
 )
 
-// String names the local algorithm.
-func (a LocalAlgo) String() string {
-	if a == SB {
-		return "SB"
-	}
-	return "ZS"
-}
-
 // MergeAlgo selects the phase-3 candidate merging algorithm.
-type MergeAlgo int
+type MergeAlgo = plan.MergeAlgo
 
 // Merge algorithms compared in §6.3.
 const (
 	// MergeZM is the paper's Z-merge (Algorithm 4).
-	MergeZM MergeAlgo = iota
+	MergeZM = plan.MergeZM
 	// MergeZS recomputes the skyline of all candidates with Z-search.
-	MergeZS
+	MergeZS = plan.MergeZS
 	// MergeSB recomputes it with the sort-based filter.
-	MergeSB
+	MergeSB = plan.MergeSB
 )
-
-// String names the merge algorithm.
-func (a MergeAlgo) String() string {
-	switch a {
-	case MergeZM:
-		return "ZM"
-	case MergeZS:
-		return "ZS"
-	default:
-		return "SB"
-	}
-}
 
 // Config parameterizes an Engine. The zero value is not valid; use
 // Defaults() or fill the fields explicitly.
@@ -176,18 +131,34 @@ func Defaults() Config {
 	}
 }
 
+// spec lowers the config to the backend-agnostic plan parameters.
+func (c *Config) spec() *plan.Spec {
+	return &plan.Spec{
+		Strategy:         c.Strategy,
+		Local:            c.Local,
+		Merge:            c.Merge,
+		M:                c.M,
+		Delta:            c.Delta,
+		SampleRatio:      c.SampleRatio,
+		Bits:             c.Bits,
+		Fanout:           c.Fanout,
+		Seed:             c.Seed,
+		DisableSZBFilter: c.DisableSZBFilter,
+		MapTasks:         c.splits(),
+	}
+}
+
+// splits resolves the map task count (0 selects 2x workers).
+func (c *Config) splits() int {
+	if c.MapSplits > 0 {
+		return c.MapSplits
+	}
+	return 2 * c.Workers
+}
+
 func (c *Config) validate() error {
-	if c.M < 1 {
-		return fmt.Errorf("core: M must be >= 1, got %d", c.M)
-	}
-	if c.Delta < 1 {
-		return fmt.Errorf("core: Delta must be >= 1, got %d", c.Delta)
-	}
-	if c.SampleRatio <= 0 || c.SampleRatio > 1 {
-		return fmt.Errorf("core: SampleRatio must be in (0,1], got %v", c.SampleRatio)
-	}
-	if c.Bits < 1 || c.Bits > zorder.MaxBits {
-		return fmt.Errorf("core: Bits must be in [1,%d], got %d", zorder.MaxBits, c.Bits)
+	if err := c.spec().Validate(); err != nil {
+		return err
 	}
 	if c.Workers < 1 {
 		return fmt.Errorf("core: Workers must be >= 1, got %d", c.Workers)
@@ -264,28 +235,6 @@ func NewEngine(cfg Config) (*Engine, error) {
 	return &Engine{cfg: cfg, cluster: cl}, nil
 }
 
-// candidate is a phase-2 output record.
-type candidate struct {
-	gid int
-	p   point.Point
-}
-
-// rule is the learned phase-1 routing rule: point -> group, or drop.
-type rule struct {
-	assign func(p point.Point) (gid int, ok bool)
-	// route, when non-nil, replaces assign for Z-order strategies: it
-	// receives the point's precomputed ZB-tree entry so the mapper
-	// encodes each point exactly once for both the SZB filter and the
-	// partition search.
-	route   func(e zbtree.Entry) (gid int, ok bool)
-	szb     *zbtree.Tree // nil when the strategy does not filter
-	enc     *zorder.Encoder
-	groups  int
-	parts   int
-	pruned  int
-	skySize int
-}
-
 // Skyline computes the exact skyline of ds with the configured
 // strategy and returns it with a full Report.
 func (e *Engine) Skyline(ctx context.Context, ds *point.Dataset) ([]point.Point, *Report, error) {
@@ -293,297 +242,40 @@ func (e *Engine) Skyline(ctx context.Context, ds *point.Dataset) ([]point.Point,
 		return nil, &Report{Strategy: e.cfg.Strategy, Local: e.cfg.Local, Merge: e.cfg.Merge}, nil
 	}
 	tally := &metrics.Tally{}
-	rep := &Report{Strategy: e.cfg.Strategy, Local: e.cfg.Local, Merge: e.cfg.Merge}
-	total := time.Now()
-
-	// ---- Phase 1: preprocessing on the master ----
-	t0 := time.Now()
-	smp, err := sample.Ratio(ds.Points, e.cfg.SampleRatio, e.cfg.Seed)
+	ex := &mrExec{
+		LocalExec: plan.NewLocalExec(e.cfg.Workers),
+		cluster:   e.cluster,
+		splits:    e.cfg.splits(),
+		dims:      ds.Dims,
+	}
+	sky, prep, err := plan.Run(ctx, e.cfg.spec(), ds, ex, tally)
 	if err != nil {
 		return nil, nil, err
 	}
-	rep.SampleSize = len(smp)
-	mins, maxs, err := ds.Bounds()
-	if err != nil {
-		return nil, nil, err
+	rep := &Report{
+		Strategy:           e.cfg.Strategy,
+		Local:              e.cfg.Local,
+		Merge:              e.cfg.Merge,
+		Preprocess:         prep.Preprocess,
+		Phase2:             prep.Phase2,
+		Phase3:             prep.Phase3,
+		Total:              prep.Total,
+		SampleSize:         prep.SampleSize,
+		SampleSkySize:      prep.SampleSkySize,
+		Groups:             prep.Groups,
+		Partitions:         prep.Partitions,
+		PrunedPartitions:   prep.PrunedPartitions,
+		MapperFiltered:     prep.Filtered,
+		Candidates:         prep.Candidates,
+		PerGroupCandidates: prep.PerGroupCandidates,
+		SkylineSize:        prep.SkylineSize,
+		Job1:               ex.job1,
+		Job2:               ex.job2,
+		Tally:              tally.Snapshot(),
 	}
-	enc, err := zorder.NewEncoder(ds.Dims, e.cfg.Bits, mins, maxs)
-	if err != nil {
-		return nil, nil, err
+	if rep.Job2 == nil {
+		// Phase 3 never scheduled a job (no candidates survived).
+		rep.Job2 = &mapreduce.JobStats{Name: "skyline-merge"}
 	}
-	rt, err := e.learnRule(enc, smp, tally)
-	if err != nil {
-		return nil, nil, err
-	}
-	rep.Preprocess = time.Since(t0)
-	rep.Groups = rt.groups
-	rep.Partitions = rt.parts
-	rep.PrunedPartitions = rt.pruned
-	rep.SampleSkySize = rt.skySize
-
-	// ---- Phase 2: compute skyline candidates ----
-	t1 := time.Now()
-	cands, job1, filtered, err := e.phase2(ctx, ds, rt, tally)
-	if err != nil {
-		return nil, nil, err
-	}
-	rep.Phase2 = time.Since(t1)
-	rep.Job1 = job1
-	rep.MapperFiltered = filtered
-	rep.Candidates = len(cands)
-	perGroup := make([]int, rt.groups)
-	for _, c := range cands {
-		if c.gid >= 0 && c.gid < rt.groups {
-			perGroup[c.gid]++
-		}
-	}
-	rep.PerGroupCandidates = perGroup
-
-	// ---- Phase 3: merge skyline candidates ----
-	t2 := time.Now()
-	sky, job2, err := e.phase3(ctx, enc, cands, tally)
-	if err != nil {
-		return nil, nil, err
-	}
-	rep.Phase3 = time.Since(t2)
-	rep.Job2 = job2
-	rep.SkylineSize = len(sky)
-	rep.Total = time.Since(total)
-	rep.Tally = tally.Snapshot()
 	return sky, rep, nil
-}
-
-// learnRule builds the routing rule for the configured strategy.
-func (e *Engine) learnRule(enc *zorder.Encoder, smp []point.Point, tally *metrics.Tally) (*rule, error) {
-	cfg := e.cfg
-	switch cfg.Strategy {
-	case Grid:
-		g, err := partition.NewGrid(smp, cfg.M)
-		if err != nil {
-			return nil, err
-		}
-		return &rule{assign: func(p point.Point) (int, bool) { return g.Assign(p), true },
-			groups: g.N(), parts: g.N()}, nil
-	case Angle:
-		a, err := partition.NewAngle(smp, cfg.M)
-		if err != nil {
-			return nil, err
-		}
-		return &rule{assign: func(p point.Point) (int, bool) { return a.Assign(p), true },
-			groups: a.N(), parts: a.N()}, nil
-	case Random:
-		r, err := partition.NewRandom(cfg.M)
-		if err != nil {
-			return nil, err
-		}
-		return &rule{assign: func(p point.Point) (int, bool) { return r.Assign(p), true },
-			groups: r.N(), parts: r.N()}, nil
-	}
-
-	// Z-order strategies.
-	parts := cfg.M
-	if cfg.Strategy != NaiveZ {
-		parts = cfg.M * cfg.Delta
-	}
-	zc, err := partition.NewZCurve(enc, smp, parts)
-	if err != nil {
-		return nil, err
-	}
-	skyPts := zbtree.ZSearch(enc, cfg.Fanout, smp, tally)
-	// Naive-Z is the bare §4.1 partitioner: pivots only, no sample
-	// skyline broadcast, no grouping. Only the grouped strategies run
-	// Algorithm 3's SZB-tree mapper filter.
-	var szb *zbtree.Tree
-	if cfg.Strategy != NaiveZ {
-		szb = zbtree.BuildFromPoints(enc, cfg.Fanout, skyPts, tally)
-	}
-
-	var pg *grouping.PGMap
-	switch cfg.Strategy {
-	case NaiveZ:
-		pg = grouping.Identity(zc.Infos())
-	case ZHG:
-		scons := len(skyPts) / cfg.M
-		if scons < 1 {
-			scons = 1
-		}
-		zc = zc.Redistribute(smp, scons)
-		pg, err = grouping.Heuristic(zc.Infos(), cfg.M)
-	case ZDG:
-		scons := len(skyPts) / cfg.M
-		if scons < 1 {
-			scons = 1
-		}
-		zc = zc.Redistribute(smp, scons)
-		pg, err = grouping.Dominance(enc, zc.Infos(), cfg.M)
-	default:
-		return nil, fmt.Errorf("core: unknown strategy %v", cfg.Strategy)
-	}
-	if err != nil {
-		return nil, err
-	}
-	return &rule{
-		assign: func(p point.Point) (int, bool) {
-			return pg.GroupOf(zc.Assign(p))
-		},
-		route: func(e zbtree.Entry) (int, bool) {
-			return pg.GroupOf(zc.AssignAddr(e.Z))
-		},
-		szb:     szb,
-		enc:     enc,
-		groups:  pg.Groups,
-		parts:   zc.N(),
-		pruned:  len(pg.Pruned),
-		skySize: len(skyPts),
-	}, nil
-}
-
-// localSkyline runs the configured local algorithm.
-func (e *Engine) localSkyline(enc *zorder.Encoder, pts []point.Point, tally *metrics.Tally) []point.Point {
-	if e.cfg.Local == ZS {
-		return zbtree.ZSearch(enc, e.cfg.Fanout, pts, tally)
-	}
-	return seq.SB(pts, tally)
-}
-
-// phase2 runs MapReduce job 1 (Algorithm 3).
-func (e *Engine) phase2(ctx context.Context, ds *point.Dataset, rt *rule, tally *metrics.Tally) ([]candidate, *mapreduce.JobStats, int64, error) {
-	lenc := encOr(rt.encoderOrNil(), e, ds)
-	var filtered metrics.Tally
-	dims := ds.Dims
-	job := mapreduce.Job[point.Point, int, point.Point, candidate]{
-		Name: "skyline-candidates",
-		Map: func(_ *mapreduce.TaskContext, p point.Point, emit func(int, point.Point)) error {
-			var gid int
-			var ok bool
-			if rt.route != nil {
-				// One encode serves both the SZB filter and routing.
-				en := zbtree.NewEntry(rt.enc, p)
-				if rt.szb != nil && !e.cfg.DisableSZBFilter && rt.szb.DominatesPoint(en.G, en.P) {
-					filtered.AddPointsPruned(1)
-					return nil
-				}
-				gid, ok = rt.route(en)
-			} else {
-				gid, ok = rt.assign(p)
-			}
-			if !ok {
-				filtered.AddPointsPruned(1)
-				return nil
-			}
-			emit(gid, p)
-			return nil
-		},
-		Combine: func(_ *mapreduce.TaskContext, _ int, vals []point.Point) []point.Point {
-			return e.localSkyline(lenc, vals, tally)
-		},
-		Reduce: func(_ *mapreduce.TaskContext, gid int, vals []point.Point, emit func(candidate)) error {
-			for _, p := range e.localSkyline(lenc, vals, tally) {
-				emit(candidate{gid: gid, p: p})
-			}
-			return nil
-		},
-		Partition: func(gid, n int) int { return gid % n },
-		Reducers:  rt.groups,
-		SizeOf:    func(_ int, _ point.Point) int { return 8*dims + 8 },
-		Tally:     tally,
-	}
-	splits := e.cfg.MapSplits
-	if splits <= 0 {
-		splits = 2 * e.cfg.Workers
-	}
-	out, stats, err := mapreduce.Run(ctx, e.cluster, job, mapreduce.SplitSlice(ds.Points, splits))
-	if err != nil {
-		return nil, nil, 0, err
-	}
-	tally.AddPointsPruned(filtered.Snapshot().PointsPruned)
-	return out, stats, filtered.Snapshot().PointsPruned, nil
-}
-
-// encoderOrNil returns the rule's Z-order encoder when present.
-func (r *rule) encoderOrNil() *zorder.Encoder { return r.enc }
-
-// encOr falls back to a lazily built unit encoder when the strategy
-// has no Z-order encoder but the local algorithm is ZS.
-func encOr(enc *zorder.Encoder, e *Engine, ds *point.Dataset) *zorder.Encoder {
-	if enc != nil {
-		return enc
-	}
-	// Cheap to construct; bounds [0,1] are where gen data lives. Exact
-	// correctness does not depend on bounds (clamping only weakens
-	// pruning), so the unit box is a safe default here.
-	u, err := zorder.NewUnitEncoder(ds.Dims, e.cfg.Bits)
-	if err != nil {
-		panic(err)
-	}
-	return u
-}
-
-// phase3 runs MapReduce job 2: merge candidates (§5.3).
-func (e *Engine) phase3(ctx context.Context, enc *zorder.Encoder, cands []candidate, tally *metrics.Tally) ([]point.Point, *mapreduce.JobStats, error) {
-	if len(cands) == 0 {
-		return nil, &mapreduce.JobStats{Name: "skyline-merge"}, nil
-	}
-	dims := len(cands[0].p)
-	fanout := e.cfg.Fanout
-	mergeAlgo := e.cfg.Merge
-	job := mapreduce.Job[candidate, int, candidate, point.Point]{
-		Name: "skyline-merge",
-		Map: func(_ *mapreduce.TaskContext, c candidate, emit func(int, candidate)) error {
-			emit(0, c)
-			return nil
-		},
-		Reduce: func(_ *mapreduce.TaskContext, _ int, vals []candidate, emit func(point.Point)) error {
-			var sky []point.Point
-			switch mergeAlgo {
-			case MergeZM:
-				// One candidate ZB-tree per group, then Z-merge.
-				byGroup := map[int][]point.Point{}
-				var order []int
-				for _, c := range vals {
-					if _, ok := byGroup[c.gid]; !ok {
-						order = append(order, c.gid)
-					}
-					byGroup[c.gid] = append(byGroup[c.gid], c.p)
-				}
-				trees := make([]*zbtree.Tree, 0, len(order))
-				for _, gid := range order {
-					trees = append(trees, zbtree.BuildFromPoints(enc, fanout, byGroup[gid], tally))
-				}
-				sky = zbtree.MergeAll(enc, fanout, trees, tally).Points()
-			case MergeZS:
-				all := make([]point.Point, len(vals))
-				for i, c := range vals {
-					all[i] = c.p
-				}
-				sky = zbtree.ZSearch(enc, fanout, all, tally)
-			default: // MergeSB
-				all := make([]point.Point, len(vals))
-				for i, c := range vals {
-					all[i] = c.p
-				}
-				sky = seq.SB(all, tally)
-			}
-			for _, p := range sky {
-				emit(p)
-			}
-			return nil
-		},
-		Partition: func(_, _ int) int { return 0 },
-		Reducers:  1,
-		SizeOf:    func(_ int, _ candidate) int { return 8*dims + 16 },
-		Tally:     tally,
-	}
-	splits := e.cfg.MapSplits
-	if splits <= 0 {
-		splits = 2 * e.cfg.Workers
-	}
-	return runPhase3(ctx, e.cluster, job, cands, splits)
-}
-
-func runPhase3(ctx context.Context, cl *mapreduce.Cluster,
-	job mapreduce.Job[candidate, int, candidate, point.Point],
-	cands []candidate, splits int,
-) ([]point.Point, *mapreduce.JobStats, error) {
-	return mapreduce.Run(ctx, cl, job, mapreduce.SplitSlice(cands, splits))
 }

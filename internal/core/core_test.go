@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -297,6 +298,8 @@ func TestDeterministicAcrossRuns(t *testing.T) {
 func TestFaultToleranceExact(t *testing.T) {
 	ds := gen.Synthetic(gen.Independent, 2000, 3, 33)
 	want := seq.SB(ds.Points, nil)
+	// The hook fires concurrently from map-task goroutines.
+	var mu sync.Mutex
 	failures := map[string]int{}
 	cfg := smallCfg()
 	cfg.Cluster = mapreduce.NewCluster(mapreduce.ClusterConfig{
@@ -305,7 +308,9 @@ func TestFaultToleranceExact(t *testing.T) {
 		FailTask: func(job string, kind mapreduce.TaskKind, task, attempt int) error {
 			// First attempt of every third task fails.
 			if task%3 == 0 && attempt == 1 {
+				mu.Lock()
 				failures[job]++
+				mu.Unlock()
 				return context.DeadlineExceeded
 			}
 			return nil

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"context"
+
+	"zskyline/internal/mapreduce"
+	"zskyline/internal/metrics"
+	"zskyline/internal/plan"
+	"zskyline/internal/point"
+)
+
+// candidate is a phase-2 output record.
+type candidate struct {
+	gid int
+	p   point.Point
+}
+
+// mergeRec is a phase-3 shuffle record: a candidate tagged with the
+// merge task it belongs to.
+type mergeRec struct {
+	task, gid int
+	p         point.Point
+}
+
+// mrExec schedules plan phases as jobs on the MapReduce simulator. It
+// implements plan.MapReducer so phase 2 stays one fused job — keeping
+// the simulator's combiner and its shuffle/straggler/fault accounting
+// — and runs phase 3 as a second job. The embedded LocalExec serves
+// the plain map/reduce task interfaces, which plan.Run bypasses here.
+type mrExec struct {
+	*plan.LocalExec
+	cluster *mapreduce.Cluster
+	splits  int
+	dims    int
+
+	job1, job2 *mapreduce.JobStats
+}
+
+// MapReduce runs MapReduce job 1 (Algorithm 3) and returns the
+// candidate groups in deterministic gid order.
+func (ex *mrExec) MapReduce(ctx context.Context, r *plan.Rule, pts []point.Point, tally *metrics.Tally) ([]plan.Group, int64, error) {
+	var filtered metrics.Tally
+	dims := ex.dims
+	job := mapreduce.Job[point.Point, int, point.Point, candidate]{
+		Name: "skyline-candidates",
+		Map: func(_ *mapreduce.TaskContext, p point.Point, emit func(int, point.Point)) error {
+			gid, ok := r.Route(p)
+			if !ok {
+				filtered.AddPointsPruned(1)
+				return nil
+			}
+			emit(gid, p)
+			return nil
+		},
+		Combine: func(_ *mapreduce.TaskContext, _ int, vals []point.Point) []point.Point {
+			return r.LocalSkyline(vals, tally)
+		},
+		Reduce: func(_ *mapreduce.TaskContext, gid int, vals []point.Point, emit func(candidate)) error {
+			for _, p := range r.LocalSkyline(vals, tally) {
+				emit(candidate{gid: gid, p: p})
+			}
+			return nil
+		},
+		Partition: func(gid, n int) int { return gid % n },
+		Reducers:  r.Groups(),
+		SizeOf:    func(_ int, _ point.Point) int { return 8*dims + 8 },
+		Tally:     tally,
+	}
+	out, stats, err := mapreduce.Run(ctx, ex.cluster, job, mapreduce.SplitSlice(pts, ex.splits))
+	if err != nil {
+		return nil, 0, err
+	}
+	ex.job1 = stats
+	dropped := filtered.Snapshot().PointsPruned
+	tally.AddPointsPruned(dropped)
+
+	// Regroup the reducer output (already in deterministic reducer /
+	// first-seen order) into per-group candidate lists.
+	byGroup := map[int][]point.Point{}
+	var order []int
+	for _, c := range out {
+		if _, seen := byGroup[c.gid]; !seen {
+			order = append(order, c.gid)
+		}
+		byGroup[c.gid] = append(byGroup[c.gid], c.p)
+	}
+	groups := make([]plan.Group, len(order))
+	for i, gid := range order {
+		groups[i] = plan.Group{Gid: gid, Points: byGroup[gid]}
+	}
+	return groups, dropped, nil
+}
+
+// RunMerges runs MapReduce job 2 (§5.3): every merge task becomes one
+// reducer, and each reducer Z-merges (or recomputes) its groups.
+func (ex *mrExec) RunMerges(ctx context.Context, r *plan.Rule, tasks [][]plan.Group, tally *metrics.Tally) ([][]point.Point, error) {
+	var recs []mergeRec
+	for t, groups := range tasks {
+		for _, g := range groups {
+			for _, p := range g.Points {
+				recs = append(recs, mergeRec{task: t, gid: g.Gid, p: p})
+			}
+		}
+	}
+	outs := make([][]point.Point, len(tasks))
+	if len(recs) == 0 {
+		ex.job2 = &mapreduce.JobStats{Name: "skyline-merge"}
+		return outs, nil
+	}
+	dims := ex.dims
+	job := mapreduce.Job[mergeRec, int, mergeRec, mergeRec]{
+		Name: "skyline-merge",
+		Map: func(_ *mapreduce.TaskContext, rec mergeRec, emit func(int, mergeRec)) error {
+			emit(rec.task, rec)
+			return nil
+		},
+		Reduce: func(_ *mapreduce.TaskContext, task int, vals []mergeRec, emit func(mergeRec)) error {
+			byGroup := map[int][]point.Point{}
+			var order []int
+			for _, rec := range vals {
+				if _, seen := byGroup[rec.gid]; !seen {
+					order = append(order, rec.gid)
+				}
+				byGroup[rec.gid] = append(byGroup[rec.gid], rec.p)
+			}
+			groups := make([]plan.Group, len(order))
+			for i, gid := range order {
+				groups[i] = plan.Group{Gid: gid, Points: byGroup[gid]}
+			}
+			for _, p := range r.MergeGroups(groups, tally) {
+				emit(mergeRec{task: task, p: p})
+			}
+			return nil
+		},
+		Partition: func(task, n int) int { return task % n },
+		Reducers:  len(tasks),
+		SizeOf:    func(_ int, _ mergeRec) int { return 8*dims + 16 },
+		Tally:     tally,
+	}
+	out, stats, err := mapreduce.Run(ctx, ex.cluster, job, mapreduce.SplitSlice(recs, ex.splits))
+	if err != nil {
+		return nil, err
+	}
+	ex.job2 = stats
+	for _, rec := range out {
+		outs[rec.task] = append(outs[rec.task], rec.p)
+	}
+	return outs, nil
+}

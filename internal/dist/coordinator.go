@@ -10,12 +10,10 @@ import (
 	"sync/atomic"
 	"time"
 
-	"zskyline/internal/grouping"
-	"zskyline/internal/partition"
+	"zskyline/internal/metrics"
+	"zskyline/internal/plan"
 	"zskyline/internal/point"
-	"zskyline/internal/sample"
 	"zskyline/internal/zbtree"
-	"zskyline/internal/zorder"
 )
 
 // CoordinatorConfig parameterizes a distributed run; it mirrors
@@ -44,6 +42,31 @@ type CoordinatorConfig struct {
 	TreeMerge bool
 	// Seed drives sampling.
 	Seed int64
+}
+
+// spec lowers the config to the backend-agnostic plan parameters.
+func (cfg *CoordinatorConfig) spec() *plan.Spec {
+	strat := plan.ZDG
+	if cfg.Heuristic {
+		strat = plan.ZHG
+	}
+	local := plan.SB
+	if cfg.UseZS {
+		local = plan.ZS
+	}
+	return &plan.Spec{
+		Strategy:    strat,
+		Local:       local,
+		Merge:       plan.MergeZM,
+		M:           cfg.M,
+		Delta:       cfg.Delta,
+		SampleRatio: cfg.SampleRatio,
+		Bits:        cfg.Bits,
+		Fanout:      cfg.Fanout,
+		Seed:        cfg.Seed,
+		TreeMerge:   cfg.TreeMerge,
+		ChunkSize:   cfg.ChunkSize,
+	}
 }
 
 // DefaultCoordinatorConfig mirrors core.Defaults for the distributed
@@ -140,158 +163,94 @@ func (c *Coordinator) Skyline(ctx context.Context, ds *point.Dataset) ([]point.P
 	if ds == nil || ds.Len() == 0 {
 		return nil, rep, nil
 	}
-	start := time.Now()
-
-	// ---- Phase 1 on the coordinator (master node) ----
-	t0 := time.Now()
-	smp, err := sample.Ratio(ds.Points, c.cfg.SampleRatio, c.cfg.Seed)
+	sky, prep, err := plan.Run(ctx, c.cfg.spec(), ds, &rpcExec{c: c}, nil)
 	if err != nil {
 		return nil, nil, err
 	}
-	mins, maxs, err := ds.Bounds()
-	if err != nil {
-		return nil, nil, err
-	}
-	enc, err := zorder.NewEncoder(ds.Dims, c.cfg.Bits, mins, maxs)
-	if err != nil {
-		return nil, nil, err
-	}
-	zc, err := partition.NewZCurve(enc, smp, c.cfg.M*c.cfg.Delta)
-	if err != nil {
-		return nil, nil, err
-	}
-	skyPts := zbtree.ZSearch(enc, c.cfg.Fanout, smp, nil)
-	scons := len(skyPts) / c.cfg.M
-	if scons < 1 {
-		scons = 1
-	}
-	zc = zc.Redistribute(smp, scons)
-	var pg *grouping.PGMap
-	if c.cfg.Heuristic {
-		pg, err = grouping.Heuristic(zc.Infos(), c.cfg.M)
-	} else {
-		pg, err = grouping.Dominance(enc, zc.Infos(), c.cfg.M)
-	}
-	if err != nil {
-		return nil, nil, err
-	}
-	rep.Partitions = zc.N()
-	rep.Groups = pg.Groups
-
-	// Broadcast the rule (distributed cache).
-	blob := RuleBlob{
-		ID:            c.salt<<32 | ruleCounter.Add(1),
-		Dims:          ds.Dims,
-		Bits:          c.cfg.Bits,
-		Mins:          mins,
-		Maxs:          maxs,
-		GroupOf:       pg.Assign,
-		Groups:        pg.Groups,
-		SampleSkyline: skyPts,
-		Fanout:        c.cfg.Fanout,
-		UseZS:         c.cfg.UseZS,
-	}
-	for _, piv := range zc.Pivots() {
-		blob.Pivots = append(blob.Pivots, piv)
-	}
-	if err := c.broadcast(ctx, blob); err != nil {
-		return nil, nil, err
-	}
-	rep.Preprocess = time.Since(t0)
-
-	// ---- Phase 2: map+combine chunks across workers, then reduce ----
-	t1 := time.Now()
-	chunks := chunkPoints(ds.Points, c.cfg.ChunkSize)
-	mapOuts := make([]*MapReply, len(chunks))
-	if err := c.forEach(ctx, len(chunks), func(i, worker int) error {
-		var reply MapReply
-		if err := c.call("Worker.MapChunk",
-			MapArgs{RuleID: blob.ID, Points: chunks[i]}, &reply, worker); err != nil {
-			return err
-		}
-		mapOuts[i] = &reply
-		return nil
-	}); err != nil {
-		return nil, nil, err
-	}
-	// Shuffle: gather per-group candidate lists in deterministic order.
-	byGroup := map[int][]point.Point{}
-	var order []int
-	for _, out := range mapOuts {
-		rep.Filtered += out.Filtered
-		for _, g := range out.Groups {
-			if _, seen := byGroup[g.Gid]; !seen {
-				order = append(order, g.Gid)
-			}
-			byGroup[g.Gid] = append(byGroup[g.Gid], g.Points...)
-		}
-	}
-	reduced := make([]GroupPoints, len(order))
-	if err := c.forEach(ctx, len(order), func(i, worker int) error {
-		gid := order[i]
-		var reply ReduceReply
-		if err := c.call("Worker.ReduceGroup",
-			ReduceArgs{RuleID: blob.ID, Group: GroupPoints{Gid: gid, Points: byGroup[gid]}},
-			&reply, worker); err != nil {
-			return err
-		}
-		reduced[i] = GroupPoints{Gid: gid, Points: reply.Candidates}
-		return nil
-	}); err != nil {
-		return nil, nil, err
-	}
-	for _, g := range reduced {
-		rep.Candidates += len(g.Points)
-	}
-	rep.Phase2 = time.Since(t1)
-
-	// ---- Phase 3: Z-merge, single-reducer or tree reduction ----
-	t2 := time.Now()
-	sky, err := c.merge(ctx, blob.ID, reduced)
-	if err != nil {
-		return nil, nil, err
-	}
-	rep.Phase3 = time.Since(t2)
-	rep.Total = time.Since(start)
+	rep.Groups = prep.Groups
+	rep.Partitions = prep.Partitions
+	rep.Candidates = prep.Candidates
+	rep.Filtered = prep.Filtered
+	rep.Preprocess = prep.Preprocess
+	rep.Phase2 = prep.Phase2
+	rep.Phase3 = prep.Phase3
+	rep.Total = prep.Total
 	return sky, rep, nil
 }
 
-// merge runs phase 3. The default mirrors the paper (one merge
-// reducer); TreeMerge reduces pairwise across workers, halving the
-// partial-skyline count per round.
-func (c *Coordinator) merge(ctx context.Context, ruleID uint64, groups []GroupPoints) ([]point.Point, error) {
-	if !c.cfg.TreeMerge || len(groups) <= 2 {
+// rpcExec is the plan.Executor that fans tasks out over the
+// coordinator's worker connections, with failover. One rpcExec serves
+// one query: Broadcast assigns the query's rule ID.
+type rpcExec struct {
+	c      *Coordinator
+	ruleID uint64
+}
+
+// Broadcast serializes the rule and installs it on every live worker
+// (the distributed-cache step).
+func (ex *rpcExec) Broadcast(ctx context.Context, r *plan.Rule) error {
+	rd, err := r.Data()
+	if err != nil {
+		return err
+	}
+	ex.ruleID = ex.c.salt<<32 | ruleCounter.Add(1)
+	return ex.c.broadcast(ctx, RuleBlob{ID: ex.ruleID, Data: *rd})
+}
+
+// RunMaps implements plan.Executor via Worker.MapChunk RPCs.
+func (ex *rpcExec) RunMaps(ctx context.Context, _ *plan.Rule, chunks [][]point.Point, _ *metrics.Tally) ([]plan.MapOutput, error) {
+	outs := make([]plan.MapOutput, len(chunks))
+	err := ex.c.forEach(ctx, len(chunks), func(i, worker int) error {
+		var reply MapReply
+		if err := ex.c.call("Worker.MapChunk",
+			MapArgs{RuleID: ex.ruleID, Points: chunks[i]}, &reply, worker); err != nil {
+			return err
+		}
+		outs[i] = plan.MapOutput{Groups: reply.Groups, Filtered: reply.Filtered}
+		return nil
+	})
+	return outs, err
+}
+
+// RunReduces implements plan.Executor via Worker.ReduceGroup RPCs.
+func (ex *rpcExec) RunReduces(ctx context.Context, _ *plan.Rule, groups []plan.Group, _ *metrics.Tally) ([]plan.Group, error) {
+	outs := make([]plan.Group, len(groups))
+	err := ex.c.forEach(ctx, len(groups), func(i, worker int) error {
+		var reply ReduceReply
+		if err := ex.c.call("Worker.ReduceGroup",
+			ReduceArgs{RuleID: ex.ruleID, Group: groups[i]}, &reply, worker); err != nil {
+			return err
+		}
+		outs[i] = plan.Group{Gid: groups[i].Gid, Points: reply.Candidates}
+		return nil
+	})
+	return outs, err
+}
+
+// RunMerges implements plan.Executor via Worker.MergeGroups RPCs. A
+// single task runs on one worker — the paper's lone merge reducer;
+// multiple tasks (tree-merge rounds) fan out across the fleet.
+func (ex *rpcExec) RunMerges(ctx context.Context, _ *plan.Rule, tasks [][]plan.Group, _ *metrics.Tally) ([][]point.Point, error) {
+	outs := make([][]point.Point, len(tasks))
+	if len(tasks) == 1 {
 		var merged MergeReply
-		if err := c.call("Worker.MergeGroups",
-			MergeArgs{RuleID: ruleID, Groups: groups}, &merged, 0); err != nil {
+		if err := ex.c.call("Worker.MergeGroups",
+			MergeArgs{RuleID: ex.ruleID, Groups: tasks[0]}, &merged, 0); err != nil {
 			return nil, err
 		}
-		return merged.Skyline, nil
+		outs[0] = merged.Skyline
+		return outs, nil
 	}
-	parts := groups
-	for len(parts) > 1 {
-		pairs := (len(parts) + 1) / 2
-		next := make([]GroupPoints, pairs)
-		if err := c.forEach(ctx, pairs, func(i, worker int) error {
-			lo := 2 * i
-			if lo+1 >= len(parts) {
-				next[i] = parts[lo]
-				return nil
-			}
-			var merged MergeReply
-			if err := c.call("Worker.MergeGroups",
-				MergeArgs{RuleID: ruleID, Groups: []GroupPoints{parts[lo], parts[lo+1]}},
-				&merged, worker); err != nil {
-				return err
-			}
-			next[i] = GroupPoints{Gid: i, Points: merged.Skyline}
-			return nil
-		}); err != nil {
-			return nil, err
+	err := ex.c.forEach(ctx, len(tasks), func(i, worker int) error {
+		var merged MergeReply
+		if err := ex.c.call("Worker.MergeGroups",
+			MergeArgs{RuleID: ex.ruleID, Groups: tasks[i]}, &merged, worker); err != nil {
+			return err
 		}
-		parts = next
-	}
-	return parts[0].Points, nil
+		outs[i] = merged.Skyline
+		return nil
+	})
+	return outs, err
 }
 
 // broadcast installs the rule on every live worker; workers that fail
@@ -312,6 +271,9 @@ func (c *Coordinator) broadcast(ctx context.Context, blob RuleBlob) error {
 		}(w)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if c.aliveCount() == 0 {
 		return fmt.Errorf("dist: all workers failed the rule broadcast")
 	}
@@ -398,16 +360,4 @@ func (c *Coordinator) forEach(ctx context.Context, n int, f func(task, worker in
 	}
 	wg.Wait()
 	return firstErr
-}
-
-func chunkPoints(pts []point.Point, size int) [][]point.Point {
-	var out [][]point.Point
-	for lo := 0; lo < len(pts); lo += size {
-		hi := lo + size
-		if hi > len(pts) {
-			hi = len(pts)
-		}
-		out = append(out, pts[lo:hi:hi])
-	}
-	return out
 }

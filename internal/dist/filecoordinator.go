@@ -9,12 +9,9 @@ import (
 	"time"
 
 	"zskyline/internal/codec"
-	"zskyline/internal/grouping"
-	"zskyline/internal/partition"
+	"zskyline/internal/plan"
 	"zskyline/internal/point"
 	"zskyline/internal/sample"
-	"zskyline/internal/zbtree"
-	"zskyline/internal/zorder"
 )
 
 // SkylineFile computes the skyline of a ZSKY binary file without ever
@@ -38,90 +35,38 @@ func (c *Coordinator) SkylineFile(ctx context.Context, path string) ([]point.Poi
 	}
 
 	// ---- Phase 1 on the sample (identical to the in-memory path) ----
-	enc, err := zorder.NewEncoder(dims, c.cfg.Bits, mins, maxs)
+	r, err := plan.Learn(c.cfg.spec(), dims, mins, maxs, smp, nil)
 	if err != nil {
 		return nil, nil, err
 	}
-	zc, err := partition.NewZCurve(enc, smp, c.cfg.M*c.cfg.Delta)
-	if err != nil {
-		return nil, nil, err
-	}
-	skyPts := zbtree.ZSearch(enc, c.cfg.Fanout, smp, nil)
-	scons := len(skyPts) / c.cfg.M
-	if scons < 1 {
-		scons = 1
-	}
-	zc = zc.Redistribute(smp, scons)
-	var pg *grouping.PGMap
-	if c.cfg.Heuristic {
-		pg, err = grouping.Heuristic(zc.Infos(), c.cfg.M)
-	} else {
-		pg, err = grouping.Dominance(enc, zc.Infos(), c.cfg.M)
-	}
-	if err != nil {
-		return nil, nil, err
-	}
-	rep.Partitions = zc.N()
-	rep.Groups = pg.Groups
-	blob := RuleBlob{
-		ID:            c.salt<<32 | ruleCounter.Add(1),
-		Dims:          dims,
-		Bits:          c.cfg.Bits,
-		Mins:          mins,
-		Maxs:          maxs,
-		GroupOf:       pg.Assign,
-		Groups:        pg.Groups,
-		SampleSkyline: skyPts,
-		Fanout:        c.cfg.Fanout,
-		UseZS:         c.cfg.UseZS,
-	}
-	for _, piv := range zc.Pivots() {
-		blob.Pivots = append(blob.Pivots, piv)
-	}
-	if err := c.broadcast(ctx, blob); err != nil {
+	ex := &rpcExec{c: c}
+	if err := ex.Broadcast(ctx, r); err != nil {
 		return nil, nil, err
 	}
 	rep.Preprocess = time.Since(t0)
+	rep.Partitions = r.Partitions()
+	rep.Groups = r.Groups()
 
 	// ---- Pass 2 / phase 2: stream chunks to workers ----
 	t1 := time.Now()
-	mapOuts, err := c.streamMap(ctx, path, blob.ID)
+	mapOuts, err := c.streamMap(ctx, path, ex.ruleID)
 	if err != nil {
 		return nil, nil, err
 	}
-	byGroup := map[int][]point.Point{}
-	var order []int
-	for _, out := range mapOuts {
-		rep.Filtered += out.Filtered
-		for _, g := range out.Groups {
-			if _, seen := byGroup[g.Gid]; !seen {
-				order = append(order, g.Gid)
-			}
-			byGroup[g.Gid] = append(byGroup[g.Gid], g.Points...)
-		}
-	}
-	reduced := make([]GroupPoints, len(order))
-	if err := c.forEach(ctx, len(order), func(i, worker int) error {
-		gid := order[i]
-		var reply ReduceReply
-		if err := c.call("Worker.ReduceGroup",
-			ReduceArgs{RuleID: blob.ID, Group: GroupPoints{Gid: gid, Points: byGroup[gid]}},
-			&reply, worker); err != nil {
-			return err
-		}
-		reduced[i] = GroupPoints{Gid: gid, Points: reply.Candidates}
-		return nil
-	}); err != nil {
+	groups, filtered := plan.Shuffle(mapOuts)
+	rep.Filtered = filtered
+	groups, err = ex.RunReduces(ctx, r, groups, nil)
+	if err != nil {
 		return nil, nil, err
 	}
-	for _, g := range reduced {
+	for _, g := range groups {
 		rep.Candidates += len(g.Points)
 	}
 	rep.Phase2 = time.Since(t1)
 
 	// ---- Phase 3 ----
 	t2 := time.Now()
-	sky, err := c.merge(ctx, blob.ID, reduced)
+	sky, err := plan.MergePhase(ctx, ex, r, groups, c.cfg.TreeMerge, nil)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -187,7 +132,7 @@ func (c *Coordinator) scanFile(path string) (dims int, n int64, mins, maxs []flo
 // streamMap streams the file's chunks to the workers with bounded
 // in-flight RPCs (one per worker connection), so coordinator memory
 // holds at most workers+1 batches at any moment.
-func (c *Coordinator) streamMap(ctx context.Context, path string, ruleID uint64) ([]*MapReply, error) {
+func (c *Coordinator) streamMap(ctx context.Context, path string, ruleID uint64) ([]plan.MapOutput, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -201,7 +146,7 @@ func (c *Coordinator) streamMap(ctx context.Context, path string, ruleID uint64)
 		wg       sync.WaitGroup
 		mu       sync.Mutex
 		firstErr error
-		outs     []*MapReply
+		outs     []plan.MapOutput
 	)
 	sem := make(chan int, len(c.clients))
 	for w := range c.clients {
@@ -236,7 +181,7 @@ func (c *Coordinator) streamMap(ctx context.Context, path string, ruleID uint64)
 					return
 				}
 				mu.Lock()
-				outs = append(outs, &reply)
+				outs = append(outs, plan.MapOutput{Groups: reply.Groups, Filtered: reply.Filtered})
 				mu.Unlock()
 			}(batch, worker)
 		}

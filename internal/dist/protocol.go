@@ -1,7 +1,7 @@
 // Package dist executes the paper's three-phase pipeline across real
 // processes: a coordinator and N workers that speak net/rpc over TCP
 // with gob encoding. It is the share-*nothing* deployment of the same
-// algorithms the in-process substrate runs — phase 1 happens on the
+// phase logic internal/plan defines — phase 1 happens on the
 // coordinator (master node), phase 2's map+combine and reduce run on
 // the workers, and phase 3's Z-merge runs on one worker, exactly
 // mirroring the paper's Hadoop layout (Figure 5).
@@ -12,6 +12,7 @@
 package dist
 
 import (
+	"zskyline/internal/plan"
 	"zskyline/internal/point"
 )
 
@@ -20,24 +21,9 @@ import (
 type RuleBlob struct {
 	// ID identifies the rule so workers can cache it across calls.
 	ID uint64
-	// Dims, Bits, Mins, Maxs rebuild the Z-order encoder.
-	Dims int
-	Bits int
-	Mins []float64
-	Maxs []float64
-	// Pivots are the Z-curve cut points, each a packed address.
-	Pivots [][]uint64
-	// GroupOf maps partition id -> group id; missing = pruned.
-	GroupOf map[int]int
-	// Groups is the total group count.
-	Groups int
-	// SampleSkyline seeds the worker-side SZB-tree filter. Empty
-	// disables the filter (Naive-Z semantics).
-	SampleSkyline []point.Point
-	// Fanout is the ZB-tree fanout.
-	Fanout int
-	// UseZS selects Z-search (true) or SB (false) for local skylines.
-	UseZS bool
+	// Data is the backend-agnostic rule payload (encoder bounds, Z-curve
+	// pivots, partition->group map, sample skyline, algorithms).
+	Data plan.RuleData
 }
 
 // LoadRuleArgs asks a worker to install a rule.
@@ -57,10 +43,7 @@ type MapArgs struct {
 }
 
 // GroupPoints is a group's worth of routed points or candidates.
-type GroupPoints struct {
-	Gid    int
-	Points []point.Point
-}
+type GroupPoints = plan.Group
 
 // MapReply returns the chunk's local skyline candidates per group.
 type MapReply struct {
@@ -80,14 +63,13 @@ type ReduceReply struct {
 	Candidates []point.Point
 }
 
-// MergeArgs carries every group's candidates for the final Z-merge
-// (phase 3).
+// MergeArgs carries candidate groups for a phase-3 Z-merge task.
 type MergeArgs struct {
 	RuleID uint64
 	Groups []GroupPoints
 }
 
-// MergeReply returns the global skyline.
+// MergeReply returns the merged skyline.
 type MergeReply struct {
 	Skyline []point.Point
 }

@@ -6,71 +6,15 @@ import (
 	"net/rpc"
 	"sync"
 
-	"zskyline/internal/point"
-	"zskyline/internal/seq"
-	"zskyline/internal/zbtree"
-	"zskyline/internal/zorder"
+	"zskyline/internal/plan"
 )
 
-// compiledRule is a worker's executable form of a RuleBlob.
-type compiledRule struct {
-	enc     *zorder.Encoder
-	pivots  []zorder.ZAddr
-	groupOf map[int]int
-	szb     *zbtree.Tree
-	fanout  int
-	useZS   bool
-}
-
-func compile(rb *RuleBlob) (*compiledRule, error) {
-	enc, err := zorder.NewEncoder(rb.Dims, rb.Bits, rb.Mins, rb.Maxs)
-	if err != nil {
-		return nil, err
-	}
-	cr := &compiledRule{
-		enc:     enc,
-		groupOf: rb.GroupOf,
-		fanout:  rb.Fanout,
-		useZS:   rb.UseZS,
-	}
-	for _, p := range rb.Pivots {
-		if len(p) != enc.Words() {
-			return nil, fmt.Errorf("dist: pivot has %d words, want %d", len(p), enc.Words())
-		}
-		cr.pivots = append(cr.pivots, zorder.ZAddr(p))
-	}
-	if len(rb.SampleSkyline) > 0 {
-		cr.szb = zbtree.BuildFromPoints(enc, rb.Fanout, rb.SampleSkyline, nil)
-	}
-	return cr, nil
-}
-
-// assign routes an address to its partition (binary search over the
-// pivots, as in Algorithm 3).
-func (cr *compiledRule) assign(a zorder.ZAddr) int {
-	lo, hi := 0, len(cr.pivots)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if zorder.Compare(a, cr.pivots[mid]) < 0 {
-			hi = mid
-		} else {
-			lo = mid + 1
-		}
-	}
-	return lo
-}
-
-func (cr *compiledRule) localSkyline(pts []point.Point) []point.Point {
-	if cr.useZS {
-		return zbtree.ZSearch(cr.enc, cr.fanout, pts, nil)
-	}
-	return seq.SB(pts, nil)
-}
-
-// Worker is the RPC service a worker process exposes.
+// Worker is the RPC service a worker process exposes. All phase
+// semantics live in the broadcast plan.Rule; the worker only caches
+// rules and executes their tasks.
 type Worker struct {
 	mu    sync.RWMutex
-	rules map[uint64]*compiledRule
+	rules map[uint64]*plan.Rule
 	addr  string
 }
 
@@ -94,7 +38,7 @@ func StartWorker(addr string) (*WorkerServer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dist: listen %s: %w", addr, err)
 	}
-	w := &Worker{rules: make(map[uint64]*compiledRule), addr: ln.Addr().String()}
+	w := &Worker{rules: make(map[uint64]*plan.Rule), addr: ln.Addr().String()}
 	srv := rpc.NewServer()
 	if err := srv.RegisterName("Worker", w); err != nil {
 		ln.Close()
@@ -164,83 +108,58 @@ func (w *Worker) LoadRule(args LoadRuleArgs, reply *LoadRuleReply) error {
 		reply.Cached = true
 		return nil
 	}
-	cr, err := compile(&args.Rule)
+	r, err := plan.FromData(&args.Rule.Data)
 	if err != nil {
 		return err
 	}
 	w.mu.Lock()
-	w.rules[args.Rule.ID] = cr
+	w.rules[args.Rule.ID] = r
 	w.mu.Unlock()
 	reply.Cached = false
 	return nil
 }
 
-func (w *Worker) rule(id uint64) (*compiledRule, error) {
+func (w *Worker) rule(id uint64) (*plan.Rule, error) {
 	w.mu.RLock()
-	cr := w.rules[id]
+	r := w.rules[id]
 	w.mu.RUnlock()
-	if cr == nil {
+	if r == nil {
 		return nil, fmt.Errorf("dist: rule %d not loaded on %s", id, w.addr)
 	}
-	return cr, nil
+	return r, nil
 }
 
 // MapChunk is phase 2's map+combine: filter against the SZB-tree,
 // route to groups, and emit the chunk-local skyline per group.
 func (w *Worker) MapChunk(args MapArgs, reply *MapReply) error {
-	cr, err := w.rule(args.RuleID)
+	r, err := w.rule(args.RuleID)
 	if err != nil {
 		return err
 	}
-	byGroup := map[int][]point.Point{}
-	var order []int
-	for _, p := range args.Points {
-		e := zbtree.NewEntry(cr.enc, p)
-		if cr.szb != nil && cr.szb.DominatesPoint(e.G, e.P) {
-			reply.Filtered++
-			continue
-		}
-		gid, ok := cr.groupOf[cr.assign(e.Z)]
-		if !ok {
-			reply.Filtered++
-			continue
-		}
-		if _, seen := byGroup[gid]; !seen {
-			order = append(order, gid)
-		}
-		byGroup[gid] = append(byGroup[gid], p)
-	}
-	for _, gid := range order {
-		reply.Groups = append(reply.Groups, GroupPoints{
-			Gid:    gid,
-			Points: cr.localSkyline(byGroup[gid]),
-		})
-	}
+	out := r.MapChunk(args.Points, nil)
+	reply.Groups = out.Groups
+	reply.Filtered = out.Filtered
 	return nil
 }
 
 // ReduceGroup is phase 2's reduce: the skyline of one group's routed
 // points.
 func (w *Worker) ReduceGroup(args ReduceArgs, reply *ReduceReply) error {
-	cr, err := w.rule(args.RuleID)
+	r, err := w.rule(args.RuleID)
 	if err != nil {
 		return err
 	}
-	reply.Candidates = cr.localSkyline(args.Group.Points)
+	reply.Candidates = r.LocalSkyline(args.Group.Points, nil)
 	return nil
 }
 
-// MergeGroups is phase 3: build one ZB-tree per candidate group and
-// Z-merge them into the global skyline.
+// MergeGroups is one phase-3 merge task: Z-merge the candidate groups
+// into a partial (or, with all groups, the global) skyline.
 func (w *Worker) MergeGroups(args MergeArgs, reply *MergeReply) error {
-	cr, err := w.rule(args.RuleID)
+	r, err := w.rule(args.RuleID)
 	if err != nil {
 		return err
 	}
-	trees := make([]*zbtree.Tree, 0, len(args.Groups))
-	for _, g := range args.Groups {
-		trees = append(trees, zbtree.BuildFromPoints(cr.enc, cr.fanout, g.Points, nil))
-	}
-	reply.Skyline = zbtree.MergeAll(cr.enc, cr.fanout, trees, nil).Points()
+	reply.Skyline = r.MergeGroups(args.Groups, nil)
 	return nil
 }

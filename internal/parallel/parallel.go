@@ -1,19 +1,21 @@
 // Package parallel computes skylines on shared-memory multicores
 // without the MapReduce machinery: the input is sharded across
 // goroutines, each shard is solved with Z-search, and the shard
-// skylines are combined with a parallel Z-merge reduction tree. This
-// is the lightweight entry point for users who want the paper's
-// algorithms but run on one machine, not a simulated cluster.
+// skylines are combined with a parallel Z-merge reduction tree. The
+// phase logic and the reduction shape live in internal/plan; this
+// package is the thin shared-memory entry point for users who want
+// the paper's algorithms but run on one machine, not a simulated
+// cluster.
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"runtime"
-	"sync"
 
 	"zskyline/internal/metrics"
+	"zskyline/internal/plan"
 	"zskyline/internal/point"
-	"zskyline/internal/zbtree"
 	"zskyline/internal/zorder"
 )
 
@@ -48,8 +50,8 @@ func (o Options) normalize(dims int) Options {
 }
 
 // Skyline computes the exact skyline of ds using opts.Workers
-// goroutines.
-func Skyline(ds *point.Dataset, opts Options) ([]point.Point, error) {
+// goroutines, honoring ctx between merge rounds.
+func Skyline(ctx context.Context, ds *point.Dataset, opts Options) ([]point.Point, error) {
 	if ds == nil || ds.Len() == 0 {
 		return nil, nil
 	}
@@ -62,52 +64,28 @@ func Skyline(ds *point.Dataset, opts Options) ([]point.Point, error) {
 	if err != nil {
 		return nil, err
 	}
+	r := plan.NewLocalRule(enc, opts.Fanout, plan.ZS, plan.MergeZM)
+	ex := plan.NewLocalExec(opts.Workers)
 
-	// Shard and solve locally.
-	shards := opts.Workers
-	if shards > ds.Len() {
-		shards = ds.Len()
+	// Shard positionally and solve each shard with Z-search.
+	shards := make([]plan.Group, 0, opts.Workers)
+	for s, pts := range plan.SplitN(ds.Points, opts.Workers) {
+		shards = append(shards, plan.Group{Gid: s, Points: pts})
 	}
-	trees := make([]*zbtree.Tree, shards)
-	var wg sync.WaitGroup
-	for s := 0; s < shards; s++ {
-		lo := s * ds.Len() / shards
-		hi := (s + 1) * ds.Len() / shards
-		wg.Add(1)
-		go func(s int, pts []point.Point) {
-			defer wg.Done()
-			trees[s] = zbtree.BuildFromPoints(enc, opts.Fanout, pts, opts.Tally).SkylineTree()
-		}(s, ds.Points[lo:hi:hi])
+	skys, err := ex.RunReduces(ctx, r, shards, opts.Tally)
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
 
 	// Parallel pairwise Z-merge reduction.
-	for len(trees) > 1 {
-		half := (len(trees) + 1) / 2
-		next := make([]*zbtree.Tree, half)
-		for i := 0; i < half; i++ {
-			j := i + half
-			if j >= len(trees) {
-				next[i] = trees[i]
-				continue
-			}
-			wg.Add(1)
-			go func(i, j int) {
-				defer wg.Done()
-				next[i] = zbtree.Merge(trees[i], trees[j])
-			}(i, j)
-		}
-		wg.Wait()
-		trees = next
-	}
-	return trees[0].Points(), nil
+	return plan.MergePhase(ctx, ex, r, skys, true, opts.Tally)
 }
 
 // SkylineOf is a convenience wrapper over raw points.
-func SkylineOf(dims int, pts []point.Point, opts Options) ([]point.Point, error) {
+func SkylineOf(ctx context.Context, dims int, pts []point.Point, opts Options) ([]point.Point, error) {
 	ds, err := point.NewDataset(dims, pts)
 	if err != nil {
 		return nil, fmt.Errorf("parallel: %w", err)
 	}
-	return Skyline(ds, opts)
+	return Skyline(ctx, ds, opts)
 }

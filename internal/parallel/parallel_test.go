@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"testing"
 
 	"zskyline/internal/gen"
@@ -30,7 +31,7 @@ func TestExactAcrossDistributionsAndWorkers(t *testing.T) {
 		ds := gen.Synthetic(dist, 4000, 4, 13)
 		want := seq.SB(ds.Points, nil)
 		for _, workers := range []int{1, 2, 3, 7, 16} {
-			got, err := Skyline(ds, Options{Workers: workers})
+			got, err := Skyline(context.Background(), ds, Options{Workers: workers})
 			if err != nil {
 				t.Fatalf("%v/%d: %v", dist, workers, err)
 			}
@@ -40,22 +41,31 @@ func TestExactAcrossDistributionsAndWorkers(t *testing.T) {
 }
 
 func TestEdgeCases(t *testing.T) {
-	if got, err := Skyline(nil, Options{}); err != nil || got != nil {
+	if got, err := Skyline(context.Background(), nil, Options{}); err != nil || got != nil {
 		t.Errorf("nil dataset: %v %v", got, err)
 	}
 	ds := point.MustDataset(2, []point.Point{{1, 2}})
-	got, err := Skyline(ds, Options{Workers: 64}) // more workers than points
+	got, err := Skyline(context.Background(), ds, Options{Workers: 64}) // more workers than points
 	if err != nil || len(got) != 1 {
 		t.Errorf("singleton: %v %v", got, err)
 	}
-	if _, err := SkylineOf(2, []point.Point{{1}}, Options{}); err == nil {
+	if _, err := SkylineOf(context.Background(), 2, []point.Point{{1}}, Options{}); err == nil {
 		t.Error("dim mismatch accepted")
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ds := gen.Synthetic(gen.AntiCorrelated, 4000, 4, 13)
+	if _, err := Skyline(ctx, ds, Options{Workers: 4}); err == nil {
+		t.Error("cancelled context accepted")
 	}
 }
 
 func TestHighDimensional(t *testing.T) {
 	ds := gen.NUSWideLike(400, 3)
-	got, err := Skyline(ds, Options{Workers: 4})
+	got, err := Skyline(context.Background(), ds, Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +75,7 @@ func TestHighDimensional(t *testing.T) {
 func TestTallyPlumbed(t *testing.T) {
 	tal := &metrics.Tally{}
 	ds := gen.Synthetic(gen.AntiCorrelated, 2000, 3, 7)
-	if _, err := Skyline(ds, Options{Workers: 4, Tally: tal}); err != nil {
+	if _, err := Skyline(context.Background(), ds, Options{Workers: 4, Tally: tal}); err != nil {
 		t.Fatal(err)
 	}
 	if tal.Snapshot().DominanceTests == 0 {
@@ -77,7 +87,7 @@ func BenchmarkParallel100k5d(b *testing.B) {
 	ds := gen.Synthetic(gen.Independent, 100000, 5, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Skyline(ds, Options{}); err != nil {
+		if _, err := Skyline(context.Background(), ds, Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -87,7 +97,7 @@ func BenchmarkSequential100k5d(b *testing.B) {
 	ds := gen.Synthetic(gen.Independent, 100000, 5, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Skyline(ds, Options{Workers: 1}); err != nil {
+		if _, err := Skyline(context.Background(), ds, Options{Workers: 1}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,103 @@
+package plan
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"zskyline/internal/metrics"
+	"zskyline/internal/point"
+)
+
+// Executor runs the pipeline's tasks on some substrate. Implementations
+// decide placement, transport, and fault handling; the phase semantics
+// stay in plan.
+type Executor interface {
+	// Broadcast installs the rule wherever tasks will run (the paper's
+	// distributed-cache step). In-process executors may no-op.
+	Broadcast(ctx context.Context, r *Rule) error
+	// RunMaps executes r.MapChunk over each chunk.
+	RunMaps(ctx context.Context, r *Rule, chunks [][]point.Point, tally *metrics.Tally) ([]MapOutput, error)
+	// RunReduces executes r.LocalSkyline over each group, preserving
+	// group order and ids.
+	RunReduces(ctx context.Context, r *Rule, groups []Group, tally *metrics.Tally) ([]Group, error)
+	// RunMerges executes r.MergeGroups once per task, preserving task
+	// order.
+	RunMerges(ctx context.Context, r *Rule, tasks [][]Group, tally *metrics.Tally) ([][]point.Point, error)
+}
+
+// MapReducer is an optional Executor refinement for substrates with a
+// native shuffle (the MapReduce simulator): one fused call replaces
+// RunMaps + Shuffle + RunReduces for phase 2, so the substrate keeps
+// its own combiner and shuffle accounting. Groups must come back in
+// deterministic order with their candidate points; filtered is the
+// mapper-side drop count.
+type MapReducer interface {
+	MapReduce(ctx context.Context, r *Rule, pts []point.Point, tally *metrics.Tally) (groups []Group, filtered int64, err error)
+}
+
+// LocalExec runs tasks on a bounded pool of goroutines in-process —
+// the shared-memory substrate.
+type LocalExec struct {
+	workers int
+}
+
+// NewLocalExec builds a pool executor; workers <= 0 selects GOMAXPROCS.
+func NewLocalExec(workers int) *LocalExec {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &LocalExec{workers: workers}
+}
+
+// Broadcast is a no-op in-process.
+func (ex *LocalExec) Broadcast(ctx context.Context, _ *Rule) error { return ctx.Err() }
+
+// run fans f over n indices with bounded concurrency, checking ctx
+// before dispatching each task.
+func (ex *LocalExec) run(ctx context.Context, n int, f func(i int)) error {
+	sem := make(chan struct{}, ex.workers)
+	var wg sync.WaitGroup
+	var err error
+	for i := 0; i < n; i++ {
+		if err = ctx.Err(); err != nil {
+			break
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			f(i)
+		}(i)
+	}
+	wg.Wait()
+	return err
+}
+
+// RunMaps implements Executor.
+func (ex *LocalExec) RunMaps(ctx context.Context, r *Rule, chunks [][]point.Point, tally *metrics.Tally) ([]MapOutput, error) {
+	outs := make([]MapOutput, len(chunks))
+	err := ex.run(ctx, len(chunks), func(i int) {
+		outs[i] = r.MapChunk(chunks[i], tally)
+	})
+	return outs, err
+}
+
+// RunReduces implements Executor.
+func (ex *LocalExec) RunReduces(ctx context.Context, r *Rule, groups []Group, tally *metrics.Tally) ([]Group, error) {
+	outs := make([]Group, len(groups))
+	err := ex.run(ctx, len(groups), func(i int) {
+		outs[i] = Group{Gid: groups[i].Gid, Points: r.LocalSkyline(groups[i].Points, tally)}
+	})
+	return outs, err
+}
+
+// RunMerges implements Executor.
+func (ex *LocalExec) RunMerges(ctx context.Context, r *Rule, tasks [][]Group, tally *metrics.Tally) ([][]point.Point, error) {
+	outs := make([][]point.Point, len(tasks))
+	err := ex.run(ctx, len(tasks), func(i int) {
+		outs[i] = r.MergeGroups(tasks[i], tally)
+	})
+	return outs, err
+}

@@ -1,0 +1,266 @@
+package plan
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"testing"
+
+	"zskyline/internal/gen"
+	"zskyline/internal/metrics"
+	"zskyline/internal/point"
+	"zskyline/internal/sample"
+	"zskyline/internal/seq"
+)
+
+func validSpec() *Spec {
+	return &Spec{
+		Strategy:    ZDG,
+		Local:       ZS,
+		Merge:       MergeZM,
+		M:           8,
+		Delta:       2,
+		SampleRatio: 0.1,
+		Bits:        10,
+		MapTasks:    4,
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	bad := []func(*Spec){
+		func(s *Spec) { s.M = 0 },
+		func(s *Spec) { s.Delta = 0 },
+		func(s *Spec) { s.SampleRatio = 0 },
+		func(s *Spec) { s.SampleRatio = 1.5 },
+		func(s *Spec) { s.Bits = 0 },
+		func(s *Spec) { s.Bits = 99 },
+	}
+	for i, mutate := range bad {
+		s := validSpec()
+		mutate(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+	if err := validSpec().Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	for _, s := range []Strategy{Grid, Angle, Random, NaiveZ, ZHG, ZDG, Strategy(42)} {
+		if s.String() == "" {
+			t.Errorf("strategy %d has empty name", int(s))
+		}
+	}
+	for _, a := range []LocalAlgo{SB, ZS} {
+		if a.String() == "" {
+			t.Errorf("local algo %d has empty name", int(a))
+		}
+	}
+	for _, m := range []MergeAlgo{MergeZM, MergeZS, MergeSB} {
+		if m.String() == "" {
+			t.Errorf("merge algo %d has empty name", int(m))
+		}
+	}
+}
+
+func TestSplitNAndChunkBy(t *testing.T) {
+	pts := make([]point.Point, 10)
+	for i := range pts {
+		pts[i] = point.Point{float64(i)}
+	}
+	check := func(chunks [][]point.Point, label string) {
+		t.Helper()
+		var total int
+		for _, c := range chunks {
+			total += len(c)
+		}
+		if total != len(pts) {
+			t.Fatalf("%s: chunks cover %d points, want %d", label, total, len(pts))
+		}
+	}
+	for _, n := range []int{0, 1, 3, 10, 99} {
+		check(SplitN(pts, n), "splitN")
+	}
+	if got := len(SplitN(pts, 3)); got != 3 {
+		t.Errorf("SplitN(10,3) = %d chunks", got)
+	}
+	if got := len(SplitN(pts, 99)); got != 10 {
+		t.Errorf("SplitN(10,99) = %d chunks (want one per point)", got)
+	}
+	for _, size := range []int{0, 1, 4, 10, 99} {
+		check(ChunkBy(pts, size), "chunkBy")
+	}
+	if got := len(ChunkBy(pts, 4)); got != 3 {
+		t.Errorf("ChunkBy(10,4) = %d chunks", got)
+	}
+	if SplitN(nil, 4) != nil {
+		t.Error("SplitN(nil) != nil")
+	}
+}
+
+func TestShuffleDeterministicOrder(t *testing.T) {
+	outs := []MapOutput{
+		{Groups: []Group{{Gid: 3, Points: []point.Point{{1}}}, {Gid: 1, Points: []point.Point{{2}}}}, Filtered: 2},
+		{Groups: []Group{{Gid: 1, Points: []point.Point{{3}}}, {Gid: 0, Points: []point.Point{{4}}}}, Filtered: 1},
+	}
+	groups, filtered := Shuffle(outs)
+	if filtered != 3 {
+		t.Errorf("filtered = %d, want 3", filtered)
+	}
+	wantOrder := []int{3, 1, 0}
+	if len(groups) != len(wantOrder) {
+		t.Fatalf("groups = %d, want %d", len(groups), len(wantOrder))
+	}
+	for i, gid := range wantOrder {
+		if groups[i].Gid != gid {
+			t.Errorf("group[%d].Gid = %d, want %d (first-seen order)", i, groups[i].Gid, gid)
+		}
+	}
+	if len(groups[1].Points) != 2 {
+		t.Errorf("group 1 holds %d points, want 2 (concatenated)", len(groups[1].Points))
+	}
+}
+
+// learnRule builds a rule from a fresh sample of ds, as Run does.
+func learnRule(t *testing.T, spec *Spec, ds *point.Dataset) *Rule {
+	t.Helper()
+	smp, err := sample.Ratio(ds.Points, spec.SampleRatio, spec.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mins, maxs, err := ds.Bounds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Learn(spec, ds.Dims, mins, maxs, smp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestRuleDataRoundTrip broadcasts a rule through gob — the dist wire
+// format — and checks the compiled copy routes and merges identically.
+func TestRuleDataRoundTrip(t *testing.T) {
+	ds := gen.Synthetic(gen.AntiCorrelated, 2000, 4, 5)
+	r := learnRule(t, validSpec(), ds)
+	rd, err := r.Data()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(rd); err != nil {
+		t.Fatal(err)
+	}
+	var back RuleData
+	if err := gob.NewDecoder(&buf).Decode(&back); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := FromData(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Groups() != r.Groups() || r2.Partitions() != r.Partitions() {
+		t.Fatalf("shape drift: %d/%d groups, %d/%d partitions",
+			r2.Groups(), r.Groups(), r2.Partitions(), r.Partitions())
+	}
+	for _, p := range ds.Points[:500] {
+		g1, ok1 := r.Route(p)
+		g2, ok2 := r2.Route(p)
+		if g1 != g2 || ok1 != ok2 {
+			t.Fatalf("route drift for %v: (%d,%v) vs (%d,%v)", p, g1, ok1, g2, ok2)
+		}
+	}
+	out1 := r.MapChunk(ds.Points, nil)
+	out2 := r2.MapChunk(ds.Points, nil)
+	if out1.Filtered != out2.Filtered || len(out1.Groups) != len(out2.Groups) {
+		t.Fatalf("map drift: %+v vs %+v", out1.Filtered, out2.Filtered)
+	}
+}
+
+// Baseline rules close over in-memory partitioners; they must refuse
+// to serialize rather than broadcast something non-executable.
+func TestBaselineRulesDoNotSerialize(t *testing.T) {
+	ds := gen.Synthetic(gen.Independent, 500, 3, 9)
+	for _, st := range []Strategy{Grid, Angle, Random} {
+		spec := validSpec()
+		spec.Strategy = st
+		r := learnRule(t, spec, ds)
+		if _, err := r.Data(); err == nil {
+			t.Errorf("%v rule serialized", st)
+		}
+	}
+}
+
+func TestUnknownStrategyRejected(t *testing.T) {
+	spec := validSpec()
+	spec.Strategy = Strategy(42)
+	ds := gen.Synthetic(gen.Independent, 200, 2, 1)
+	if _, _, err := Run(context.Background(), spec, ds, NewLocalExec(2), nil); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestRunEmptyAndCancelled(t *testing.T) {
+	sky, rep, err := Run(context.Background(), validSpec(), nil, NewLocalExec(2), nil)
+	if err != nil || sky != nil || rep == nil {
+		t.Errorf("empty run: %v %v %v", sky, rep, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ds := gen.Synthetic(gen.Independent, 1000, 3, 2)
+	if _, _, err := Run(ctx, validSpec(), ds, NewLocalExec(2), nil); err == nil {
+		t.Error("cancelled context accepted")
+	}
+}
+
+// The report's counters must be internally consistent and the skyline
+// exact, for every merge algorithm.
+func TestRunReportAndMergeAlgos(t *testing.T) {
+	ds := gen.Synthetic(gen.AntiCorrelated, 3000, 4, 11)
+	want := seq.BruteForce(ds.Points)
+	for _, merge := range []MergeAlgo{MergeZM, MergeZS, MergeSB} {
+		spec := validSpec()
+		spec.Merge = merge
+		tally := &metrics.Tally{}
+		sky, rep, err := Run(context.Background(), spec, ds, NewLocalExec(4), tally)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameSet(t, sky, want, "merge/"+merge.String())
+		if rep.SkylineSize != len(sky) || rep.Candidates < len(sky) {
+			t.Errorf("%v: report %+v", merge, rep)
+		}
+		if rep.Groups == 0 || rep.SampleSkySize == 0 || rep.Filtered == 0 {
+			t.Errorf("%v: phase-1 fields empty: %+v", merge, rep)
+		}
+		var perGroup int
+		for _, n := range rep.PerGroupCandidates {
+			perGroup += n
+		}
+		if perGroup != rep.Candidates {
+			t.Errorf("%v: per-group sum %d != candidates %d", merge, perGroup, rep.Candidates)
+		}
+		if tally.Snapshot().DominanceTests == 0 {
+			t.Errorf("%v: no dominance tests recorded", merge)
+		}
+	}
+}
+
+func sameSet(t *testing.T, got, want []point.Point, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d points, want %d", label, len(got), len(want))
+	}
+	g := append([]point.Point(nil), got...)
+	w := append([]point.Point(nil), want...)
+	point.SortLexicographic(g)
+	point.SortLexicographic(w)
+	for i := range g {
+		if !g[i].Equal(w[i]) {
+			t.Fatalf("%s: [%d] = %v, want %v", label, i, g[i], w[i])
+		}
+	}
+}

@@ -1,0 +1,372 @@
+package plan
+
+import (
+	"fmt"
+
+	"zskyline/internal/grouping"
+	"zskyline/internal/metrics"
+	"zskyline/internal/partition"
+	"zskyline/internal/point"
+	"zskyline/internal/seq"
+	"zskyline/internal/zbtree"
+	"zskyline/internal/zorder"
+)
+
+// Rule is the learned phase-1 artifact: how to route a point to its
+// group (or drop it), how to compute a group's local skyline, and how
+// to merge candidate groups. One Rule drives every substrate; the
+// Z-order variants additionally serialize to RuleData for broadcast.
+type Rule struct {
+	local     LocalAlgo
+	merge     MergeAlgo
+	fanout    int
+	filterOff bool
+
+	// enc quantizes over the data bounds; merge always uses it. localEnc
+	// is the phase-2 local-skyline encoder: the same bounds encoder for
+	// Z-order strategies, a unit-box encoder for the baselines (which
+	// learn no bounds encoder of their own).
+	enc      *zorder.Encoder
+	localEnc *zorder.Encoder
+
+	// assignFn routes for the non-Z baselines (Grid / Angle / Random).
+	assignFn func(p point.Point) (gid int, ok bool)
+	// pivots + groupOf route for the Z-order strategies: binary-search
+	// the Z-address into a partition, then map partition -> group.
+	pivots  []zorder.ZAddr
+	groupOf map[int]int
+	// szb is the sample-skyline ZB-tree of Algorithm 3; nil when the
+	// strategy does not filter.
+	szb *zbtree.Tree
+	// sampleSky is the broadcastable sample skyline backing szb.
+	sampleSky []point.Point
+
+	dims       int
+	bits       int
+	mins, maxs []float64
+
+	groups  int
+	parts   int
+	pruned  int
+	skySize int
+}
+
+// Learn builds the routing rule from the sample — phase 1 (§5.1) for
+// all six strategies. mins/maxs are the dataset bounds; dims its width.
+func Learn(spec *Spec, dims int, mins, maxs []float64, smp []point.Point, tally *metrics.Tally) (*Rule, error) {
+	enc, err := zorder.NewEncoder(dims, spec.Bits, mins, maxs)
+	if err != nil {
+		return nil, err
+	}
+	r := &Rule{
+		local:     spec.Local,
+		merge:     spec.Merge,
+		fanout:    spec.fanout(),
+		filterOff: spec.DisableSZBFilter,
+		enc:       enc,
+		localEnc:  enc,
+		dims:      dims,
+		bits:      spec.Bits,
+		mins:      mins,
+		maxs:      maxs,
+	}
+
+	switch spec.Strategy {
+	case Grid:
+		g, err := partition.NewGrid(smp, spec.M)
+		if err != nil {
+			return nil, err
+		}
+		r.assignFn = func(p point.Point) (int, bool) { return g.Assign(p), true }
+		r.groups, r.parts = g.N(), g.N()
+		return r.withUnitLocalEncoder()
+	case Angle:
+		a, err := partition.NewAngle(smp, spec.M)
+		if err != nil {
+			return nil, err
+		}
+		r.assignFn = func(p point.Point) (int, bool) { return a.Assign(p), true }
+		r.groups, r.parts = a.N(), a.N()
+		return r.withUnitLocalEncoder()
+	case Random:
+		rp, err := partition.NewRandom(spec.M)
+		if err != nil {
+			return nil, err
+		}
+		r.assignFn = func(p point.Point) (int, bool) { return rp.Assign(p), true }
+		r.groups, r.parts = rp.N(), rp.N()
+		return r.withUnitLocalEncoder()
+	case NaiveZ, ZHG, ZDG:
+	default:
+		return nil, fmt.Errorf("plan: unknown strategy %v", spec.Strategy)
+	}
+
+	// Z-order strategies.
+	parts := spec.M
+	if spec.Strategy != NaiveZ {
+		parts = spec.M * spec.Delta
+	}
+	zc, err := partition.NewZCurve(enc, smp, parts)
+	if err != nil {
+		return nil, err
+	}
+	skyPts := zbtree.ZSearch(enc, spec.fanout(), smp, tally)
+	r.skySize = len(skyPts)
+	// Naive-Z is the bare §4.1 partitioner: pivots only, no sample
+	// skyline broadcast, no grouping. Only the grouped strategies run
+	// Algorithm 3's SZB-tree mapper filter.
+	if spec.Strategy != NaiveZ {
+		r.sampleSky = skyPts
+		r.szb = zbtree.BuildFromPoints(enc, spec.fanout(), skyPts, tally)
+	}
+
+	var pg *grouping.PGMap
+	switch spec.Strategy {
+	case NaiveZ:
+		pg = grouping.Identity(zc.Infos())
+	case ZHG:
+		zc = zc.Redistribute(smp, sconsOf(skyPts, spec.M))
+		pg, err = grouping.Heuristic(zc.Infos(), spec.M)
+	case ZDG:
+		zc = zc.Redistribute(smp, sconsOf(skyPts, spec.M))
+		pg, err = grouping.Dominance(enc, zc.Infos(), spec.M)
+	}
+	if err != nil {
+		return nil, err
+	}
+	r.pivots = zc.Pivots()
+	r.groupOf = pg.Assign
+	r.groups = pg.Groups
+	r.parts = zc.N()
+	r.pruned = len(pg.Pruned)
+	return r, nil
+}
+
+// sconsOf is the redistribute() skyline-per-partition cap of
+// Algorithms 1 and 2.
+func sconsOf(skyPts []point.Point, m int) int {
+	scons := len(skyPts) / m
+	if scons < 1 {
+		scons = 1
+	}
+	return scons
+}
+
+// withUnitLocalEncoder swaps the local-skyline encoder for a unit-box
+// one. The baselines learn no bounds encoder, and exact correctness
+// does not depend on bounds (clamping only weakens pruning), so the
+// unit box — where generated data lives — is a safe default.
+func (r *Rule) withUnitLocalEncoder() (*Rule, error) {
+	u, err := zorder.NewUnitEncoder(r.dims, r.bits)
+	if err != nil {
+		return nil, err
+	}
+	r.localEnc = u
+	return r, nil
+}
+
+// NewLocalRule builds a routing-less rule over enc for substrates that
+// shard positionally (the shared-memory executor): only LocalSkyline
+// and MergeGroups are meaningful on it.
+func NewLocalRule(enc *zorder.Encoder, fanout int, local LocalAlgo, merge MergeAlgo) *Rule {
+	if fanout <= 0 {
+		fanout = zbtree.DefaultFanout
+	}
+	return &Rule{local: local, merge: merge, fanout: fanout, enc: enc, localEnc: enc, dims: enc.Dims()}
+}
+
+// Groups returns the number of groups (= phase-2 reducers).
+func (r *Rule) Groups() int { return r.groups }
+
+// Partitions returns the partition count before grouping.
+func (r *Rule) Partitions() int { return r.parts }
+
+// PrunedPartitions returns how many partitions grouping dropped as
+// fully dominated.
+func (r *Rule) PrunedPartitions() int { return r.pruned }
+
+// SampleSkySize returns the sample-skyline size (0 for the baselines).
+func (r *Rule) SampleSkySize() int { return r.skySize }
+
+// Encoder returns the rule's bounds encoder.
+func (r *Rule) Encoder() *zorder.Encoder { return r.enc }
+
+// Route maps a point to its group; ok is false when the point is
+// dropped (SZB-tree filtered, or routed to a pruned partition).
+func (r *Rule) Route(p point.Point) (gid int, ok bool) {
+	if r.assignFn != nil {
+		return r.assignFn(p)
+	}
+	// One encode serves both the SZB filter and routing.
+	return r.RouteEntry(zbtree.NewEntry(r.enc, p))
+}
+
+// RouteEntry routes an already-encoded ZB-tree entry — the hot path
+// for mappers that need the entry anyway (Algorithm 3).
+func (r *Rule) RouteEntry(e zbtree.Entry) (gid int, ok bool) {
+	if r.szb != nil && !r.filterOff && r.szb.DominatesPoint(e.G, e.P) {
+		return 0, false
+	}
+	gid, ok = r.groupOf[r.partitionOf(e.Z)]
+	return gid, ok
+}
+
+// partitionOf binary-searches the Z-address into its partition
+// (Algorithm 3's searchPT step).
+func (r *Rule) partitionOf(a zorder.ZAddr) int {
+	lo, hi := 0, len(r.pivots)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if zorder.Compare(a, r.pivots[mid]) < 0 {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// LocalSkyline computes one group's skyline with the configured local
+// algorithm (phase 2's combine/reduce).
+func (r *Rule) LocalSkyline(pts []point.Point, tally *metrics.Tally) []point.Point {
+	if r.local == ZS {
+		return zbtree.ZSearch(r.localEnc, r.fanout, pts, tally)
+	}
+	return seq.SB(pts, tally)
+}
+
+// MapChunk is phase 2's map+combine over one chunk: filter against the
+// SZB-tree, route to groups (first-seen order), and emit the
+// chunk-local skyline per group.
+func (r *Rule) MapChunk(pts []point.Point, tally *metrics.Tally) MapOutput {
+	byGroup := map[int][]point.Point{}
+	var order []int
+	var out MapOutput
+	for _, p := range pts {
+		gid, ok := r.Route(p)
+		if !ok {
+			out.Filtered++
+			continue
+		}
+		if _, seen := byGroup[gid]; !seen {
+			order = append(order, gid)
+		}
+		byGroup[gid] = append(byGroup[gid], p)
+	}
+	tally.AddPointsPruned(out.Filtered)
+	out.Groups = make([]Group, len(order))
+	for i, gid := range order {
+		out.Groups[i] = Group{Gid: gid, Points: r.LocalSkyline(byGroup[gid], tally)}
+	}
+	return out
+}
+
+// MergeGroups is one phase-3 merge task over candidate groups, in the
+// given order: Z-merge one ZB-tree per group (Algorithm 4), or the
+// ZS / SB recompute baselines.
+func (r *Rule) MergeGroups(groups []Group, tally *metrics.Tally) []point.Point {
+	switch r.merge {
+	case MergeZM:
+		trees := make([]*zbtree.Tree, 0, len(groups))
+		for _, g := range groups {
+			trees = append(trees, zbtree.BuildFromPoints(r.enc, r.fanout, g.Points, tally))
+		}
+		return zbtree.MergeAll(r.enc, r.fanout, trees, tally).Points()
+	case MergeZS:
+		return zbtree.ZSearch(r.enc, r.fanout, flatten(groups), tally)
+	default: // MergeSB
+		return seq.SB(flatten(groups), tally)
+	}
+}
+
+func flatten(groups []Group) []point.Point {
+	var n int
+	for _, g := range groups {
+		n += len(g.Points)
+	}
+	all := make([]point.Point, 0, n)
+	for _, g := range groups {
+		all = append(all, g.Points...)
+	}
+	return all
+}
+
+// RuleData is the gob-serializable form of a Z-order rule — what a
+// coordinator broadcasts to remote workers (the paper's
+// distributed-cache step).
+type RuleData struct {
+	Dims, Bits    int
+	Mins, Maxs    []float64
+	Pivots        [][]uint64
+	GroupOf       map[int]int
+	Groups        int
+	SampleSkyline []point.Point
+	Fanout        int
+	Local         LocalAlgo
+	Merge         MergeAlgo
+	DisableFilter bool
+}
+
+// Data serializes the rule. Only Z-order rules serialize: the
+// baselines close over in-memory partitioners and are in-process only.
+func (r *Rule) Data() (*RuleData, error) {
+	if r.assignFn != nil || r.groupOf == nil {
+		return nil, fmt.Errorf("plan: only Z-order rules serialize for broadcast")
+	}
+	rd := &RuleData{
+		Dims:          r.dims,
+		Bits:          r.bits,
+		Mins:          r.mins,
+		Maxs:          r.maxs,
+		GroupOf:       r.groupOf,
+		Groups:        r.groups,
+		SampleSkyline: r.sampleSky,
+		Fanout:        r.fanout,
+		Local:         r.local,
+		Merge:         r.merge,
+		DisableFilter: r.filterOff,
+	}
+	rd.Pivots = make([][]uint64, len(r.pivots))
+	for i, p := range r.pivots {
+		rd.Pivots[i] = p.Clone()
+	}
+	return rd, nil
+}
+
+// FromData compiles a broadcast rule back into executable form.
+func FromData(rd *RuleData) (*Rule, error) {
+	enc, err := zorder.NewEncoder(rd.Dims, rd.Bits, rd.Mins, rd.Maxs)
+	if err != nil {
+		return nil, err
+	}
+	r := &Rule{
+		local:     rd.Local,
+		merge:     rd.Merge,
+		fanout:    rd.Fanout,
+		filterOff: rd.DisableFilter,
+		enc:       enc,
+		localEnc:  enc,
+		groupOf:   rd.GroupOf,
+		sampleSky: rd.SampleSkyline,
+		dims:      rd.Dims,
+		bits:      rd.Bits,
+		mins:      rd.Mins,
+		maxs:      rd.Maxs,
+		groups:    rd.Groups,
+		parts:     len(rd.Pivots) + 1,
+		skySize:   len(rd.SampleSkyline),
+	}
+	if r.fanout <= 0 {
+		r.fanout = zbtree.DefaultFanout
+	}
+	for _, p := range rd.Pivots {
+		if len(p) != enc.Words() {
+			return nil, fmt.Errorf("plan: pivot has %d words, want %d", len(p), enc.Words())
+		}
+		r.pivots = append(r.pivots, zorder.ZAddr(p))
+	}
+	if len(rd.SampleSkyline) > 0 {
+		r.szb = zbtree.BuildFromPoints(enc, r.fanout, rd.SampleSkyline, nil)
+	}
+	return r, nil
+}

@@ -1,0 +1,164 @@
+package plan
+
+import (
+	"context"
+	"time"
+
+	"zskyline/internal/metrics"
+	"zskyline/internal/point"
+	"zskyline/internal/sample"
+)
+
+// Report describes one pipeline run at the plan level: the phase
+// numbers every substrate shares. Substrates wrap it with their own
+// execution statistics (job stats, worker counts).
+type Report struct {
+	// Phase wall-clock durations. Preprocess covers sampling, rule
+	// learning, and the broadcast.
+	Preprocess time.Duration
+	Phase2     time.Duration
+	Phase3     time.Duration
+	Total      time.Duration
+
+	// SampleSize is the number of sampled points; SampleSkySize the
+	// size of the sample skyline loaded into every mapper.
+	SampleSize    int
+	SampleSkySize int
+
+	// Groups is the number of groups (= phase-2 reducers); Partitions
+	// the number of Z-partitions before grouping; PrunedPartitions how
+	// many were dropped as fully dominated.
+	Groups           int
+	Partitions       int
+	PrunedPartitions int
+
+	// Filtered counts input points dropped by the SZB-tree filter or by
+	// pruned partitions before the shuffle.
+	Filtered int64
+	// Candidates is the phase-2 output size; PerGroupCandidates its
+	// per-group breakdown (indexed by gid).
+	Candidates         int
+	PerGroupCandidates []int
+	// SkylineSize is |S|.
+	SkylineSize int
+}
+
+// Run executes the full three-phase pipeline on ex: learn the rule
+// from a sample of ds, map/combine/reduce to per-group skyline
+// candidates, and merge them into the exact global skyline.
+func Run(ctx context.Context, spec *Spec, ds *point.Dataset, ex Executor, tally *metrics.Tally) ([]point.Point, *Report, error) {
+	rep := &Report{}
+	if ds == nil || ds.Len() == 0 {
+		return nil, rep, nil
+	}
+	total := time.Now()
+
+	// ---- Phase 1: preprocessing on the master ----
+	t0 := time.Now()
+	smp, err := sample.Ratio(ds.Points, spec.SampleRatio, spec.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.SampleSize = len(smp)
+	mins, maxs, err := ds.Bounds()
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := Learn(spec, ds.Dims, mins, maxs, smp, tally)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := ex.Broadcast(ctx, r); err != nil {
+		return nil, nil, err
+	}
+	rep.Preprocess = time.Since(t0)
+	rep.Groups = r.groups
+	rep.Partitions = r.parts
+	rep.PrunedPartitions = r.pruned
+	rep.SampleSkySize = r.skySize
+
+	// ---- Phase 2: compute skyline candidates ----
+	t1 := time.Now()
+	groups, filtered, err := runPhase2(ctx, spec, r, ds, ex, tally)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.Phase2 = time.Since(t1)
+	rep.Filtered = filtered
+	perGroup := make([]int, r.groups)
+	for _, g := range groups {
+		rep.Candidates += len(g.Points)
+		if g.Gid >= 0 && g.Gid < r.groups {
+			perGroup[g.Gid] += len(g.Points)
+		}
+	}
+	rep.PerGroupCandidates = perGroup
+
+	// ---- Phase 3: merge skyline candidates ----
+	t2 := time.Now()
+	sky, err := MergePhase(ctx, ex, r, groups, spec.TreeMerge, tally)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.Phase3 = time.Since(t2)
+	rep.SkylineSize = len(sky)
+	rep.Total = time.Since(total)
+	return sky, rep, nil
+}
+
+// runPhase2 prefers the substrate's fused map-reduce when offered,
+// falling back to map tasks + coordinator-side shuffle + reduce tasks.
+func runPhase2(ctx context.Context, spec *Spec, r *Rule, ds *point.Dataset, ex Executor, tally *metrics.Tally) ([]Group, int64, error) {
+	if mr, ok := ex.(MapReducer); ok {
+		return mr.MapReduce(ctx, r, ds.Points, tally)
+	}
+	outs, err := ex.RunMaps(ctx, r, spec.chunk(ds.Points), tally)
+	if err != nil {
+		return nil, 0, err
+	}
+	groups, filtered := Shuffle(outs)
+	groups, err = ex.RunReduces(ctx, r, groups, tally)
+	if err != nil {
+		return nil, 0, err
+	}
+	return groups, filtered, nil
+}
+
+// MergePhase is phase 3 (§5.3): one merge task over all candidate
+// groups, or — with tree set — rounds of pairwise merge tasks until a
+// single result remains, checking ctx between rounds.
+func MergePhase(ctx context.Context, ex Executor, r *Rule, groups []Group, tree bool, tally *metrics.Tally) ([]point.Point, error) {
+	if len(groups) == 0 {
+		return nil, nil
+	}
+	if !tree || len(groups) <= 2 {
+		outs, err := ex.RunMerges(ctx, r, [][]Group{groups}, tally)
+		if err != nil {
+			return nil, err
+		}
+		return outs[0], nil
+	}
+	for len(groups) > 1 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		tasks := make([][]Group, 0, (len(groups)+1)/2)
+		for i := 0; i+1 < len(groups); i += 2 {
+			tasks = append(tasks, []Group{groups[i], groups[i+1]})
+		}
+		outs, err := ex.RunMerges(ctx, r, tasks, tally)
+		if err != nil {
+			return nil, err
+		}
+		next := make([]Group, 0, len(outs)+1)
+		for i, pts := range outs {
+			next = append(next, Group{Gid: i, Points: pts})
+		}
+		if len(groups)%2 == 1 {
+			last := groups[len(groups)-1]
+			next = append(next, Group{Gid: len(next), Points: last.Points})
+		}
+		groups = next
+	}
+	return groups[0].Points, nil
+}

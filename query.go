@@ -189,7 +189,7 @@ func RunQuery(ctx context.Context, rel *Relation, q Query) (*Result, error) {
 		ids = append(ids, rows[0])
 		byKey[k] = rows[1:]
 	}
-	sortInts(ids)
+	sort.Ints(ids)
 	return &Result{RowIDs: ids, Report: rep}, nil
 }
 
@@ -201,8 +201,6 @@ func defaultQueryConfig(n int) Config {
 	}
 	return cfg
 }
-
-func sortInts(a []int) { sort.Ints(a) }
 
 // GroupedResult is the answer to a RunGroupedQuery: one skyline per
 // distinct value of the grouping attribute.
