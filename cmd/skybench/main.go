@@ -9,6 +9,10 @@
 //
 // The -scale flag multiplies every dataset size; 1.0 corresponds to
 // the paper's sizes divided by 1000.
+//
+// -trace wraps each experiment in a span and prints the run's trace
+// report to stderr; -metrics-addr serves GET /metrics and
+// /debug/pprof/ for the duration of the run.
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"time"
 
 	"zskyline/internal/exp"
+	"zskyline/internal/obs"
 )
 
 func main() {
@@ -34,6 +39,8 @@ func main() {
 		overhead = flag.Int("task-overhead-ms", 0, "simulated per-task startup cost in ms")
 		list     = flag.Bool("list", false, "list available experiments and exit")
 		outdir   = flag.String("outdir", "", "also write each experiment's table as <outdir>/<id>.csv")
+		trace    = flag.Bool("trace", false, "print a per-run trace report (one span tree per experiment) to stderr")
+		metrics_ = flag.String("metrics-addr", "", "serve GET /metrics and /debug/pprof/ on this address during the run")
 	)
 	flag.Parse()
 
@@ -59,16 +66,35 @@ func main() {
 		}
 	}
 
+	reg := obs.NewRegistry()
+	if *metrics_ != "" {
+		addr, stopMetrics, err := obs.ServeMetrics(*metrics_, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skybench: %v\n", err)
+			os.Exit(1)
+		}
+		defer stopMetrics()
+		fmt.Fprintf(os.Stderr, "skybench: metrics on http://%s/metrics\n", addr)
+	}
+
 	params := exp.Params{Scale: *scale, Workers: *workers, Seed: *seed,
 		NetworkMBps: *netMBps, TaskOverheadMs: *overhead}
 	ctx := context.Background()
+	var tr *obs.Trace
+	if *trace {
+		tr = obs.NewTrace("skybench")
+		ctx = obs.ContextWithTrace(ctx, tr)
+	}
 	for _, e := range selected {
 		start := time.Now()
-		table, err := e.Run(ctx, params)
+		expSpan, ectx := obs.StartSpan(ctx, "exp/"+e.ID)
+		table, err := e.Run(ectx, params)
+		expSpan.End()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "skybench: %s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
+		expSpan.SetAttr("rows", len(table.Rows))
 		if *csv {
 			fmt.Printf("# %s — %s\n%s\n", table.ID, table.Title, table.CSV())
 		} else {
@@ -86,5 +112,9 @@ func main() {
 				os.Exit(1)
 			}
 		}
+	}
+	if *trace {
+		tr.Finish()
+		obs.WriteReport(os.Stderr, tr, reg)
 	}
 }

@@ -21,6 +21,7 @@ import (
 
 	"zskyline/internal/codec"
 	"zskyline/internal/dist"
+	"zskyline/internal/obs"
 	"zskyline/internal/point"
 )
 
@@ -36,8 +37,21 @@ func main() {
 		seed      = flag.Int64("seed", 42, "sampling seed")
 		report    = flag.Bool("report", false, "print the run report to stderr")
 		stream    = flag.Bool("stream", false, "stream a ZSKY binary file to the workers without loading it (requires -format binary and a file path)")
+		trace     = flag.Bool("trace", false, "print a per-run trace report (phase + RPC spans, wire bytes) to stderr")
+		metrics_  = flag.String("metrics-addr", "", "serve GET /metrics and /debug/pprof/ on this address during the run")
 	)
 	flag.Parse()
+
+	reg := obs.NewRegistry()
+	if *metrics_ != "" {
+		addr, stopMetrics, err := obs.ServeMetrics(*metrics_, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skydist: %v\n", err)
+			os.Exit(1)
+		}
+		defer stopMetrics()
+		fmt.Fprintf(os.Stderr, "skydist: metrics on http://%s/metrics\n", addr)
+	}
 
 	if *workers == "" {
 		fmt.Fprintln(os.Stderr, "skydist: -workers is required")
@@ -61,6 +75,13 @@ func main() {
 	}
 	defer coord.Close()
 
+	ctx := context.Background()
+	var tr *obs.Trace
+	if *trace {
+		tr = obs.NewTrace("skydist-query")
+		ctx = obs.ContextWithTrace(ctx, tr)
+	}
+
 	var sky []point.Point
 	var rep *dist.Report
 	var inputSize int
@@ -69,7 +90,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "skydist: -stream requires -format binary and a file path")
 			os.Exit(2)
 		}
-		sky, rep, err = coord.SkylineFile(context.Background(), *in)
+		sky, rep, err = coord.SkylineFile(ctx, *in)
 	} else {
 		r := os.Stdin
 		if *in != "-" {
@@ -95,11 +116,20 @@ func main() {
 			os.Exit(1)
 		}
 		inputSize = ds.Len()
-		sky, rep, err = coord.Skyline(context.Background(), ds)
+		sky, rep, err = coord.Skyline(ctx, ds)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "skydist: %v\n", err)
 		os.Exit(1)
+	}
+	tr.Finish()
+	for _, ws := range rep.Wire {
+		w := obs.L("worker", ws.Addr)
+		reg.Counter("zsky_rpc_wire_bytes_total", w, obs.L("dir", "sent")).Add(ws.Sent)
+		reg.Counter("zsky_rpc_wire_bytes_total", w, obs.L("dir", "recv")).Add(ws.Recv)
+	}
+	if *trace {
+		obs.WriteReport(os.Stderr, tr, reg)
 	}
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()

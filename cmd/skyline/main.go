@@ -22,6 +22,7 @@ import (
 
 	"zskyline/internal/codec"
 	"zskyline/internal/core"
+	"zskyline/internal/obs"
 	"zskyline/internal/ooc"
 	"zskyline/internal/point"
 )
@@ -57,8 +58,21 @@ func main() {
 		report   = flag.Bool("report", false, "print the pipeline report to stderr")
 		format   = flag.String("format", "csv", "input format: csv|binary")
 		oocBatch = flag.Int("ooc", 0, "out-of-core mode: stream a binary file in batches of this size (0 = load fully)")
+		trace    = flag.Bool("trace", false, "print a per-run trace report (phase spans + counters) to stderr")
+		metrics_ = flag.String("metrics-addr", "", "serve GET /metrics and /debug/pprof/ on this address during the run")
 	)
 	flag.Parse()
+
+	reg := obs.NewRegistry()
+	if *metrics_ != "" {
+		addr, stopMetrics, err := obs.ServeMetrics(*metrics_, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skyline: %v\n", err)
+			os.Exit(1)
+		}
+		defer stopMetrics()
+		fmt.Fprintf(os.Stderr, "skyline: metrics on http://%s/metrics\n", addr)
+	}
 
 	if *oocBatch > 0 {
 		if *format != "binary" || *in == "-" {
@@ -137,11 +151,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "skyline: %v\n", err)
 		os.Exit(2)
 	}
-	sky, rep, err := eng.Skyline(context.Background(), ds)
+	ctx := context.Background()
+	var tr *obs.Trace
+	if *trace {
+		tr = obs.NewTrace("skyline-query")
+		ctx = obs.ContextWithTrace(ctx, tr)
+	}
+	sky, rep, err := eng.Skyline(ctx, ds)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "skyline: %v\n", err)
 		os.Exit(1)
 	}
+	tr.Finish()
+	reg.AbsorbTally(rep.Tally)
+	reg.AbsorbJobStats(rep.Job1)
+	reg.AbsorbJobStats(rep.Job2)
 
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
@@ -153,6 +177,9 @@ func main() {
 			w.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
 		}
 		w.WriteByte('\n')
+	}
+	if *trace {
+		obs.WriteReport(os.Stderr, tr, reg)
 	}
 	if *report {
 		fmt.Fprintf(os.Stderr,

@@ -6,6 +6,7 @@
 //	skyserve -in hotels.csv -listen :8080
 //	curl localhost:8080/healthz
 //	curl localhost:8080/skyline
+//	curl localhost:8080/metrics
 //	curl -X POST localhost:8080/query \
 //	     -d '{"prefer":[{"attr":"price","dir":"min"},{"attr":"rating","dir":"max"}]}'
 //	curl -X POST localhost:8080/explain -d '{"point":[90,3]}'
@@ -13,15 +14,26 @@
 //
 // The CSV's first line may name the attributes; otherwise columns are
 // c0, c1, ...
+//
+// GET /metrics serves request counters, latency histograms, and
+// pipeline work counters in Prometheus text format; -pprof adds the
+// /debug/pprof/ endpoints. On SIGINT/SIGTERM the server stops
+// accepting connections and drains in-flight queries before exiting.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"zskyline/internal/codec"
+	"zskyline/internal/obs"
 	"zskyline/internal/point"
 	"zskyline/internal/server"
 )
@@ -31,6 +43,7 @@ func main() {
 		in     = flag.String("in", "", "input CSV (required; first line may be a header)")
 		listen = flag.String("listen", "127.0.0.1:8080", "address to serve on")
 		bits   = flag.Int("bits", 16, "Z-order grid resolution")
+		pprofF = flag.Bool("pprof", false, "expose /debug/pprof/ endpoints")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -62,9 +75,45 @@ func main() {
 		fmt.Fprintf(os.Stderr, "skyserve: %v\n", err)
 		os.Exit(1)
 	}
+
+	handler := srv.Handler()
+	if *pprofF {
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		obs.RegisterPprof(mux)
+		handler = mux
+	}
+	httpSrv := &http.Server{
+		Addr:              *listen,
+		Handler:           handler,
+		ReadTimeout:       30 * time.Second,
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(),
+		os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
 	fmt.Printf("skyserve: %d points x %d attrs on http://%s\n", ds.Len(), ds.Dims, *listen)
-	if err := http.ListenAndServe(*listen, srv.Handler()); err != nil {
-		fmt.Fprintf(os.Stderr, "skyserve: %v\n", err)
-		os.Exit(1)
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "skyserve: %v\n", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		stop()
+		fmt.Println("skyserve: shutting down, draining in-flight queries")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "skyserve: shutdown: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -7,6 +7,11 @@
 //	skyworker -listen :7071 &
 //	skyworker -listen :7072 &
 //	skydist -workers localhost:7071,localhost:7072 -in data.csv
+//
+// -metrics-addr serves the worker's RPC counters (request counts,
+// request/response bytes, latency histograms per method) in Prometheus
+// text format, plus /debug/pprof/; -trace prints the same counters as
+// a report on shutdown.
 package main
 
 import (
@@ -17,10 +22,15 @@ import (
 	"syscall"
 
 	"zskyline/internal/dist"
+	"zskyline/internal/obs"
 )
 
 func main() {
-	listen := flag.String("listen", "127.0.0.1:7071", "address to listen on")
+	var (
+		listen   = flag.String("listen", "127.0.0.1:7071", "address to listen on")
+		trace    = flag.Bool("trace", false, "print the worker's RPC counter report to stderr on shutdown")
+		metrics_ = flag.String("metrics-addr", "", "serve GET /metrics and /debug/pprof/ on this address")
+	)
 	flag.Parse()
 
 	ws, err := dist.StartWorker(*listen)
@@ -28,12 +38,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "skyworker: %v\n", err)
 		os.Exit(1)
 	}
+	if *metrics_ != "" {
+		addr, stopMetrics, merr := obs.ServeMetrics(*metrics_, ws.Metrics())
+		if merr != nil {
+			fmt.Fprintf(os.Stderr, "skyworker: %v\n", merr)
+			os.Exit(1)
+		}
+		defer stopMetrics()
+		fmt.Printf("skyworker: metrics on http://%s/metrics\n", addr)
+	}
 	fmt.Printf("skyworker listening on %s\n", ws.Addr())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("skyworker: shutting down")
+	if *trace {
+		obs.WriteReport(os.Stderr, nil, ws.Metrics())
+	}
 	if err := ws.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "skyworker: close: %v\n", err)
 		os.Exit(1)

@@ -9,10 +9,12 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"zskyline"
 	"zskyline/internal/mapreduce"
+	"zskyline/internal/obs"
 )
 
 func main() {
@@ -53,19 +55,28 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		// Trace the run: the same phase spans every executor emits,
+		// plus the registry's absorbed work and task-attempt counters
+		// (retries show up as zsky_mr_task_attempts_total exceeding
+		// zsky_mr_tasks_total).
+		tr := obs.NewTrace(tc.name)
+		ctx := obs.ContextWithTrace(context.Background(), tr)
 		start := time.Now()
-		sky, rep, err := eng.Skyline(context.Background(), ds)
+		sky, rep, err := eng.Skyline(ctx, ds)
 		if err != nil {
 			log.Fatal(err)
 		}
-		retries := 0
-		for _, st := range append(rep.Job1.MapStats, rep.Job1.ReduceStats...) {
-			retries += st.Attempts - 1
-		}
-		fmt.Printf("%s: skyline=%d in %v (task retries: %d, reduce-input imbalance: %.2f)\n",
+		tr.Finish()
+		fmt.Printf("%s: skyline=%d in %v (reduce-input imbalance: %.2f)\n",
 			tc.name, len(sky), time.Since(start).Round(time.Millisecond),
-			retries, rep.Job1.ReduceInputBalance().Imbalance)
+			rep.Job1.ReduceInputBalance().Imbalance)
+		reg := obs.NewRegistry()
+		reg.AbsorbTally(rep.Tally)
+		reg.AbsorbJobStats(rep.Job1)
+		reg.AbsorbJobStats(rep.Job2)
+		obs.WriteReport(os.Stdout, tr, reg)
+		fmt.Println()
 	}
 
-	fmt.Println("\nresults are identical under faults; only wall time differs.")
+	fmt.Println("results are identical under faults; only wall time differs.")
 }

@@ -8,8 +8,10 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 
 	"zskyline"
+	"zskyline/internal/obs"
 )
 
 func main() {
@@ -48,7 +50,12 @@ func main() {
 	// can be dropped at the edge without touching the index.
 	probe := zskyline.Point{99, 49, 9.9}
 	fmt.Printf("probe %v dominated: %v\n", probe, m.Dominated(probe))
-	stats := m.Stats()
-	fmt.Printf("work done: %d point dominance tests, %d region tests\n",
-		stats.DominanceTests, stats.RegionTests)
+
+	// Report the work counters through the obs registry — the same
+	// exposition every executor and the HTTP server use.
+	fmt.Println()
+	reg := obs.NewRegistry()
+	reg.AbsorbTally(m.Stats())
+	reg.Gauge("zsky_skyline_size").Set(float64(m.Size()))
+	obs.WriteReport(os.Stdout, nil, reg)
 }

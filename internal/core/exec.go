@@ -2,9 +2,11 @@ package core
 
 import (
 	"context"
+	"time"
 
 	"zskyline/internal/mapreduce"
 	"zskyline/internal/metrics"
+	"zskyline/internal/obs"
 	"zskyline/internal/plan"
 	"zskyline/internal/point"
 )
@@ -66,6 +68,7 @@ func (ex *mrExec) MapReduce(ctx context.Context, r *plan.Rule, pts []point.Point
 		SizeOf:    func(_ int, _ point.Point) int { return 8*dims + 8 },
 		Tally:     tally,
 	}
+	start := time.Now()
 	out, stats, err := mapreduce.Run(ctx, ex.cluster, job, mapreduce.SplitSlice(pts, ex.splits))
 	if err != nil {
 		return nil, 0, err
@@ -73,6 +76,22 @@ func (ex *mrExec) MapReduce(ctx context.Context, r *plan.Rule, pts []point.Point
 	ex.job1 = stats
 	dropped := filtered.Snapshot().PointsPruned
 	tally.AddPointsPruned(dropped)
+
+	// The simulator fuses phase 2 into one job; reconstruct the
+	// taxonomy's map and local-skyline spans from the job's phase walls
+	// (the MapReducer observability contract).
+	if sp := obs.SpanFrom(ctx); sp != nil {
+		mapSp := sp.ChildAt("map", start, stats.MapWall)
+		mapSp.SetAttr("tasks", len(stats.MapStats))
+		mapSp.SetAttr("filtered", dropped)
+		mapSp.SetAttr("fused", "simulator")
+		mapSp.SetAttr("shuffle_bytes", stats.ShuffleBytes)
+		redSp := sp.ChildAt("local-skyline", start.Add(stats.MapWall), stats.ReduceWall)
+		redSp.SetAttr("groups", len(stats.ReduceStats))
+		redSp.SetAttr("candidates", len(out))
+		redSp.SetAttr("fused", "simulator")
+		redSp.SetAttr("reduce_balance", stats.ReduceInputBalance().String())
+	}
 
 	// Regroup the reducer output (already in deterministic reducer /
 	// first-seen order) into per-group candidate lists.
@@ -142,6 +161,10 @@ func (ex *mrExec) RunMerges(ctx context.Context, r *plan.Rule, tasks [][]plan.Gr
 		return nil, err
 	}
 	ex.job2 = stats
+	if sp := obs.SpanFrom(ctx); sp != nil {
+		sp.SetAttr("fused", "simulator")
+		sp.SetAttr("shuffle_bytes", stats.ShuffleBytes)
+	}
 	for _, rec := range out {
 		outs[rec.task] = append(outs[rec.task], rec.p)
 	}

@@ -4,13 +4,16 @@ import (
 	"context"
 	cryptorand "crypto/rand"
 	"encoding/binary"
+	"encoding/gob"
 	"fmt"
+	"net"
 	"net/rpc"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"zskyline/internal/metrics"
+	"zskyline/internal/obs"
 	"zskyline/internal/plan"
 	"zskyline/internal/point"
 	"zskyline/internal/zbtree"
@@ -87,6 +90,41 @@ type Report struct {
 	Phase2     time.Duration
 	Phase3     time.Duration
 	Total      time.Duration
+	// Wire holds per-worker TCP byte totals since the coordinator
+	// connected (cumulative across queries on a reused coordinator).
+	Wire []WireStat
+}
+
+// WireStat is one worker connection's byte totals as measured on the
+// coordinator side of the TCP stream.
+type WireStat struct {
+	Addr string
+	Sent int64
+	Recv int64
+}
+
+// countConn wraps a net.Conn with byte counters for RPC wire
+// accounting.
+type countConn struct {
+	net.Conn
+	sent, recv *atomic.Int64
+}
+
+func (c countConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.recv.Add(int64(n))
+	return n, err
+}
+
+func (c countConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.sent.Add(int64(n))
+	return n, err
+}
+
+// wireCounter tracks one worker connection's totals.
+type wireCounter struct {
+	sent, recv atomic.Int64
 }
 
 // ruleCounter makes rule IDs unique across coordinators in this
@@ -102,6 +140,7 @@ type Coordinator struct {
 	cfg     CoordinatorConfig
 	clients []*rpc.Client
 	addrs   []string
+	wire    []*wireCounter
 	salt    uint64
 	mu      sync.Mutex
 	dead    []bool
@@ -126,11 +165,15 @@ func NewCoordinator(cfg CoordinatorConfig, workerAddrs []string) (*Coordinator, 
 	c := &Coordinator{cfg: cfg, addrs: workerAddrs, salt: salt,
 		dead: make([]bool, len(workerAddrs))}
 	for _, addr := range workerAddrs {
-		cl, err := rpc.Dial("tcp", addr)
+		conn, err := net.Dial("tcp", addr)
 		if err != nil {
 			c.Close()
 			return nil, fmt.Errorf("dist: dial %s: %w", addr, err)
 		}
+		// Count wire bytes per worker so runs can report real RPC
+		// traffic, not just payload estimates.
+		wc := &wireCounter{}
+		cl := rpc.NewClient(countConn{Conn: conn, sent: &wc.sent, recv: &wc.recv})
 		var pong PingReply
 		if err := cl.Call("Worker.Ping", PingArgs{}, &pong); err != nil {
 			cl.Close()
@@ -138,8 +181,18 @@ func NewCoordinator(cfg CoordinatorConfig, workerAddrs []string) (*Coordinator, 
 			return nil, fmt.Errorf("dist: ping %s: %w", addr, err)
 		}
 		c.clients = append(c.clients, cl)
+		c.wire = append(c.wire, wc)
 	}
 	return c, nil
+}
+
+// WireStats returns per-worker TCP byte totals since connection.
+func (c *Coordinator) WireStats() []WireStat {
+	out := make([]WireStat, len(c.wire))
+	for i, wc := range c.wire {
+		out[i] = WireStat{Addr: c.addrs[i], Sent: wc.sent.Load(), Recv: wc.recv.Load()}
+	}
+	return out
 }
 
 // Close hangs up all worker connections.
@@ -175,7 +228,52 @@ func (c *Coordinator) Skyline(ctx context.Context, ds *point.Dataset) ([]point.P
 	rep.Phase2 = prep.Phase2
 	rep.Phase3 = prep.Phase3
 	rep.Total = prep.Total
+	rep.Wire = c.WireStats()
+	if sp := obs.SpanFrom(ctx); sp != nil {
+		sp.SetAttr("workers", len(c.clients))
+		for _, ws := range rep.Wire {
+			sp.SetAttr("wire."+ws.Addr, fmt.Sprintf("sent=%dB recv=%dB", ws.Sent, ws.Recv))
+		}
+	}
 	return sky, rep, nil
+}
+
+// pointBytes estimates the wire payload of a point slice (8 bytes per
+// coordinate — what gob transfers, minus framing).
+func pointBytes(pts []point.Point) int64 {
+	var n int64
+	for _, p := range pts {
+		n += int64(len(p)) * 8
+	}
+	return n
+}
+
+// groupBytes estimates the wire payload of routed groups.
+func groupBytes(gs []plan.Group) int64 {
+	var n int64
+	for _, g := range gs {
+		n += 8 + pointBytes(g.Points)
+	}
+	return n
+}
+
+// rpcSpan opens one per-RPC child span under ctx's current span,
+// annotated with the request payload size. The returned closure
+// records the serving worker (post-failover) and response size, then
+// ends the span.
+func (c *Coordinator) rpcSpan(ctx context.Context, method string, reqBytes int64) func(worker int, respBytes int64) {
+	sp := obs.SpanFrom(ctx).Child("rpc/" + method)
+	if sp == nil {
+		return func(int, int64) {}
+	}
+	sp.SetAttr("req_bytes", reqBytes)
+	return func(worker int, respBytes int64) {
+		if worker >= 0 && worker < len(c.addrs) {
+			sp.SetAttr("worker", c.addrs[worker])
+		}
+		sp.SetAttr("resp_bytes", respBytes)
+		sp.End()
+	}
 }
 
 // rpcExec is the plan.Executor that fans tasks out over the
@@ -201,11 +299,15 @@ func (ex *rpcExec) Broadcast(ctx context.Context, r *plan.Rule) error {
 func (ex *rpcExec) RunMaps(ctx context.Context, _ *plan.Rule, chunks [][]point.Point, _ *metrics.Tally) ([]plan.MapOutput, error) {
 	outs := make([]plan.MapOutput, len(chunks))
 	err := ex.c.forEach(ctx, len(chunks), func(i, worker int) error {
+		done := ex.c.rpcSpan(ctx, "Worker.MapChunk", pointBytes(chunks[i]))
 		var reply MapReply
-		if err := ex.c.call("Worker.MapChunk",
-			MapArgs{RuleID: ex.ruleID, Points: chunks[i]}, &reply, worker); err != nil {
+		served, err := ex.c.call("Worker.MapChunk",
+			MapArgs{RuleID: ex.ruleID, Points: chunks[i]}, &reply, worker)
+		if err != nil {
+			done(served, 0)
 			return err
 		}
+		done(served, groupBytes(reply.Groups))
 		outs[i] = plan.MapOutput{Groups: reply.Groups, Filtered: reply.Filtered}
 		return nil
 	})
@@ -216,11 +318,15 @@ func (ex *rpcExec) RunMaps(ctx context.Context, _ *plan.Rule, chunks [][]point.P
 func (ex *rpcExec) RunReduces(ctx context.Context, _ *plan.Rule, groups []plan.Group, _ *metrics.Tally) ([]plan.Group, error) {
 	outs := make([]plan.Group, len(groups))
 	err := ex.c.forEach(ctx, len(groups), func(i, worker int) error {
+		done := ex.c.rpcSpan(ctx, "Worker.ReduceGroup", pointBytes(groups[i].Points))
 		var reply ReduceReply
-		if err := ex.c.call("Worker.ReduceGroup",
-			ReduceArgs{RuleID: ex.ruleID, Group: groups[i]}, &reply, worker); err != nil {
+		served, err := ex.c.call("Worker.ReduceGroup",
+			ReduceArgs{RuleID: ex.ruleID, Group: groups[i]}, &reply, worker)
+		if err != nil {
+			done(served, 0)
 			return err
 		}
+		done(served, pointBytes(reply.Candidates))
 		outs[i] = plan.Group{Gid: groups[i].Gid, Points: reply.Candidates}
 		return nil
 	})
@@ -232,30 +338,45 @@ func (ex *rpcExec) RunReduces(ctx context.Context, _ *plan.Rule, groups []plan.G
 // multiple tasks (tree-merge rounds) fan out across the fleet.
 func (ex *rpcExec) RunMerges(ctx context.Context, _ *plan.Rule, tasks [][]plan.Group, _ *metrics.Tally) ([][]point.Point, error) {
 	outs := make([][]point.Point, len(tasks))
-	if len(tasks) == 1 {
+	mergeOne := func(i, worker int) error {
+		done := ex.c.rpcSpan(ctx, "Worker.MergeGroups", groupBytes(tasks[i]))
 		var merged MergeReply
-		if err := ex.c.call("Worker.MergeGroups",
-			MergeArgs{RuleID: ex.ruleID, Groups: tasks[0]}, &merged, 0); err != nil {
-			return nil, err
-		}
-		outs[0] = merged.Skyline
-		return outs, nil
-	}
-	err := ex.c.forEach(ctx, len(tasks), func(i, worker int) error {
-		var merged MergeReply
-		if err := ex.c.call("Worker.MergeGroups",
-			MergeArgs{RuleID: ex.ruleID, Groups: tasks[i]}, &merged, worker); err != nil {
+		served, err := ex.c.call("Worker.MergeGroups",
+			MergeArgs{RuleID: ex.ruleID, Groups: tasks[i]}, &merged, worker)
+		if err != nil {
+			done(served, 0)
 			return err
 		}
+		done(served, pointBytes(merged.Skyline))
 		outs[i] = merged.Skyline
 		return nil
-	})
-	return outs, err
+	}
+	if len(tasks) == 1 {
+		return outs, mergeOne(0, 0)
+	}
+	return outs, ex.c.forEach(ctx, len(tasks), mergeOne)
+}
+
+// countWriter sums bytes written, for measuring gob payload sizes.
+type countWriter struct{ n int64 }
+
+func (w *countWriter) Write(p []byte) (int, error) {
+	w.n += int64(len(p))
+	return len(p), nil
 }
 
 // broadcast installs the rule on every live worker; workers that fail
 // the broadcast are marked dead. It errors only when nobody is left.
 func (c *Coordinator) broadcast(ctx context.Context, blob RuleBlob) error {
+	// Measure the serialized rule once so every LoadRule span carries
+	// the real broadcast payload size.
+	var blobBytes int64
+	if obs.SpanFrom(ctx) != nil {
+		var cw countWriter
+		if err := gob.NewEncoder(&cw).Encode(&blob); err == nil {
+			blobBytes = cw.n
+		}
+	}
 	var wg sync.WaitGroup
 	for w := range c.clients {
 		if c.isDead(w) {
@@ -264,10 +385,14 @@ func (c *Coordinator) broadcast(ctx context.Context, blob RuleBlob) error {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			done := c.rpcSpan(ctx, "Worker.LoadRule", blobBytes)
 			var reply LoadRuleReply
 			if err := c.clients[w].Call("Worker.LoadRule", LoadRuleArgs{Rule: blob}, &reply); err != nil {
 				c.markDead(w)
+				done(w, 0)
+				return
 			}
+			done(w, 1)
 		}(w)
 	}
 	wg.Wait()
@@ -305,22 +430,23 @@ func (c *Coordinator) aliveCount() int {
 }
 
 // call invokes one worker method with failover: a failed worker is
-// marked dead and the call retried on the next live one.
-func (c *Coordinator) call(method string, args, reply any, preferred int) error {
+// marked dead and the call retried on the next live one. It returns
+// the index of the worker that served the call.
+func (c *Coordinator) call(method string, args, reply any, preferred int) (int, error) {
 	tried := 0
 	w := preferred % len(c.clients)
 	for tried < len(c.clients) {
 		if !c.isDead(w) {
 			err := c.clients[w].Call(method, args, reply)
 			if err == nil {
-				return nil
+				return w, nil
 			}
 			c.markDead(w)
 		}
 		w = (w + 1) % len(c.clients)
 		tried++
 	}
-	return fmt.Errorf("dist: %s failed on every worker", method)
+	return -1, fmt.Errorf("dist: %s failed on every worker", method)
 }
 
 // forEach fans n tasks out over the live workers with bounded

@@ -72,6 +72,7 @@ func (c *Coordinator) SkylineFile(ctx context.Context, path string) ([]point.Poi
 	}
 	rep.Phase3 = time.Since(t2)
 	rep.Total = time.Since(start)
+	rep.Wire = c.WireStats()
 	return sky, rep, nil
 }
 
@@ -170,9 +171,12 @@ func (c *Coordinator) streamMap(ctx context.Context, path string, ruleID uint64)
 			go func(batch []point.Point, worker int) {
 				defer wg.Done()
 				defer func() { sem <- worker }()
+				done := c.rpcSpan(ctx, "Worker.MapChunk", pointBytes(batch))
 				var reply MapReply
-				if err := c.call("Worker.MapChunk",
-					MapArgs{RuleID: ruleID, Points: batch}, &reply, worker); err != nil {
+				served, err := c.call("Worker.MapChunk",
+					MapArgs{RuleID: ruleID, Points: batch}, &reply, worker)
+				done(served, groupBytes(reply.Groups))
+				if err != nil {
 					mu.Lock()
 					if firstErr == nil {
 						firstErr = err

@@ -5,17 +5,31 @@ import (
 	"net"
 	"net/rpc"
 	"sync"
+	"time"
 
+	"zskyline/internal/obs"
 	"zskyline/internal/plan"
 )
 
 // Worker is the RPC service a worker process exposes. All phase
 // semantics live in the broadcast plan.Rule; the worker only caches
-// rules and executes their tasks.
+// rules and executes their tasks. Every RPC is recorded in the
+// worker's metrics registry (request counts, payload bytes, latency
+// histograms), which skyworker serves at --metrics-addr.
 type Worker struct {
 	mu    sync.RWMutex
 	rules map[uint64]*plan.Rule
 	addr  string
+	reg   *obs.Registry
+}
+
+// observe records one served RPC into the worker's registry.
+func (w *Worker) observe(method string, start time.Time, reqBytes, respBytes int64) {
+	m := obs.L("method", method)
+	w.reg.Counter("zsky_rpc_requests_total", m).Add(1)
+	w.reg.Counter("zsky_rpc_request_bytes_total", m).Add(reqBytes)
+	w.reg.Counter("zsky_rpc_response_bytes_total", m).Add(respBytes)
+	w.reg.Histogram("zsky_rpc_seconds", nil, m).Observe(time.Since(start).Seconds())
 }
 
 // WorkerServer wraps a Worker with its listener lifecycle. Close
@@ -38,7 +52,8 @@ func StartWorker(addr string) (*WorkerServer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dist: listen %s: %w", addr, err)
 	}
-	w := &Worker{rules: make(map[uint64]*plan.Rule), addr: ln.Addr().String()}
+	w := &Worker{rules: make(map[uint64]*plan.Rule), addr: ln.Addr().String(),
+		reg: obs.NewRegistry()}
 	srv := rpc.NewServer()
 	if err := srv.RegisterName("Worker", w); err != nil {
 		ln.Close()
@@ -77,6 +92,9 @@ func StartWorker(addr string) (*WorkerServer, error) {
 // Addr returns the worker's listen address.
 func (ws *WorkerServer) Addr() string { return ws.worker.addr }
 
+// Metrics returns the worker's RPC metrics registry.
+func (ws *WorkerServer) Metrics() *obs.Registry { return ws.worker.reg }
+
 // Close stops accepting connections and severs every active one.
 func (ws *WorkerServer) Close() error {
 	ws.mu.Lock()
@@ -101,6 +119,8 @@ func (w *Worker) Ping(_ PingArgs, reply *PingReply) error {
 
 // LoadRule installs (or confirms) a broadcast rule.
 func (w *Worker) LoadRule(args LoadRuleArgs, reply *LoadRuleReply) error {
+	start := time.Now()
+	defer func() { w.observe("LoadRule", start, pointBytes(args.Rule.Data.SampleSkyline), 1) }()
 	w.mu.RLock()
 	_, have := w.rules[args.Rule.ID]
 	w.mu.RUnlock()
@@ -132,6 +152,7 @@ func (w *Worker) rule(id uint64) (*plan.Rule, error) {
 // MapChunk is phase 2's map+combine: filter against the SZB-tree,
 // route to groups, and emit the chunk-local skyline per group.
 func (w *Worker) MapChunk(args MapArgs, reply *MapReply) error {
+	start := time.Now()
 	r, err := w.rule(args.RuleID)
 	if err != nil {
 		return err
@@ -139,27 +160,32 @@ func (w *Worker) MapChunk(args MapArgs, reply *MapReply) error {
 	out := r.MapChunk(args.Points, nil)
 	reply.Groups = out.Groups
 	reply.Filtered = out.Filtered
+	w.observe("MapChunk", start, pointBytes(args.Points), groupBytes(reply.Groups))
 	return nil
 }
 
 // ReduceGroup is phase 2's reduce: the skyline of one group's routed
 // points.
 func (w *Worker) ReduceGroup(args ReduceArgs, reply *ReduceReply) error {
+	start := time.Now()
 	r, err := w.rule(args.RuleID)
 	if err != nil {
 		return err
 	}
 	reply.Candidates = r.LocalSkyline(args.Group.Points, nil)
+	w.observe("ReduceGroup", start, pointBytes(args.Group.Points), pointBytes(reply.Candidates))
 	return nil
 }
 
 // MergeGroups is one phase-3 merge task: Z-merge the candidate groups
 // into a partial (or, with all groups, the global) skyline.
 func (w *Worker) MergeGroups(args MergeArgs, reply *MergeReply) error {
+	start := time.Now()
 	r, err := w.rule(args.RuleID)
 	if err != nil {
 		return err
 	}
 	reply.Skyline = r.MergeGroups(args.Groups, nil)
+	w.observe("MergeGroups", start, groupBytes(args.Groups), pointBytes(reply.Skyline))
 	return nil
 }

@@ -141,6 +141,11 @@ type JobStats struct {
 	ShuffleBytes  int64
 	MapOutRecords int64
 	Wall          time.Duration
+	// MapWall covers the map phase up to the shuffle barrier;
+	// ReduceWall covers the reduce phase after it. The two sum to Wall
+	// (minus shuffle accounting, which MapWall includes).
+	MapWall    time.Duration
+	ReduceWall time.Duration
 }
 
 // MapDurations returns per-map-task durations in task order.
@@ -290,6 +295,7 @@ func Run[I any, K comparable, V any, O any](
 	}
 	stats.ShuffleBytes = shuffle
 	job.Tally.AddBytesShuffled(shuffle)
+	stats.MapWall = time.Since(start)
 
 	// ---- Reduce phase (after the barrier) ----
 	type redResult struct {
@@ -332,6 +338,7 @@ func Run[I any, K comparable, V any, O any](
 		stats.ReduceStats = append(stats.ReduceStats, results[r].stat)
 	}
 	stats.Wall = time.Since(start)
+	stats.ReduceWall = stats.Wall - stats.MapWall
 	return outs, stats, nil
 }
 

@@ -90,6 +90,18 @@ func (s Snapshot) Add(o Snapshot) Snapshot {
 	}
 }
 
+// Sub returns the counter deltas from o to s — the work done between
+// two snapshots of the same tally.
+func (s Snapshot) Sub(o Snapshot) Snapshot {
+	return Snapshot{
+		DominanceTests: s.DominanceTests - o.DominanceTests,
+		RegionTests:    s.RegionTests - o.RegionTests,
+		PointsPruned:   s.PointsPruned - o.PointsPruned,
+		BytesShuffled:  s.BytesShuffled - o.BytesShuffled,
+		RecordsEmitted: s.RecordsEmitted - o.RecordsEmitted,
+	}
+}
+
 // Balance summarizes how evenly a quantity (points per worker, skyline
 // candidates per group, ...) is spread — the data-skew and straggler
 // metrics of the paper's §3.3.

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// statusRecorder captures the response status for request counters.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// InstrumentHandler wraps next with per-endpoint observability: a
+// request counter labeled by route and status code, and a latency
+// histogram labeled by route. A nil registry returns next unchanged.
+func (r *Registry) InstrumentHandler(route string, next http.Handler) http.Handler {
+	if r == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, req)
+		r.Counter("zsky_http_requests_total",
+			L("route", route), L("code", fmt.Sprintf("%d", rec.status))).Add(1)
+		r.Histogram("zsky_http_request_seconds", nil, L("route", route)).
+			Observe(time.Since(start).Seconds())
+	})
+}
+
+// PrometheusHandler serves the registry in text exposition format —
+// mount it at GET /metrics.
+func (r *Registry) PrometheusHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// RegisterPprof mounts the runtime profiling endpoints under
+// /debug/pprof/ without touching http.DefaultServeMux.
+func RegisterPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// ServeMetrics starts a sidecar HTTP listener exposing GET /metrics
+// for the registry plus the pprof endpoints — the CLIs' --metrics-addr
+// backend. It returns the bound address and a closer.
+func ServeMetrics(addr string, r *Registry) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", r.PrometheusHandler())
+	RegisterPprof(mux)
+	srv := &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go srv.Serve(ln)
+	return ln.Addr().String(), srv.Close, nil
+}

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"zskyline/internal/mapreduce"
+	"zskyline/internal/metrics"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hits", L("route", "/q"))
+	c.Add(2)
+	r.Counter("hits", L("route", "/q")).Add(3)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("hits", L("route", "/other")).Value() != 0 {
+		t.Fatal("label sets must be distinct series")
+	}
+	g := r.Gauge("temp")
+	g.Set(1.5)
+	if g.Value() != 1.5 {
+		t.Fatalf("gauge = %v", g.Value())
+	}
+	h := r.Histogram("lat", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50)
+	if h.Count() != 3 || h.Sum() != 55.5 {
+		t.Fatalf("histogram count=%d sum=%v", h.Count(), h.Sum())
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Counter("c").Add(1)
+				r.Histogram("h", nil).Observe(0.01)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 3200 {
+		t.Fatalf("counter = %d, want 3200", got)
+	}
+	if got := r.Histogram("h", nil).Count(); got != 3200 {
+		t.Fatalf("histogram count = %d, want 3200", got)
+	}
+}
+
+func TestAbsorbTallyAndJobStats(t *testing.T) {
+	r := NewRegistry()
+	r.AbsorbTally(metrics.Snapshot{DominanceTests: 10, BytesShuffled: 99})
+	r.AbsorbTally(metrics.Snapshot{DominanceTests: 5})
+	if got := r.Counter("zsky_dominance_tests_total").Value(); got != 15 {
+		t.Fatalf("dominance counter = %d, want 15", got)
+	}
+	js := &mapreduce.JobStats{
+		Name:         "skyline-candidates",
+		ShuffleBytes: 1024,
+		MapStats: []mapreduce.TaskStat{
+			{Attempts: 1}, {Attempts: 2},
+		},
+		ReduceStats: []mapreduce.TaskStat{{Attempts: 1}},
+	}
+	r.AbsorbJobStats(js)
+	job := L("job", "skyline-candidates")
+	if got := r.Counter("zsky_mr_shuffle_bytes_total", job).Value(); got != 1024 {
+		t.Fatalf("shuffle bytes = %d", got)
+	}
+	if got := r.Counter("zsky_mr_task_attempts_total", job, L("kind", "map")).Value(); got != 3 {
+		t.Fatalf("map attempts = %d", got)
+	}
+}
+
+// TestPrometheusGolden pins the full exposition output for a small
+// registry: family TYPE lines, label rendering, and histogram
+// bucket/sum/count series.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zsky_http_requests_total", L("route", "/query"), L("code", "200")).Add(3)
+	r.Counter("zsky_http_requests_total", L("route", "/query"), L("code", "400")).Add(1)
+	r.Gauge("zsky_skyline_size").Set(42)
+	h := r.Histogram("zsky_http_request_seconds", []float64{0.01, 0.1}, L("route", "/query"))
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(0.5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE zsky_http_request_seconds histogram
+zsky_http_request_seconds_bucket{route="/query",le="0.01"} 1
+zsky_http_request_seconds_bucket{route="/query",le="0.1"} 2
+zsky_http_request_seconds_bucket{route="/query",le="+Inf"} 3
+zsky_http_request_seconds_sum{route="/query"} 0.555
+zsky_http_request_seconds_count{route="/query"} 3
+# TYPE zsky_http_requests_total counter
+zsky_http_requests_total{code="200",route="/query"} 3
+zsky_http_requests_total{code="400",route="/query"} 1
+# TYPE zsky_skyline_size gauge
+zsky_skyline_size 42
+`
+	if got := b.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestInstrumentHandlerAndMetricsEndpoint(t *testing.T) {
+	r := NewRegistry()
+	h := r.InstrumentHandler("/hello", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+	}))
+	for i := 0; i < 2; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/hello", nil))
+		if rec.Code != http.StatusTeapot {
+			t.Fatalf("status = %d", rec.Code)
+		}
+	}
+	if got := r.Counter("zsky_http_requests_total", L("route", "/hello"), L("code", "418")).Value(); got != 2 {
+		t.Fatalf("request counter = %d, want 2", got)
+	}
+	if got := r.Histogram("zsky_http_request_seconds", nil, L("route", "/hello")).Count(); got != 2 {
+		t.Fatalf("latency observations = %d, want 2", got)
+	}
+
+	rec := httptest.NewRecorder()
+	r.PrometheusHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	if !strings.Contains(body, `zsky_http_requests_total{code="418",route="/hello"} 2`) {
+		t.Fatalf("metrics body missing request counter:\n%s", body)
+	}
+	if !strings.Contains(rec.Header().Get("Content-Type"), "text/plain") {
+		t.Fatalf("content type = %q", rec.Header().Get("Content-Type"))
+	}
+}
+
+func TestServeMetrics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zsky_test_total").Add(1)
+	addr, stop, err := ServeMetrics("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "zsky_test_total 1") {
+		t.Fatalf("metrics body = %q", string(buf[:n]))
+	}
+}

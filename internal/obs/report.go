@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// maxReportChildren caps how many children of one span a report prints
+// before eliding the rest, keeping reports readable for runs with
+// hundreds of per-task spans.
+const maxReportChildren = 64
+
+// WriteReport renders a per-run trace report: the span tree with
+// durations and attributes, followed by the registry's counters and
+// gauges. Either argument may be nil; a nil trace prints counters
+// only, a nil registry prints the tree only.
+func WriteReport(w io.Writer, t *Trace, r *Registry) error {
+	if root := t.Root(); root != nil {
+		if _, err := fmt.Fprintf(w, "TRACE %s  total=%v\n", root.Name(), round(root.Duration())); err != nil {
+			return err
+		}
+		if err := writeAttrs(w, "  ", root); err != nil {
+			return err
+		}
+		if err := writeChildren(w, "", root); err != nil {
+			return err
+		}
+	}
+	if r != nil {
+		if err := writeRegistry(w, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Report renders WriteReport to a string.
+func Report(t *Trace, r *Registry) string {
+	var b strings.Builder
+	WriteReport(&b, t, r)
+	return b.String()
+}
+
+func round(d time.Duration) time.Duration {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond)
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond)
+	default:
+		return d.Round(time.Microsecond)
+	}
+}
+
+func writeAttrs(w io.Writer, indent string, s *Span) error {
+	attrs := s.Attrs()
+	if len(attrs) == 0 {
+		return nil
+	}
+	parts := make([]string, len(attrs))
+	for i, a := range attrs {
+		parts[i] = a.Key + "=" + a.Value
+	}
+	_, err := fmt.Fprintf(w, "%s· %s\n", indent, strings.Join(parts, " "))
+	return err
+}
+
+func writeChildren(w io.Writer, prefix string, s *Span) error {
+	children := s.Children()
+	elided := 0
+	if len(children) > maxReportChildren {
+		elided = len(children) - maxReportChildren
+		children = children[:maxReportChildren]
+	}
+	for i, c := range children {
+		last := i == len(children)-1 && elided == 0
+		branch, cont := "├─ ", "│  "
+		if last {
+			branch, cont = "└─ ", "   "
+		}
+		if _, err := fmt.Fprintf(w, "%s%s%-18s %8v\n", prefix, branch, c.Name(), round(c.Duration())); err != nil {
+			return err
+		}
+		if err := writeAttrs(w, prefix+cont+"  ", c); err != nil {
+			return err
+		}
+		if err := writeChildren(w, prefix+cont, c); err != nil {
+			return err
+		}
+	}
+	if elided > 0 {
+		if _, err := fmt.Fprintf(w, "%s└─ … (+%d more spans)\n", prefix, elided); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeRegistry(w io.Writer, r *Registry) error {
+	r.mu.Lock()
+	names := append([]string(nil), r.ord...)
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.fam[n]
+	}
+	r.mu.Unlock()
+	wrote := false
+	for _, f := range fams {
+		for _, ls := range f.order {
+			s := f.series[ls]
+			if !wrote {
+				if _, err := fmt.Fprintln(w, "COUNTERS"); err != nil {
+					return err
+				}
+				wrote = true
+			}
+			name := f.name
+			if s.labels != "" {
+				name += "{" + s.labels + "}"
+			}
+			var val string
+			switch f.kind {
+			case "counter":
+				val = fmt.Sprintf("%d", s.c.Value())
+			case "gauge":
+				val = formatFloat(s.g.Value())
+			case "histogram":
+				n := s.h.Count()
+				mean := 0.0
+				if n > 0 {
+					mean = s.h.Sum() / float64(n)
+				}
+				val = fmt.Sprintf("count=%d mean=%s", n, formatFloat(mean))
+			}
+			if _, err := fmt.Fprintf(w, "  %-48s %s\n", name, val); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

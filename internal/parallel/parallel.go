@@ -14,6 +14,7 @@ import (
 	"runtime"
 
 	"zskyline/internal/metrics"
+	"zskyline/internal/obs"
 	"zskyline/internal/plan"
 	"zskyline/internal/point"
 	"zskyline/internal/zorder"
@@ -51,31 +52,59 @@ func (o Options) normalize(dims int) Options {
 
 // Skyline computes the exact skyline of ds using opts.Workers
 // goroutines, honoring ctx between merge rounds.
+//
+// When ctx carries an obs trace, Skyline emits the library's uniform
+// span taxonomy: learn covers encoder construction, map covers the
+// positional sharding, local-skyline the per-shard Z-search, and
+// merge/round-N the pairwise reduction (via plan.MergePhase).
 func Skyline(ctx context.Context, ds *point.Dataset, opts Options) ([]point.Point, error) {
 	if ds == nil || ds.Len() == 0 {
 		return nil, nil
 	}
 	opts = opts.normalize(ds.Dims)
+
+	// "Learning" here is only bounds + encoder setup: the shared-memory
+	// path shards positionally instead of partitioning by Z-address.
+	learnSpan, _ := obs.StartSpan(ctx, "learn")
+	learnSpan.SetAttr("strategy", "positional")
 	mins, maxs, err := ds.Bounds()
 	if err != nil {
+		learnSpan.End()
 		return nil, err
 	}
 	enc, err := zorder.NewEncoder(ds.Dims, opts.Bits, mins, maxs)
 	if err != nil {
+		learnSpan.End()
 		return nil, err
 	}
 	r := plan.NewLocalRule(enc, opts.Fanout, plan.ZS, plan.MergeZM)
 	ex := plan.NewLocalExec(opts.Workers)
+	learnSpan.SetAttr("groups", opts.Workers)
+	learnSpan.End()
 
 	// Shard positionally and solve each shard with Z-search.
+	mapSpan, _ := obs.StartSpan(ctx, "map")
 	shards := make([]plan.Group, 0, opts.Workers)
 	for s, pts := range plan.SplitN(ds.Points, opts.Workers) {
 		shards = append(shards, plan.Group{Gid: s, Points: pts})
 	}
-	skys, err := ex.RunReduces(ctx, r, shards, opts.Tally)
+	mapSpan.SetAttr("tasks", len(shards))
+	mapSpan.SetAttr("filtered", 0)
+	mapSpan.End()
+
+	redSpan, rctx := obs.StartSpan(ctx, "local-skyline")
+	redSpan.SetAttr("groups", len(shards))
+	skys, err := ex.RunReduces(rctx, r, shards, opts.Tally)
 	if err != nil {
+		redSpan.End()
 		return nil, err
 	}
+	candidates := 0
+	for _, g := range skys {
+		candidates += len(g.Points)
+	}
+	redSpan.SetAttr("candidates", candidates)
+	redSpan.End()
 
 	// Parallel pairwise Z-merge reduction.
 	return plan.MergePhase(ctx, ex, r, skys, true, opts.Tally)

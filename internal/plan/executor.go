@@ -32,6 +32,12 @@ type Executor interface {
 // its own combiner and shuffle accounting. Groups must come back in
 // deterministic order with their candidate points; filtered is the
 // mapper-side drop count.
+//
+// Observability contract: because the fused call bypasses runPhase2's
+// span emission, implementations must attach the taxonomy's "map" and
+// "local-skyline" spans to ctx's current span themselves (e.g. with
+// Span.ChildAt from measured phase walls), so traces stay structurally
+// identical across substrates.
 type MapReducer interface {
 	MapReduce(ctx context.Context, r *Rule, pts []point.Point, tally *metrics.Tally) (groups []Group, filtered int64, err error)
 }

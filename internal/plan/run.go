@@ -2,9 +2,11 @@ package plan
 
 import (
 	"context"
+	"fmt"
 	"time"
 
 	"zskyline/internal/metrics"
+	"zskyline/internal/obs"
 	"zskyline/internal/point"
 	"zskyline/internal/sample"
 )
@@ -46,6 +48,11 @@ type Report struct {
 // Run executes the full three-phase pipeline on ex: learn the rule
 // from a sample of ds, map/combine/reduce to per-group skyline
 // candidates, and merge them into the exact global skyline.
+//
+// When ctx carries an obs trace (obs.ContextWithTrace), Run emits the
+// library's uniform span taxonomy — learn, map, local-skyline, and
+// merge/round-N — under the context's current span, so every substrate
+// produces structurally identical trace reports.
 func Run(ctx context.Context, spec *Spec, ds *point.Dataset, ex Executor, tally *metrics.Tally) ([]point.Point, *Report, error) {
 	rep := &Report{}
 	if ds == nil || ds.Len() == 0 {
@@ -54,21 +61,26 @@ func Run(ctx context.Context, spec *Spec, ds *point.Dataset, ex Executor, tally 
 	total := time.Now()
 
 	// ---- Phase 1: preprocessing on the master ----
+	learnSpan, lctx := obs.StartSpan(ctx, "learn")
 	t0 := time.Now()
 	smp, err := sample.Ratio(ds.Points, spec.SampleRatio, spec.Seed)
 	if err != nil {
+		learnSpan.End()
 		return nil, nil, err
 	}
 	rep.SampleSize = len(smp)
 	mins, maxs, err := ds.Bounds()
 	if err != nil {
+		learnSpan.End()
 		return nil, nil, err
 	}
 	r, err := Learn(spec, ds.Dims, mins, maxs, smp, tally)
 	if err != nil {
+		learnSpan.End()
 		return nil, nil, err
 	}
-	if err := ex.Broadcast(ctx, r); err != nil {
+	if err := ex.Broadcast(lctx, r); err != nil {
+		learnSpan.End()
 		return nil, nil, err
 	}
 	rep.Preprocess = time.Since(t0)
@@ -76,6 +88,13 @@ func Run(ctx context.Context, spec *Spec, ds *point.Dataset, ex Executor, tally 
 	rep.Partitions = r.parts
 	rep.PrunedPartitions = r.pruned
 	rep.SampleSkySize = r.skySize
+	learnSpan.SetAttr("strategy", spec.Strategy)
+	learnSpan.SetAttr("sample", rep.SampleSize)
+	learnSpan.SetAttr("sample_skyline", rep.SampleSkySize)
+	learnSpan.SetAttr("groups", rep.Groups)
+	learnSpan.SetAttr("partitions", rep.Partitions)
+	learnSpan.SetAttr("pruned", rep.PrunedPartitions)
+	learnSpan.End()
 
 	// ---- Phase 2: compute skyline candidates ----
 	t1 := time.Now()
@@ -103,42 +122,73 @@ func Run(ctx context.Context, spec *Spec, ds *point.Dataset, ex Executor, tally 
 	rep.Phase3 = time.Since(t2)
 	rep.SkylineSize = len(sky)
 	rep.Total = time.Since(total)
+	if sp := obs.SpanFrom(ctx); sp != nil {
+		sp.SetAttr("points", ds.Len())
+		sp.SetAttr("skyline", rep.SkylineSize)
+		sp.SetAttr("candidates", rep.Candidates)
+		sp.SetAttr("candidate_balance", metrics.NewBalance(rep.PerGroupCandidates).String())
+	}
 	return sky, rep, nil
 }
 
 // runPhase2 prefers the substrate's fused map-reduce when offered,
 // falling back to map tasks + coordinator-side shuffle + reduce tasks.
+// The split path emits the taxonomy's map and local-skyline spans; a
+// fused MapReducer is responsible for emitting them itself (see the
+// interface contract).
 func runPhase2(ctx context.Context, spec *Spec, r *Rule, ds *point.Dataset, ex Executor, tally *metrics.Tally) ([]Group, int64, error) {
 	if mr, ok := ex.(MapReducer); ok {
 		return mr.MapReduce(ctx, r, ds.Points, tally)
 	}
-	outs, err := ex.RunMaps(ctx, r, spec.chunk(ds.Points), tally)
+	chunks := spec.chunk(ds.Points)
+	mapSpan, mctx := obs.StartSpan(ctx, "map")
+	mapSpan.SetAttr("tasks", len(chunks))
+	outs, err := ex.RunMaps(mctx, r, chunks, tally)
 	if err != nil {
+		mapSpan.End()
 		return nil, 0, err
 	}
 	groups, filtered := Shuffle(outs)
-	groups, err = ex.RunReduces(ctx, r, groups, tally)
+	mapSpan.SetAttr("filtered", filtered)
+	mapSpan.End()
+	redSpan, rctx := obs.StartSpan(ctx, "local-skyline")
+	redSpan.SetAttr("groups", len(groups))
+	groups, err = ex.RunReduces(rctx, r, groups, tally)
 	if err != nil {
+		redSpan.End()
 		return nil, 0, err
 	}
+	candidates := 0
+	for _, g := range groups {
+		candidates += len(g.Points)
+	}
+	redSpan.SetAttr("candidates", candidates)
+	redSpan.End()
 	return groups, filtered, nil
 }
 
 // MergePhase is phase 3 (§5.3): one merge task over all candidate
 // groups, or — with tree set — rounds of pairwise merge tasks until a
-// single result remains, checking ctx between rounds.
+// single result remains, checking ctx between rounds. Each round is
+// one merge/round-N span.
 func MergePhase(ctx context.Context, ex Executor, r *Rule, groups []Group, tree bool, tally *metrics.Tally) ([]point.Point, error) {
 	if len(groups) == 0 {
 		return nil, nil
 	}
 	if !tree || len(groups) <= 2 {
-		outs, err := ex.RunMerges(ctx, r, [][]Group{groups}, tally)
+		sp, mctx := obs.StartSpan(ctx, "merge/round-1")
+		sp.SetAttr("tasks", 1)
+		sp.SetAttr("groups", len(groups))
+		outs, err := ex.RunMerges(mctx, r, [][]Group{groups}, tally)
 		if err != nil {
+			sp.End()
 			return nil, err
 		}
+		sp.SetAttr("skyline", len(outs[0]))
+		sp.End()
 		return outs[0], nil
 	}
-	for len(groups) > 1 {
+	for round := 1; len(groups) > 1; round++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -146,10 +196,15 @@ func MergePhase(ctx context.Context, ex Executor, r *Rule, groups []Group, tree 
 		for i := 0; i+1 < len(groups); i += 2 {
 			tasks = append(tasks, []Group{groups[i], groups[i+1]})
 		}
-		outs, err := ex.RunMerges(ctx, r, tasks, tally)
+		sp, mctx := obs.StartSpan(ctx, fmt.Sprintf("merge/round-%d", round))
+		sp.SetAttr("tasks", len(tasks))
+		sp.SetAttr("groups", len(groups))
+		outs, err := ex.RunMerges(mctx, r, tasks, tally)
 		if err != nil {
+			sp.End()
 			return nil, err
 		}
+		sp.End()
 		next := make([]Group, 0, len(outs)+1)
 		for i, pts := range outs {
 			next = append(next, Group{Gid: i, Points: pts})

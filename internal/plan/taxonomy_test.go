@@ -1,0 +1,133 @@
+package plan_test
+
+// Cross-executor span taxonomy: a traced run must emit the same
+// top-level phase spans — learn, map, local-skyline, merge/round-1 —
+// whether it executes on the in-process MapReduce simulator (core),
+// the TCP coordinator/worker deployment (dist, over loopback), or the
+// shared-memory pool (parallel). The uniform taxonomy is what makes
+// trace reports comparable across deployment substrates.
+
+import (
+	"context"
+	"testing"
+
+	"zskyline/internal/core"
+	"zskyline/internal/dist"
+	"zskyline/internal/gen"
+	"zskyline/internal/obs"
+	"zskyline/internal/parallel"
+)
+
+// phaseNames returns the names of the root span's direct children in
+// start order.
+func phaseNames(tr *obs.Trace) []string {
+	children := tr.Root().Children()
+	names := make([]string, len(children))
+	for i, c := range children {
+		names[i] = c.Name()
+	}
+	return names
+}
+
+func assertTaxonomy(t *testing.T, label string, got []string) {
+	t.Helper()
+	want := []string{"learn", "map", "local-skyline", "merge/round-1"}
+	if len(got) != len(want) {
+		t.Fatalf("%s: top-level spans = %v, want %v", label, got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: top-level spans = %v, want %v", label, got, want)
+		}
+	}
+}
+
+func TestSpanTaxonomyUniformAcrossExecutors(t *testing.T) {
+	ds := gen.Synthetic(gen.Independent, 2000, 4, 7)
+
+	// Core: fused simulator — the MapReducer reconstructs map and
+	// local-skyline spans from the job's phase walls.
+	coreTr := obs.NewTrace("core")
+	{
+		cfg := core.Defaults()
+		cfg.Strategy = core.ZDG
+		cfg.M = 8
+		cfg.SampleRatio = 0.05
+		cfg.Workers = 4
+		cfg.Seed = 7
+		eng, err := core.NewEngine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := obs.ContextWithTrace(context.Background(), coreTr)
+		if _, _, err := eng.Skyline(ctx, gen.Synthetic(gen.Independent, 2000, 4, 7)); err != nil {
+			t.Fatal(err)
+		}
+		coreTr.Finish()
+	}
+
+	// Dist: real RPC over loopback workers.
+	distTr := obs.NewTrace("dist")
+	{
+		addrs := startCluster(t, 2)
+		cfg := dist.DefaultCoordinatorConfig()
+		cfg.M = 8
+		cfg.SampleRatio = 0.05
+		cfg.Seed = 7
+		coord, err := dist.NewCoordinator(cfg, addrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer coord.Close()
+		ctx := obs.ContextWithTrace(context.Background(), distTr)
+		if _, _, err := coord.Skyline(ctx, ds); err != nil {
+			t.Fatal(err)
+		}
+		distTr.Finish()
+	}
+
+	// Parallel: shared-memory pool. Workers=2 keeps the pairwise
+	// reduction to a single round, matching the other executors.
+	parTr := obs.NewTrace("parallel")
+	{
+		ctx := obs.ContextWithTrace(context.Background(), parTr)
+		if _, err := parallel.Skyline(ctx, ds, parallel.Options{Workers: 2}); err != nil {
+			t.Fatal(err)
+		}
+		parTr.Finish()
+	}
+
+	coreNames := phaseNames(coreTr)
+	distNames := phaseNames(distTr)
+	parNames := phaseNames(parTr)
+	assertTaxonomy(t, "core", coreNames)
+	assertTaxonomy(t, "dist", distNames)
+	assertTaxonomy(t, "parallel", parNames)
+
+	// The dist run's RPC spans must nest inside the phases, never at
+	// the top level; spot-check that the merge phase carries them.
+	var mergeSpan *obs.Span
+	for _, c := range distTr.Root().Children() {
+		if c.Name() == "merge/round-1" {
+			mergeSpan = c
+		}
+	}
+	found := false
+	for _, c := range mergeSpan.Children() {
+		if c.Name() == "rpc/Worker.MergeGroups" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("dist merge/round-1 has no rpc/Worker.MergeGroups child; children: %v",
+			spanNames(mergeSpan.Children()))
+	}
+}
+
+func spanNames(spans []*obs.Span) []string {
+	names := make([]string, len(spans))
+	for i, s := range spans {
+		names[i] = s.Name()
+	}
+	return names
+}

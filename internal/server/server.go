@@ -18,8 +18,10 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"time"
 
 	"zskyline/internal/metrics"
+	"zskyline/internal/obs"
 	"zskyline/internal/point"
 	"zskyline/internal/rank"
 	"zskyline/internal/seq"
@@ -35,6 +37,7 @@ type Server struct {
 	enc   *zorder.Encoder
 	tree  *zbtree.Tree
 	tally *metrics.Tally
+	reg   *obs.Registry
 
 	once sync.Once
 	sky  []point.Point
@@ -70,24 +73,41 @@ func New(attrs []string, ds *point.Dataset, bits int) (*Server, error) {
 		return nil, err
 	}
 	tally := &metrics.Tally{}
+	reg := obs.NewRegistry()
+	buildStart := time.Now()
+	tree := zbtree.BuildFromPoints(enc, 0, ds.Points, tally)
+	reg.Gauge("zsky_index_build_seconds").Set(time.Since(buildStart).Seconds())
+	reg.Gauge("zsky_dataset_points").Set(float64(ds.Len()))
 	return &Server{
 		attrs: attrs,
 		index: idx,
 		ds:    ds,
 		enc:   enc,
-		tree:  zbtree.BuildFromPoints(enc, 0, ds.Points, tally),
+		tree:  tree,
 		tally: tally,
+		reg:   reg,
 	}, nil
 }
 
-// Handler returns the HTTP routes.
+// Metrics returns the server's observability registry (request
+// counters, latency histograms, index/skyline build stats, and the
+// absorbed pipeline tally).
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// Handler returns the HTTP routes, each instrumented with request
+// counters and latency histograms, plus GET /metrics serving the
+// registry in Prometheus text format.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /skyline", s.handleSkyline)
-	mux.HandleFunc("POST /query", s.handleQuery)
-	mux.HandleFunc("POST /explain", s.handleExplain)
-	mux.HandleFunc("POST /topk", s.handleTopK)
+	route := func(pattern, name string, h http.HandlerFunc) {
+		mux.Handle(pattern, s.reg.InstrumentHandler(name, h))
+	}
+	route("GET /healthz", "/healthz", s.handleHealth)
+	route("GET /skyline", "/skyline", s.handleSkyline)
+	route("POST /query", "/query", s.handleQuery)
+	route("POST /explain", "/explain", s.handleExplain)
+	route("POST /topk", "/topk", s.handleTopK)
+	mux.Handle("GET /metrics", s.reg.PrometheusHandler())
 	return mux
 }
 
@@ -110,9 +130,21 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-// fullSkyline computes (once) and caches the all-min skyline.
+// fullSkyline computes (once) and caches the all-min skyline,
+// recording the build duration and the tally work it cost into the
+// metrics registry.
 func (s *Server) fullSkyline() []point.Point {
-	s.once.Do(func() { s.sky = s.tree.Skyline() })
+	s.once.Do(func() {
+		before := s.tally.Snapshot()
+		start := time.Now()
+		s.sky = s.tree.Skyline()
+		s.reg.Gauge("zsky_skyline_build_seconds").Set(time.Since(start).Seconds())
+		s.reg.Gauge("zsky_skyline_size").Set(float64(len(s.sky)))
+		// The delta is the Z-search work; concurrent /query traffic on
+		// the shared tally can bleed in, which we accept for a one-shot
+		// recording.
+		s.reg.AbsorbTally(s.tally.Snapshot().Sub(before))
+	})
 	return s.sky
 }
 

@@ -3,8 +3,10 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"zskyline/internal/gen"
@@ -78,6 +80,93 @@ func TestHealthAndSkyline(t *testing.T) {
 	want := len(seq.SB(ds.Points, nil))
 	if int(sky["count"].(float64)) != want {
 		t.Errorf("skyline count %v, want %d", sky["count"], want)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+
+	// Drive some traffic so the request counters and the lazily
+	// computed skyline's build gauges have something to show.
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(ts.URL + "/skyline")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+
+	// Structural validity of the exposition: every non-comment line is
+	// "name{labels} value" or "name value", and every family has a
+	// TYPE line before its series.
+	typed := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			typed[parts[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed series line %q", line)
+		}
+		name := fields[0]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				t.Fatalf("unterminated label set in %q", line)
+			}
+			name = name[:i]
+		}
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, suffix) {
+				base = strings.TrimSuffix(name, suffix)
+			}
+		}
+		if !typed[name] && !typed[base] {
+			t.Errorf("series %q has no preceding TYPE line", line)
+		}
+	}
+
+	for _, want := range []string{
+		`zsky_http_requests_total{code="200",route="/skyline"} 3`,
+		"# TYPE zsky_http_request_seconds histogram",
+		"zsky_skyline_build_seconds",
+		"zsky_skyline_size",
+		"zsky_index_build_seconds",
+		"zsky_dataset_points 1000",
+		"zsky_dominance_tests_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
 	}
 }
 
