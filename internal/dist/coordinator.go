@@ -389,10 +389,10 @@ func (c *Coordinator) broadcast(ctx context.Context, blob RuleBlob) error {
 			var reply LoadRuleReply
 			if err := c.clients[w].Call("Worker.LoadRule", LoadRuleArgs{Rule: blob}, &reply); err != nil {
 				c.markDead(w)
-				done(w, 0)
-				return
 			}
-			done(w, 1)
+			// LoadRule replies carry no payload; 0 keeps resp_bytes
+			// honest alongside the measured RPC spans.
+			done(w, 0)
 		}(w)
 	}
 	wg.Wait()

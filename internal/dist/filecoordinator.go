@@ -175,8 +175,8 @@ func (c *Coordinator) streamMap(ctx context.Context, path string, ruleID uint64)
 				var reply MapReply
 				served, err := c.call("Worker.MapChunk",
 					MapArgs{RuleID: ruleID, Points: batch}, &reply, worker)
-				done(served, groupBytes(reply.Groups))
 				if err != nil {
+					done(served, 0)
 					mu.Lock()
 					if firstErr == nil {
 						firstErr = err
@@ -184,6 +184,7 @@ func (c *Coordinator) streamMap(ctx context.Context, path string, ruleID uint64)
 					mu.Unlock()
 					return
 				}
+				done(served, groupBytes(reply.Groups))
 				mu.Lock()
 				outs = append(outs, plan.MapOutput{Groups: reply.Groups, Filtered: reply.Filtered})
 				mu.Unlock()

@@ -19,6 +19,18 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
+// Flush forwards to the underlying writer so instrumented handlers can
+// still stream responses.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap exposes the underlying writer to http.ResponseController, so
+// capabilities we don't wrap (hijacking, deadlines) keep working.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
 // InstrumentHandler wraps next with per-endpoint observability: a
 // request counter labeled by route and status code, and a latency
 // histogram labeled by route. A nil registry returns next unchanged.

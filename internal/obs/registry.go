@@ -271,6 +271,36 @@ func (r *Registry) AbsorbJobStats(js *mapreduce.JobStats) {
 	r.Counter("zsky_mr_task_attempts_total", job, L("kind", "reduce")).Add(redAtt)
 }
 
+// famView is a point-in-time copy of one family's structure, taken
+// under the registry lock so exporters never touch the live maps and
+// slices that Counter/Gauge/Histogram mutate. The series pointers are
+// safe to read afterwards: counter and gauge values are atomics, and
+// histograms carry their own mutex.
+type famView struct {
+	name   string
+	kind   string
+	series []*series
+}
+
+// snapshot copies every family's name, kind, and ordered series
+// pointers while holding r.mu, families sorted by name.
+func (r *Registry) snapshot() []famView {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := append([]string(nil), r.ord...)
+	sort.Strings(names)
+	out := make([]famView, len(names))
+	for i, n := range names {
+		f := r.fam[n]
+		ss := make([]*series, len(f.order))
+		for j, ls := range f.order {
+			ss[j] = f.series[ls]
+		}
+		out[i] = famView{name: f.name, kind: f.kind, series: ss}
+	}
+	return out
+}
+
 // formatFloat renders a sample value the way Prometheus clients do.
 func formatFloat(v float64) string {
 	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
@@ -286,21 +316,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	names := append([]string(nil), r.ord...)
-	sort.Strings(names)
-	fams := make([]*family, len(names))
-	for i, n := range names {
-		fams[i] = r.fam[n]
-	}
-	r.mu.Unlock()
-
-	for _, f := range fams {
+	for _, f := range r.snapshot() {
 		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
 			return err
 		}
-		for _, ls := range f.order {
-			s := f.series[ls]
+		for _, s := range f.series {
 			if err := writeSeries(w, f, s); err != nil {
 				return err
 			}
@@ -309,7 +329,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	return nil
 }
 
-func writeSeries(w io.Writer, f *family, s *series) error {
+func writeSeries(w io.Writer, f famView, s *series) error {
 	suffix := func(extra string) string {
 		if s.labels == "" && extra == "" {
 			return ""

@@ -1,8 +1,10 @@
 package obs
 
 import (
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -41,11 +43,26 @@ func TestRegistryConcurrency(t *testing.T) {
 	var wg sync.WaitGroup
 	for i := 0; i < 32; i++ {
 		wg.Add(1)
-		go func() {
+		go func(i int) {
 			defer wg.Done()
 			for j := 0; j < 100; j++ {
 				r.Counter("c").Add(1)
 				r.Histogram("h", nil).Observe(0.01)
+				// Fresh label sets force lazy series creation while the
+				// exporters below iterate — the scrape-time race.
+				r.Counter("lazy", L("w", strconv.Itoa(i)), L("j", strconv.Itoa(j))).Add(1)
+			}
+		}(i)
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				if err := r.WritePrometheus(io.Discard); err != nil {
+					t.Error(err)
+				}
+				Report(nil, r)
 			}
 		}()
 	}

@@ -3,7 +3,6 @@ package obs
 import (
 	"fmt"
 	"io"
-	"sort"
 	"strings"
 	"time"
 )
@@ -100,18 +99,9 @@ func writeChildren(w io.Writer, prefix string, s *Span) error {
 }
 
 func writeRegistry(w io.Writer, r *Registry) error {
-	r.mu.Lock()
-	names := append([]string(nil), r.ord...)
-	sort.Strings(names)
-	fams := make([]*family, len(names))
-	for i, n := range names {
-		fams[i] = r.fam[n]
-	}
-	r.mu.Unlock()
 	wrote := false
-	for _, f := range fams {
-		for _, ls := range f.order {
-			s := f.series[ls]
+	for _, f := range r.snapshot() {
+		for _, s := range f.series {
 			if !wrote {
 				if _, err := fmt.Fprintln(w, "COUNTERS"); err != nil {
 					return err
