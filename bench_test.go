@@ -24,6 +24,9 @@ import (
 	"zskyline/internal/exp"
 	"zskyline/internal/gen"
 	"zskyline/internal/gpmrs"
+	"zskyline/internal/plan"
+	"zskyline/internal/point"
+	"zskyline/internal/sample"
 	"zskyline/internal/seq"
 	"zskyline/internal/zbtree"
 	"zskyline/internal/zorder"
@@ -184,3 +187,64 @@ func BenchmarkAblModel(b *testing.B)      { benchFigure(b, "abl-model") }
 func BenchmarkAblSkew(b *testing.B)       { benchFigure(b, "abl-skew") }
 func BenchmarkAblStragglers(b *testing.B) { benchFigure(b, "abl-stragglers") }
 func BenchmarkAblOOC(b *testing.B)        { benchFigure(b, "abl-ooc") }
+
+// Phase-2 map-path memory benchmarks: the per-point MapChunk (one
+// ZB-tree entry allocation per routed point) against the flat MapBlock
+// (scratch reuse + per-group arenas). Same rule, same data. The local
+// algorithm is SB, whose allocations are identical on both paths, so
+// the allocs/op delta is the map/route path itself.
+func mapPhaseFixture(b *testing.B, n, d int) (*plan.Rule, []point.Point, point.Block) {
+	b.Helper()
+	ds := gen.Synthetic(gen.AntiCorrelated, n, d, 42)
+	smp, err := sample.Ratio(ds.Points, 0.02, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mins, maxs, err := ds.Bounds()
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := &plan.Spec{Strategy: plan.ZDG, Local: plan.SB, Merge: plan.MergeZM,
+		M: 32, Delta: 4, SampleRatio: 0.02, Bits: 16}
+	r, err := plan.Learn(spec, ds.Dims, mins, maxs, smp, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r, ds.Points, point.BlockOf(ds.Dims, ds.Points)
+}
+
+func BenchmarkMapPhasePoints50k5d(b *testing.B) {
+	r, pts, _ := mapPhaseFixture(b, 50000, 5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.MapChunk(pts, nil)
+	}
+}
+
+func BenchmarkMapPhaseBlock50k5d(b *testing.B) {
+	r, _, blk := mapPhaseFixture(b, 50000, 5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.MapBlock(blk, nil)
+	}
+}
+
+func BenchmarkMapPhasePoints20k20d(b *testing.B) {
+	r, pts, _ := mapPhaseFixture(b, 20000, 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.MapChunk(pts, nil)
+	}
+}
+
+func BenchmarkMapPhaseBlock20k20d(b *testing.B) {
+	r, _, blk := mapPhaseFixture(b, 20000, 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.MapBlock(blk, nil)
+	}
+}

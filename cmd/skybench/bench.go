@@ -1,0 +1,227 @@
+package main
+
+// Benchmark-suite mode (-bench-tag): one fixed dataset pushed through
+// all three executors — the in-process MapReduce simulator, the
+// shared-memory parallel path, and the TCP coordinator against
+// loopback workers — with wall clock, allocation, wire-byte, and
+// skyline-size measurements written to BENCH_<tag>.json. CI uploads
+// the file as an artifact so the repo's perf trajectory accumulates
+// across commits.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"zskyline/internal/core"
+	"zskyline/internal/dist"
+	"zskyline/internal/gen"
+	"zskyline/internal/parallel"
+	"zskyline/internal/plan"
+	"zskyline/internal/point"
+	"zskyline/internal/sample"
+)
+
+type benchDataset struct {
+	Distribution string `json:"distribution"`
+	Points       int    `json:"points"`
+	Dims         int    `json:"dims"`
+	Seed         int64  `json:"seed"`
+}
+
+type benchExecutor struct {
+	Executor      string  `json:"executor"`
+	WallMS        float64 `json:"wall_ms"`
+	Allocs        uint64  `json:"allocs"`
+	AllocBytes    uint64  `json:"alloc_bytes"`
+	WireSentBytes int64   `json:"wire_sent_bytes"`
+	WireRecvBytes int64   `json:"wire_recv_bytes"`
+	SkylineSize   int     `json:"skyline_size"`
+}
+
+// benchMapPath is the phase-2 map-path allocation comparison: the
+// per-point MapChunk against the flat MapBlock over identical data
+// (the tentpole's ≥5× target, same fixture as bench_test.go).
+type benchMapPath struct {
+	Points            int     `json:"points"`
+	Dims              int     `json:"dims"`
+	AllocsPerOpPoints float64 `json:"allocs_per_op_points"`
+	AllocsPerOpBlock  float64 `json:"allocs_per_op_block"`
+	Ratio             float64 `json:"ratio"`
+}
+
+type benchReport struct {
+	Tag       string          `json:"tag"`
+	GoVersion string          `json:"go_version"`
+	Dataset   benchDataset    `json:"dataset"`
+	Executors []benchExecutor `json:"executors"`
+	MapPath   benchMapPath    `json:"map_path"`
+}
+
+// measure runs f once and records wall clock plus heap-allocation
+// deltas. Single-shot numbers are noisier than testing.B loops but
+// cheap enough for a CI smoke job, and alloc counts are deterministic
+// enough to track trends.
+func measure(name string, f func() (sky int, err error)) (benchExecutor, error) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	sky, err := f()
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return benchExecutor{}, fmt.Errorf("%s: %w", name, err)
+	}
+	return benchExecutor{
+		Executor:    name,
+		WallMS:      float64(wall.Microseconds()) / 1000,
+		Allocs:      after.Mallocs - before.Mallocs,
+		AllocBytes:  after.TotalAlloc - before.TotalAlloc,
+		SkylineSize: sky,
+	}, nil
+}
+
+func runBenchSuite(tag string, scale float64, workers int, seed int64, outdir string) error {
+	if strings.ContainsAny(tag, "/\\ ") {
+		return fmt.Errorf("bench tag %q must be a plain filename fragment", tag)
+	}
+	n := int(50000 * scale)
+	if n < 2000 {
+		n = 2000
+	}
+	const d = 5
+	ds := gen.Synthetic(gen.AntiCorrelated, n, d, seed)
+	ctx := context.Background()
+	rep := benchReport{
+		Tag:       tag,
+		GoVersion: runtime.Version(),
+		Dataset:   benchDataset{Distribution: gen.AntiCorrelated.String(), Points: n, Dims: d, Seed: seed},
+	}
+
+	// Executor 1: the fused MapReduce simulator.
+	res, err := measure("core", func() (int, error) {
+		cfg := core.Defaults()
+		cfg.Workers = workers
+		cfg.Seed = seed
+		eng, err := core.NewEngine(cfg)
+		if err != nil {
+			return 0, err
+		}
+		sky, _, err := eng.Skyline(ctx, ds)
+		return len(sky), err
+	})
+	if err != nil {
+		return err
+	}
+	rep.Executors = append(rep.Executors, res)
+
+	// Executor 2: the shared-memory shard-and-merge path.
+	res, err = measure("parallel", func() (int, error) {
+		sky, err := parallel.Skyline(ctx, ds, parallel.Options{Workers: workers})
+		return len(sky), err
+	})
+	if err != nil {
+		return err
+	}
+	rep.Executors = append(rep.Executors, res)
+
+	// Executor 3: the TCP coordinator over loopback workers. Wire
+	// totals cover the whole run — rule broadcast, block chunks, and
+	// merge replies — which is the communication-volume number the
+	// block framing is meant to shrink.
+	var wss []*dist.WorkerServer
+	defer func() {
+		for _, ws := range wss {
+			ws.Close()
+		}
+	}()
+	addrs := make([]string, 2)
+	for i := range addrs {
+		ws, err := dist.StartWorker("127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		wss = append(wss, ws)
+		addrs[i] = ws.Addr()
+	}
+	var wire []dist.WireStat
+	res, err = measure("dist", func() (int, error) {
+		cfg := dist.DefaultCoordinatorConfig()
+		cfg.Seed = seed
+		coord, err := dist.NewCoordinator(cfg, addrs)
+		if err != nil {
+			return 0, err
+		}
+		defer coord.Close()
+		sky, _, err := coord.Skyline(ctx, ds)
+		wire = coord.WireStats()
+		return len(sky), err
+	})
+	if err != nil {
+		return err
+	}
+	for _, w := range wire {
+		res.WireSentBytes += w.Sent
+		res.WireRecvBytes += w.Recv
+	}
+	rep.Executors = append(rep.Executors, res)
+
+	mp, err := measureMapPath(ds, seed)
+	if err != nil {
+		return err
+	}
+	rep.MapPath = mp
+
+	dir := outdir
+	if dir == "" {
+		dir = "."
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_"+tag+".json")
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "skybench: wrote %s\n", path)
+	return nil
+}
+
+// measureMapPath mirrors bench_test.go's mapPhaseFixture: SB locally
+// so the allocs/op delta isolates the map/route path itself.
+func measureMapPath(ds *point.Dataset, seed int64) (benchMapPath, error) {
+	smp, err := sample.Ratio(ds.Points, 0.02, seed)
+	if err != nil {
+		return benchMapPath{}, err
+	}
+	mins, maxs, err := ds.Bounds()
+	if err != nil {
+		return benchMapPath{}, err
+	}
+	spec := &plan.Spec{Strategy: plan.ZDG, Local: plan.SB, Merge: plan.MergeZM,
+		M: 32, Delta: 4, SampleRatio: 0.02, Bits: 16}
+	r, err := plan.Learn(spec, ds.Dims, mins, maxs, smp, nil)
+	if err != nil {
+		return benchMapPath{}, err
+	}
+	blk := point.BlockOf(ds.Dims, ds.Points)
+	pts := testing.AllocsPerRun(3, func() { _ = r.MapChunk(ds.Points, nil) })
+	bl := testing.AllocsPerRun(3, func() { _ = r.MapBlock(blk, nil) })
+	mp := benchMapPath{Points: ds.Len(), Dims: ds.Dims,
+		AllocsPerOpPoints: pts, AllocsPerOpBlock: bl}
+	if bl > 0 {
+		mp.Ratio = pts / bl
+	}
+	return mp, nil
+}

@@ -41,12 +41,21 @@ func main() {
 		outdir   = flag.String("outdir", "", "also write each experiment's table as <outdir>/<id>.csv")
 		trace    = flag.Bool("trace", false, "print a per-run trace report (one span tree per experiment) to stderr")
 		metrics_ = flag.String("metrics-addr", "", "serve GET /metrics and /debug/pprof/ on this address during the run")
+		benchTag = flag.String("bench-tag", "", "run the fixed cross-executor benchmark suite and write BENCH_<tag>.json to -outdir (default: current directory)")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, e := range exp.All() {
 			fmt.Printf("%-8s %-10s %s\n", e.ID, e.PaperRef, e.Title)
+		}
+		return
+	}
+
+	if *benchTag != "" {
+		if err := runBenchSuite(*benchTag, *scale, *workers, *seed, *outdir); err != nil {
+			fmt.Fprintf(os.Stderr, "skybench: %v\n", err)
+			os.Exit(1)
 		}
 		return
 	}

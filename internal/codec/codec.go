@@ -310,3 +310,92 @@ func (b *BinaryReader) Next(max int) ([]point.Point, error) {
 	b.remaining -= n
 	return pts, nil
 }
+
+// NextBlock reads up to max points into one contiguous block. It is
+// Next on the block data plane: the batch payload is read and
+// checksummed in a single bulk transfer, and the batch costs two
+// allocations regardless of row count. io.EOF (with an empty block)
+// signals exhaustion after checksum verification.
+func (b *BinaryReader) NextBlock(max int) (point.Block, error) {
+	if max < 1 {
+		return point.Block{}, fmt.Errorf("codec: batch size must be positive")
+	}
+	if b.remaining == 0 {
+		if b.crc != nil {
+			if _, err := io.ReadFull(b.br, b.buf[:4]); err != nil {
+				return point.Block{}, fmt.Errorf("codec: missing checksum: %w", err)
+			}
+			if got := binary.LittleEndian.Uint32(b.buf[:4]); got != b.crc.Sum32() {
+				return point.Block{}, fmt.Errorf("codec: checksum mismatch")
+			}
+			b.crc = nil
+		}
+		return point.Block{}, io.EOF
+	}
+	n := uint64(max)
+	if n > b.remaining {
+		n = b.remaining
+	}
+	payload := make([]byte, int(n)*b.dims*8)
+	if _, err := io.ReadFull(b.br, payload); err != nil {
+		return point.Block{}, fmt.Errorf("codec: truncated payload: %w", err)
+	}
+	b.crc.Write(payload)
+	data := make([]float64, int(n)*b.dims)
+	for i := range data {
+		data[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[i*8:]))
+	}
+	b.remaining -= n
+	return point.Block{Dims: b.dims, Data: data}, nil
+}
+
+// Source adapts the reader to the point.Source streaming interface, so
+// a ZSKY file can feed any block-oriented consumer directly.
+func (b *BinaryReader) Source() point.Source { return readerSource{b} }
+
+type readerSource struct{ br *BinaryReader }
+
+func (s readerSource) Dims() int                         { return s.br.dims }
+func (s readerSource) Next(max int) (point.Block, error) { return s.br.NextBlock(max) }
+
+// WriteBlock writes one length-prefixed block frame — b's flat
+// [dims][rows][payload] encoding preceded by its uint32 byte length —
+// so a stream can carry consecutive blocks of varying sizes.
+func WriteBlock(w io.Writer, b point.Block) error {
+	frame, err := b.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(frame)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(frame)
+	return err
+}
+
+// ReadBlock reads one length-prefixed block frame written by
+// WriteBlock. io.EOF is returned unwrapped at a clean stream end.
+func ReadBlock(r io.Reader) (point.Block, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return point.Block{}, io.EOF
+		}
+		return point.Block{}, fmt.Errorf("codec: reading block length: %w", err)
+	}
+	size := binary.LittleEndian.Uint32(hdr[:])
+	if size > 1<<30 {
+		return point.Block{}, fmt.Errorf("codec: implausible block frame size %d", size)
+	}
+	frame := make([]byte, size)
+	if _, err := io.ReadFull(r, frame); err != nil {
+		return point.Block{}, fmt.Errorf("codec: truncated block frame: %w", err)
+	}
+	var b point.Block
+	if err := b.UnmarshalBinary(frame); err != nil {
+		return point.Block{}, err
+	}
+	return b, nil
+}

@@ -2,6 +2,7 @@ package codec
 
 import (
 	"bytes"
+	"io"
 	"math"
 	"math/rand"
 	"strings"
@@ -254,5 +255,112 @@ func TestReadNamedCSVErrors(t *testing.T) {
 	attrs, rows, err := ReadNamedCSV(strings.NewReader("a,b\n"))
 	if err != nil || len(attrs) != 2 || len(rows) != 0 {
 		t.Errorf("header-only: %v %v %v", attrs, rows, err)
+	}
+}
+
+// NextBlock must yield exactly the same points as the per-point Next
+// path, verify the CRC at EOF, and feed the Source adapter.
+func TestBinaryReaderNextBlock(t *testing.T) {
+	ds := gen.Synthetic(gen.Independent, 257, 3, 21)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	br, err := NewBinaryReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows int
+	for {
+		b, err := br.NextBlock(100)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Dims != 3 {
+			t.Fatalf("block dims = %d", b.Dims)
+		}
+		for i := 0; i < b.Len(); i++ {
+			if !b.Row(i).Equal(ds.Points[rows+i]) {
+				t.Fatalf("row %d drifted", rows+i)
+			}
+		}
+		rows += b.Len()
+	}
+	if rows != ds.Len() {
+		t.Fatalf("streamed %d rows, want %d", rows, ds.Len())
+	}
+
+	// Corrupt payload: the CRC check at EOF must catch it.
+	bad := append([]byte(nil), raw...)
+	bad[20] ^= 0xff
+	br, err = NewBinaryReader(bytes.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err = br.NextBlock(64); err != nil {
+			break
+		}
+	}
+	if err == io.EOF {
+		t.Error("corrupted stream passed the checksum")
+	}
+
+	// Source adapter drains through plan-agnostic point.ReadAll.
+	br, err = NewBinaryReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := point.ReadAll(br.Source())
+	if err != nil || all.Len() != ds.Len() {
+		t.Fatalf("Source ReadAll = %dx%d, %v", all.Len(), all.Dims, err)
+	}
+}
+
+// WriteBlock/ReadBlock must carry consecutive frames of varying shape
+// on one stream and end with a clean io.EOF.
+func TestBlockFrameStream(t *testing.T) {
+	blocks := []point.Block{
+		point.BlockOf(2, []point.Point{{1, 2}, {3, 4}}),
+		point.BlockOf(5, nil),
+		point.BlockOf(1, []point.Point{{-0.5}}),
+	}
+	var buf bytes.Buffer
+	for _, b := range blocks {
+		if err := WriteBlock(&buf, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bytes.NewReader(buf.Bytes())
+	for i, want := range blocks {
+		got, err := ReadBlock(r)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Len() != want.Len() || (want.Len() > 0 && got.Dims != want.Dims) {
+			t.Fatalf("frame %d: %dx%d, want %dx%d", i, got.Len(), got.Dims, want.Len(), want.Dims)
+		}
+		for k := range want.Data {
+			if got.Data[k] != want.Data[k] {
+				t.Fatalf("frame %d coord %d drifted", i, k)
+			}
+		}
+	}
+	if _, err := ReadBlock(r); err != io.EOF {
+		t.Fatalf("stream end = %v, want io.EOF", err)
+	}
+	// A truncated tail frame must not be io.EOF.
+	trunc := bytes.NewReader(buf.Bytes()[:buf.Len()-3])
+	var err error
+	for err == nil {
+		_, err = ReadBlock(trunc)
+	}
+	if err == io.EOF {
+		t.Error("truncated tail frame reported clean EOF")
 	}
 }

@@ -39,8 +39,18 @@ type mrExec struct {
 }
 
 // MapReduce runs MapReduce job 1 (Algorithm 3) and returns the
-// candidate groups in deterministic gid order.
-func (ex *mrExec) MapReduce(ctx context.Context, r *plan.Rule, pts []point.Point, tally *metrics.Tally) ([]plan.Group, int64, error) {
+// candidate groups in deterministic gid order. The simulator is
+// record-oriented, so the input blocks are flattened to zero-copy row
+// views at the boundary.
+func (ex *mrExec) MapReduce(ctx context.Context, r *plan.Rule, chunks []point.Block, tally *metrics.Tally) ([]plan.Group, int64, error) {
+	var n int
+	for _, b := range chunks {
+		n += b.Len()
+	}
+	pts := make([]point.Point, 0, n)
+	for _, b := range chunks {
+		pts = b.AppendPoints(pts)
+	}
 	var filtered metrics.Tally
 	dims := ex.dims
 	job := mapreduce.Job[point.Point, int, point.Point, candidate]{
@@ -94,34 +104,38 @@ func (ex *mrExec) MapReduce(ctx context.Context, r *plan.Rule, pts []point.Point
 	}
 
 	// Regroup the reducer output (already in deterministic reducer /
-	// first-seen order) into per-group candidate lists.
-	byGroup := map[int][]point.Point{}
+	// first-seen order) into per-group candidate blocks.
+	byGroup := map[int]*point.BlockBuilder{}
 	var order []int
 	for _, c := range out {
-		if _, seen := byGroup[c.gid]; !seen {
+		bb, seen := byGroup[c.gid]
+		if !seen {
+			bb = point.NewBlockBuilder(dims, 0)
+			byGroup[c.gid] = bb
 			order = append(order, c.gid)
 		}
-		byGroup[c.gid] = append(byGroup[c.gid], c.p)
+		bb.Append(c.p)
 	}
 	groups := make([]plan.Group, len(order))
 	for i, gid := range order {
-		groups[i] = plan.Group{Gid: gid, Points: byGroup[gid]}
+		groups[i] = plan.Group{Gid: gid, Block: byGroup[gid].Build()}
 	}
 	return groups, dropped, nil
 }
 
 // RunMerges runs MapReduce job 2 (§5.3): every merge task becomes one
 // reducer, and each reducer Z-merges (or recomputes) its groups.
-func (ex *mrExec) RunMerges(ctx context.Context, r *plan.Rule, tasks [][]plan.Group, tally *metrics.Tally) ([][]point.Point, error) {
+func (ex *mrExec) RunMerges(ctx context.Context, r *plan.Rule, tasks [][]plan.Group, tally *metrics.Tally) ([]point.Block, error) {
 	var recs []mergeRec
 	for t, groups := range tasks {
 		for _, g := range groups {
-			for _, p := range g.Points {
-				recs = append(recs, mergeRec{task: t, gid: g.Gid, p: p})
+			rows := g.Block.Len()
+			for i := 0; i < rows; i++ {
+				recs = append(recs, mergeRec{task: t, gid: g.Gid, p: g.Block.Row(i)})
 			}
 		}
 	}
-	outs := make([][]point.Point, len(tasks))
+	outs := make([]point.Block, len(tasks))
 	if len(recs) == 0 {
 		ex.job2 = &mapreduce.JobStats{Name: "skyline-merge"}
 		return outs, nil
@@ -134,17 +148,20 @@ func (ex *mrExec) RunMerges(ctx context.Context, r *plan.Rule, tasks [][]plan.Gr
 			return nil
 		},
 		Reduce: func(_ *mapreduce.TaskContext, task int, vals []mergeRec, emit func(mergeRec)) error {
-			byGroup := map[int][]point.Point{}
+			byGroup := map[int]*point.BlockBuilder{}
 			var order []int
 			for _, rec := range vals {
-				if _, seen := byGroup[rec.gid]; !seen {
+				bb, seen := byGroup[rec.gid]
+				if !seen {
+					bb = point.NewBlockBuilder(dims, 0)
+					byGroup[rec.gid] = bb
 					order = append(order, rec.gid)
 				}
-				byGroup[rec.gid] = append(byGroup[rec.gid], rec.p)
+				bb.Append(rec.p)
 			}
 			groups := make([]plan.Group, len(order))
 			for i, gid := range order {
-				groups[i] = plan.Group{Gid: gid, Points: byGroup[gid]}
+				groups[i] = plan.Group{Gid: gid, Block: byGroup[gid].Build()}
 			}
 			for _, p := range r.MergeGroups(groups, tally) {
 				emit(mergeRec{task: task, p: p})
@@ -165,8 +182,12 @@ func (ex *mrExec) RunMerges(ctx context.Context, r *plan.Rule, tasks [][]plan.Gr
 		sp.SetAttr("fused", "simulator")
 		sp.SetAttr("shuffle_bytes", stats.ShuffleBytes)
 	}
+	perTask := make([][]point.Point, len(tasks))
 	for _, rec := range out {
-		outs[rec.task] = append(outs[rec.task], rec.p)
+		perTask[rec.task] = append(perTask[rec.task], rec.p)
+	}
+	for t, pts := range perTask {
+		outs[t] = point.BlockOf(dims, pts)
 	}
 	return outs, nil
 }

@@ -248,11 +248,12 @@ func pointBytes(pts []point.Point) int64 {
 	return n
 }
 
-// groupBytes estimates the wire payload of routed groups.
+// groupBytes estimates the wire payload of routed groups (gid plus the
+// group's flat block frame).
 func groupBytes(gs []plan.Group) int64 {
 	var n int64
 	for _, g := range gs {
-		n += 8 + pointBytes(g.Points)
+		n += 8 + int64(g.Block.Bytes())
 	}
 	return n
 }
@@ -296,13 +297,13 @@ func (ex *rpcExec) Broadcast(ctx context.Context, r *plan.Rule) error {
 }
 
 // RunMaps implements plan.Executor via Worker.MapChunk RPCs.
-func (ex *rpcExec) RunMaps(ctx context.Context, _ *plan.Rule, chunks [][]point.Point, _ *metrics.Tally) ([]plan.MapOutput, error) {
+func (ex *rpcExec) RunMaps(ctx context.Context, _ *plan.Rule, chunks []point.Block, _ *metrics.Tally) ([]plan.MapOutput, error) {
 	outs := make([]plan.MapOutput, len(chunks))
 	err := ex.c.forEach(ctx, len(chunks), func(i, worker int) error {
-		done := ex.c.rpcSpan(ctx, "Worker.MapChunk", pointBytes(chunks[i]))
+		done := ex.c.rpcSpan(ctx, "Worker.MapChunk", int64(chunks[i].Bytes()))
 		var reply MapReply
 		served, err := ex.c.call("Worker.MapChunk",
-			MapArgs{RuleID: ex.ruleID, Points: chunks[i]}, &reply, worker)
+			MapArgs{RuleID: ex.ruleID, Block: chunks[i]}, &reply, worker)
 		if err != nil {
 			done(served, 0)
 			return err
@@ -318,7 +319,7 @@ func (ex *rpcExec) RunMaps(ctx context.Context, _ *plan.Rule, chunks [][]point.P
 func (ex *rpcExec) RunReduces(ctx context.Context, _ *plan.Rule, groups []plan.Group, _ *metrics.Tally) ([]plan.Group, error) {
 	outs := make([]plan.Group, len(groups))
 	err := ex.c.forEach(ctx, len(groups), func(i, worker int) error {
-		done := ex.c.rpcSpan(ctx, "Worker.ReduceGroup", pointBytes(groups[i].Points))
+		done := ex.c.rpcSpan(ctx, "Worker.ReduceGroup", int64(groups[i].Block.Bytes()))
 		var reply ReduceReply
 		served, err := ex.c.call("Worker.ReduceGroup",
 			ReduceArgs{RuleID: ex.ruleID, Group: groups[i]}, &reply, worker)
@@ -326,8 +327,8 @@ func (ex *rpcExec) RunReduces(ctx context.Context, _ *plan.Rule, groups []plan.G
 			done(served, 0)
 			return err
 		}
-		done(served, pointBytes(reply.Candidates))
-		outs[i] = plan.Group{Gid: groups[i].Gid, Points: reply.Candidates}
+		done(served, int64(reply.Candidates.Bytes()))
+		outs[i] = plan.Group{Gid: groups[i].Gid, Block: reply.Candidates}
 		return nil
 	})
 	return outs, err
@@ -336,8 +337,8 @@ func (ex *rpcExec) RunReduces(ctx context.Context, _ *plan.Rule, groups []plan.G
 // RunMerges implements plan.Executor via Worker.MergeGroups RPCs. A
 // single task runs on one worker — the paper's lone merge reducer;
 // multiple tasks (tree-merge rounds) fan out across the fleet.
-func (ex *rpcExec) RunMerges(ctx context.Context, _ *plan.Rule, tasks [][]plan.Group, _ *metrics.Tally) ([][]point.Point, error) {
-	outs := make([][]point.Point, len(tasks))
+func (ex *rpcExec) RunMerges(ctx context.Context, _ *plan.Rule, tasks [][]plan.Group, _ *metrics.Tally) ([]point.Block, error) {
+	outs := make([]point.Block, len(tasks))
 	mergeOne := func(i, worker int) error {
 		done := ex.c.rpcSpan(ctx, "Worker.MergeGroups", groupBytes(tasks[i]))
 		var merged MergeReply
@@ -347,7 +348,7 @@ func (ex *rpcExec) RunMerges(ctx context.Context, _ *plan.Rule, tasks [][]plan.G
 			done(served, 0)
 			return err
 		}
-		done(served, pointBytes(merged.Skyline))
+		done(served, int64(merged.Skyline.Bytes()))
 		outs[i] = merged.Skyline
 		return nil
 	}

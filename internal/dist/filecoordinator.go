@@ -60,7 +60,7 @@ func (c *Coordinator) SkylineFile(ctx context.Context, path string) ([]point.Poi
 		return nil, nil, err
 	}
 	for _, g := range groups {
-		rep.Candidates += len(g.Points)
+		rep.Candidates += g.Len()
 	}
 	rep.Phase2 = time.Since(t1)
 
@@ -99,30 +99,16 @@ func (c *Coordinator) scanFile(path string) (dims int, n int64, mins, maxs []flo
 		return 0, 0, nil, nil, nil, err
 	}
 	for {
-		batch, err := br.Next(c.cfg.ChunkSize)
+		batch, err := br.NextBlock(c.cfg.ChunkSize)
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
 			return 0, 0, nil, nil, nil, err
 		}
-		for _, p := range batch {
-			if mins == nil {
-				mins = append([]float64(nil), p...)
-				maxs = append([]float64(nil), p...)
-			} else {
-				for d, v := range p {
-					if v < mins[d] {
-						mins[d] = v
-					}
-					if v > maxs[d] {
-						maxs[d] = v
-					}
-				}
-			}
-		}
-		res.AddBatch(batch)
-		n += int64(len(batch))
+		mins, maxs = batch.UpdateBounds(mins, maxs)
+		res.AddBlock(batch)
+		n += int64(batch.Len())
 	}
 	if n > 0 && len(res.Sample()) == 0 {
 		return 0, 0, nil, nil, nil, fmt.Errorf("dist: empty sample from %d points", n)
@@ -154,7 +140,7 @@ func (c *Coordinator) streamMap(ctx context.Context, path string, ruleID uint64)
 		sem <- w
 	}
 	for {
-		batch, err := br.Next(c.cfg.ChunkSize)
+		batch, err := br.NextBlock(c.cfg.ChunkSize)
 		if err == io.EOF {
 			break
 		}
@@ -168,13 +154,13 @@ func (c *Coordinator) streamMap(ctx context.Context, path string, ruleID uint64)
 			return nil, ctx.Err()
 		case worker := <-sem:
 			wg.Add(1)
-			go func(batch []point.Point, worker int) {
+			go func(batch point.Block, worker int) {
 				defer wg.Done()
 				defer func() { sem <- worker }()
-				done := c.rpcSpan(ctx, "Worker.MapChunk", pointBytes(batch))
+				done := c.rpcSpan(ctx, "Worker.MapChunk", int64(batch.Bytes()))
 				var reply MapReply
 				served, err := c.call("Worker.MapChunk",
-					MapArgs{RuleID: ruleID, Points: batch}, &reply, worker)
+					MapArgs{RuleID: ruleID, Block: batch}, &reply, worker)
 				if err != nil {
 					done(served, 0)
 					mu.Lock()

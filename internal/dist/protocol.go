@@ -36,10 +36,12 @@ type LoadRuleReply struct {
 	Cached bool // true if the worker already had this rule
 }
 
-// MapArgs carries one input chunk for phase 2's map+combine step.
+// MapArgs carries one input chunk for phase 2's map+combine step. The
+// chunk travels as one flat block frame — a single binary write of the
+// backing array — instead of a per-point gob encode.
 type MapArgs struct {
 	RuleID uint64
-	Points []point.Point
+	Block  point.Block
 }
 
 // GroupPoints is a group's worth of routed points or candidates.
@@ -58,9 +60,9 @@ type ReduceArgs struct {
 	Group  GroupPoints
 }
 
-// ReduceReply returns the group's skyline candidates.
+// ReduceReply returns the group's skyline candidates as one block.
 type ReduceReply struct {
-	Candidates []point.Point
+	Candidates point.Block
 }
 
 // MergeArgs carries candidate groups for a phase-3 Z-merge task.
@@ -69,9 +71,9 @@ type MergeArgs struct {
 	Groups []GroupPoints
 }
 
-// MergeReply returns the merged skyline.
+// MergeReply returns the merged skyline as one block.
 type MergeReply struct {
-	Skyline []point.Point
+	Skyline point.Block
 }
 
 // PingArgs/PingReply support liveness checks.

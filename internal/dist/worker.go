@@ -120,7 +120,7 @@ func (w *Worker) Ping(_ PingArgs, reply *PingReply) error {
 // LoadRule installs (or confirms) a broadcast rule.
 func (w *Worker) LoadRule(args LoadRuleArgs, reply *LoadRuleReply) error {
 	start := time.Now()
-	defer func() { w.observe("LoadRule", start, pointBytes(args.Rule.Data.SampleSkyline), 1) }()
+	defer func() { w.observe("LoadRule", start, int64(args.Rule.Data.SampleSkyline.Bytes()), 1) }()
 	w.mu.RLock()
 	_, have := w.rules[args.Rule.ID]
 	w.mu.RUnlock()
@@ -157,10 +157,10 @@ func (w *Worker) MapChunk(args MapArgs, reply *MapReply) error {
 	if err != nil {
 		return err
 	}
-	out := r.MapChunk(args.Points, nil)
+	out := r.MapBlock(args.Block, nil)
 	reply.Groups = out.Groups
 	reply.Filtered = out.Filtered
-	w.observe("MapChunk", start, pointBytes(args.Points), groupBytes(reply.Groups))
+	w.observe("MapChunk", start, int64(args.Block.Bytes()), groupBytes(reply.Groups))
 	return nil
 }
 
@@ -172,8 +172,8 @@ func (w *Worker) ReduceGroup(args ReduceArgs, reply *ReduceReply) error {
 	if err != nil {
 		return err
 	}
-	reply.Candidates = r.LocalSkyline(args.Group.Points, nil)
-	w.observe("ReduceGroup", start, pointBytes(args.Group.Points), pointBytes(reply.Candidates))
+	reply.Candidates = r.LocalSkylineBlock(args.Group.Block, nil)
+	w.observe("ReduceGroup", start, int64(args.Group.Block.Bytes()), int64(reply.Candidates.Bytes()))
 	return nil
 }
 
@@ -185,7 +185,7 @@ func (w *Worker) MergeGroups(args MergeArgs, reply *MergeReply) error {
 	if err != nil {
 		return err
 	}
-	reply.Skyline = r.MergeGroups(args.Groups, nil)
-	w.observe("MergeGroups", start, groupBytes(args.Groups), pointBytes(reply.Skyline))
+	reply.Skyline = r.MergeGroupsBlock(args.Groups, nil)
+	w.observe("MergeGroups", start, groupBytes(args.Groups), int64(reply.Skyline.Bytes()))
 	return nil
 }

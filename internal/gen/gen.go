@@ -9,6 +9,7 @@ package gen
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 
@@ -52,18 +53,21 @@ func clamp01(v float64) float64 {
 // Synthetic generates n d-dimensional points with the given
 // distribution. Correlated points hug the main diagonal (tiny
 // skylines); anti-correlated points hug the hyperplane sum(x)=d/2
-// (huge skylines); independent points are uniform.
+// (huge skylines); independent points are uniform. All n points share
+// one contiguous backing array (the dataset's points are block rows).
 func Synthetic(dist Distribution, n, d int, seed int64) *point.Dataset {
 	r := rand.New(rand.NewSource(seed))
-	pts := make([]point.Point, n)
-	for i := range pts {
-		pts[i] = synthPoint(r, dist, d)
+	bb := point.NewBlockBuilder(d, n)
+	for i := 0; i < n; i++ {
+		synthInto(r, dist, bb.Extend())
 	}
-	return point.MustDataset(d, pts)
+	return point.MustDataset(d, bb.Build().Points())
 }
 
-func synthPoint(r *rand.Rand, dist Distribution, d int) point.Point {
-	p := make(point.Point, d)
+// synthInto fills one pre-allocated d-wide row. It consumes r exactly
+// as the historical per-point generator did, so seeds keep producing
+// the same datasets.
+func synthInto(r *rand.Rand, dist Distribution, p point.Point) {
 	switch dist {
 	case Independent:
 		for k := range p {
@@ -80,20 +84,58 @@ func synthPoint(r *rand.Rand, dist Distribution, d int) point.Point {
 		// Points near the hyperplane sum(x) = d * c with a zero-sum
 		// perturbation: being good in one dimension costs in others.
 		c := clamp01(0.5 + r.NormFloat64()*0.08)
-		e := make([]float64, d)
+		e := make([]float64, len(p))
 		mean := 0.0
 		for k := range e {
 			e[k] = r.Float64()
 			mean += e[k]
 		}
-		mean /= float64(d)
+		mean /= float64(len(p))
 		for k := range p {
 			p[k] = clamp01(c + (e[k]-mean)*0.9)
 		}
 	default:
 		panic(fmt.Sprintf("gen: unknown distribution %d", dist))
 	}
-	return p
+}
+
+// Source streams a synthetic dataset as contiguous blocks without ever
+// materializing it whole — the generator-backed point.Source for
+// out-of-core pipelines and benchmarks. Its rows reproduce
+// Synthetic(dist, n, d, seed) exactly, in order.
+type Source struct {
+	r         *rand.Rand
+	dist      Distribution
+	d         int
+	remaining int
+}
+
+// NewSource creates a streaming generator of n d-dimensional points.
+func NewSource(dist Distribution, n, d int, seed int64) *Source {
+	return &Source{r: rand.New(rand.NewSource(seed)), dist: dist, d: d, remaining: n}
+}
+
+// Dims implements point.Source.
+func (s *Source) Dims() int { return s.d }
+
+// Next generates up to max points into one freshly built block.
+func (s *Source) Next(max int) (point.Block, error) {
+	if s.remaining == 0 {
+		return point.Block{}, io.EOF
+	}
+	if max < 1 {
+		max = 1
+	}
+	n := max
+	if n > s.remaining {
+		n = s.remaining
+	}
+	bb := point.NewBlockBuilder(s.d, n)
+	for i := 0; i < n; i++ {
+		synthInto(s.r, s.dist, bb.Extend())
+	}
+	s.remaining -= n
+	return bb.Build(), nil
 }
 
 // NBALike simulates the paper's NBA dataset: n player seasons with 7

@@ -80,6 +80,28 @@ func (m *Maintainer) Insert(batch []point.Point) (int, error) {
 	return m.countFromBatch(batch), nil
 }
 
+// InsertBlock merges every row of a block into the maintained skyline
+// and returns how many of them are part of the new skyline. Rows that
+// survive into the skyline are compacted into a fresh copy first, so
+// the long-lived tree never pins the (transient, typically much
+// larger) block's backing array.
+func (m *Maintainer) InsertBlock(b point.Block) (int, error) {
+	if b.Len() == 0 {
+		return 0, nil
+	}
+	if b.Dims != m.enc.Dims() {
+		return 0, fmt.Errorf("maintain: block has %d dims, want %d", b.Dims, m.enc.Dims())
+	}
+	views := b.Points()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.seen += int64(b.Len())
+	batchSky := zbtree.BuildFromPoints(m.enc, 0, views, m.tally).SkylineTree()
+	survivors := point.BlockOf(b.Dims, batchSky.Points()).Points()
+	m.sky = zbtree.Merge(m.sky, zbtree.BuildFromPoints(m.enc, 0, survivors, m.tally).SkylineTree())
+	return m.countFromBatch(views), nil
+}
+
 // countFromBatch reports how many maintained skyline points coordinate-
 // match points of batch. Duplicates count once per stored copy.
 func (m *Maintainer) countFromBatch(batch []point.Point) int {

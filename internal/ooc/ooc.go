@@ -87,28 +87,14 @@ func scanBounds(path string, opts Options) ([]float64, []float64, error) {
 	}
 	var mins, maxs []float64
 	for {
-		batch, err := br.Next(opts.BatchSize)
+		batch, err := br.NextBlock(opts.BatchSize)
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
 			return nil, nil, err
 		}
-		for _, p := range batch {
-			if mins == nil {
-				mins = append([]float64(nil), p...)
-				maxs = append([]float64(nil), p...)
-				continue
-			}
-			for k, v := range p {
-				if v < mins[k] {
-					mins[k] = v
-				}
-				if v > maxs[k] {
-					maxs[k] = v
-				}
-			}
-		}
+		mins, maxs = batch.UpdateBounds(mins, maxs)
 	}
 	if mins == nil {
 		return nil, nil, fmt.Errorf("ooc: empty file")
@@ -126,14 +112,14 @@ func streamSkyline(br *codec.BinaryReader, opts Options) ([]point.Point, error) 
 		return nil, err
 	}
 	for {
-		batch, err := br.Next(opts.BatchSize)
+		batch, err := br.NextBlock(opts.BatchSize)
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
 			return nil, err
 		}
-		if _, err := m.Insert(batch); err != nil {
+		if _, err := m.InsertBlock(batch); err != nil {
 			return nil, err
 		}
 	}

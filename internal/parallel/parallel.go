@@ -82,11 +82,15 @@ func Skyline(ctx context.Context, ds *point.Dataset, opts Options) ([]point.Poin
 	learnSpan.SetAttr("groups", opts.Workers)
 	learnSpan.End()
 
-	// Shard positionally and solve each shard with Z-search.
+	// Shard positionally and solve each shard with Z-search. The input
+	// is packed into one contiguous block and sharded by re-slicing, so
+	// every shard is a zero-copy view of the same flat array.
 	mapSpan, _ := obs.StartSpan(ctx, "map")
-	shards := make([]plan.Group, 0, opts.Workers)
-	for s, pts := range plan.SplitN(ds.Points, opts.Workers) {
-		shards = append(shards, plan.Group{Gid: s, Points: pts})
+	block := point.BlockOf(ds.Dims, ds.Points)
+	parts := block.SplitN(opts.Workers)
+	shards := make([]plan.Group, 0, len(parts))
+	for s, b := range parts {
+		shards = append(shards, plan.Group{Gid: s, Block: b})
 	}
 	mapSpan.SetAttr("tasks", len(shards))
 	mapSpan.SetAttr("filtered", 0)
@@ -101,7 +105,7 @@ func Skyline(ctx context.Context, ds *point.Dataset, opts Options) ([]point.Poin
 	}
 	candidates := 0
 	for _, g := range skys {
-		candidates += len(g.Points)
+		candidates += g.Len()
 	}
 	redSpan.SetAttr("candidates", candidates)
 	redSpan.End()

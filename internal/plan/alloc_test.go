@@ -1,0 +1,47 @@
+package plan
+
+import (
+	"testing"
+
+	"zskyline/internal/gen"
+	"zskyline/internal/point"
+	"zskyline/internal/sample"
+)
+
+// The block map path must allocate at least 5x less than the per-point
+// path on identical data — the data-plane refactor's headline number.
+// SB as the local algorithm keeps the combine step's allocations the
+// same on both sides, so the ratio measures routing alone.
+func TestMapBlockAllocReduction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc measurement is slow")
+	}
+	const n, d = 20000, 5
+	ds := gen.Synthetic(gen.AntiCorrelated, n, d, 42)
+	smp, err := sample.Ratio(ds.Points, 0.02, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mins, maxs, err := ds.Bounds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := &Spec{Strategy: ZDG, Local: SB, Merge: MergeZM,
+		M: 32, Delta: 4, SampleRatio: 0.02, Bits: 16}
+	r, err := Learn(spec, ds.Dims, mins, maxs, smp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk := point.BlockOf(ds.Dims, ds.Points)
+
+	perPoint := testing.AllocsPerRun(3, func() { _ = r.MapChunk(ds.Points, nil) })
+	perBlock := testing.AllocsPerRun(3, func() { _ = r.MapBlock(blk, nil) })
+	if perBlock <= 0 {
+		t.Fatalf("implausible block allocs %v", perBlock)
+	}
+	ratio := perPoint / perBlock
+	t.Logf("map allocs: per-point %.0f, block %.0f, ratio %.1fx", perPoint, perBlock, ratio)
+	if ratio < 5 {
+		t.Errorf("block map path saves only %.1fx allocations, want >= 5x", ratio)
+	}
+}

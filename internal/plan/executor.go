@@ -2,6 +2,7 @@ package plan
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -11,19 +12,20 @@ import (
 
 // Executor runs the pipeline's tasks on some substrate. Implementations
 // decide placement, transport, and fault handling; the phase semantics
-// stay in plan.
+// stay in plan. Bulk data crosses the interface as point.Blocks —
+// contiguous batches that substrates can ship as single payloads.
 type Executor interface {
 	// Broadcast installs the rule wherever tasks will run (the paper's
 	// distributed-cache step). In-process executors may no-op.
 	Broadcast(ctx context.Context, r *Rule) error
-	// RunMaps executes r.MapChunk over each chunk.
-	RunMaps(ctx context.Context, r *Rule, chunks [][]point.Point, tally *metrics.Tally) ([]MapOutput, error)
-	// RunReduces executes r.LocalSkyline over each group, preserving
+	// RunMaps executes r.MapBlock over each chunk.
+	RunMaps(ctx context.Context, r *Rule, chunks []point.Block, tally *metrics.Tally) ([]MapOutput, error)
+	// RunReduces executes r.LocalSkylineBlock over each group, preserving
 	// group order and ids.
 	RunReduces(ctx context.Context, r *Rule, groups []Group, tally *metrics.Tally) ([]Group, error)
-	// RunMerges executes r.MergeGroups once per task, preserving task
-	// order.
-	RunMerges(ctx context.Context, r *Rule, tasks [][]Group, tally *metrics.Tally) ([][]point.Point, error)
+	// RunMerges executes r.MergeGroupsBlock once per task, preserving
+	// task order.
+	RunMerges(ctx context.Context, r *Rule, tasks [][]Group, tally *metrics.Tally) ([]point.Block, error)
 }
 
 // MapReducer is an optional Executor refinement for substrates with a
@@ -39,7 +41,7 @@ type Executor interface {
 // Span.ChildAt from measured phase walls), so traces stay structurally
 // identical across substrates.
 type MapReducer interface {
-	MapReduce(ctx context.Context, r *Rule, pts []point.Point, tally *metrics.Tally) (groups []Group, filtered int64, err error)
+	MapReduce(ctx context.Context, r *Rule, chunks []point.Block, tally *metrics.Tally) (groups []Group, filtered int64, err error)
 }
 
 // LocalExec runs tasks on a bounded pool of goroutines in-process —
@@ -59,33 +61,62 @@ func NewLocalExec(workers int) *LocalExec {
 // Broadcast is a no-op in-process.
 func (ex *LocalExec) Broadcast(ctx context.Context, _ *Rule) error { return ctx.Err() }
 
-// run fans f over n indices with bounded concurrency, checking ctx
-// before dispatching each task.
+// run fans f over n indices with bounded concurrency. Admission stops
+// the moment ctx is done — a task waiting for a pool slot is never
+// dispatched after cancellation — and a panic inside f is recovered
+// into the returned error instead of killing the process.
 func (ex *LocalExec) run(ctx context.Context, n int, f func(i int)) error {
 	sem := make(chan struct{}, ex.workers)
-	var wg sync.WaitGroup
-	var err error
-	for i := 0; i < n; i++ {
-		if err = ctx.Err(); err != nil {
-			break
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	setErr := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
 		}
-		sem <- struct{}{}
+		mu.Unlock()
+	}
+	for i := 0; i < n; i++ {
+		// The explicit check keeps admission-stop deterministic: a select
+		// with both channels ready picks randomly.
+		if err := ctx.Err(); err != nil {
+			wg.Wait()
+			setErr(err)
+			return firstErr
+		}
+		select {
+		case <-ctx.Done():
+			wg.Wait()
+			setErr(ctx.Err())
+			return firstErr
+		case sem <- struct{}{}:
+		}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			defer func() {
+				if p := recover(); p != nil {
+					setErr(fmt.Errorf("plan: task %d panicked: %v", i, p))
+				}
+			}()
 			f(i)
 		}(i)
 	}
 	wg.Wait()
-	return err
+	mu.Lock()
+	defer mu.Unlock()
+	return firstErr
 }
 
 // RunMaps implements Executor.
-func (ex *LocalExec) RunMaps(ctx context.Context, r *Rule, chunks [][]point.Point, tally *metrics.Tally) ([]MapOutput, error) {
+func (ex *LocalExec) RunMaps(ctx context.Context, r *Rule, chunks []point.Block, tally *metrics.Tally) ([]MapOutput, error) {
 	outs := make([]MapOutput, len(chunks))
 	err := ex.run(ctx, len(chunks), func(i int) {
-		outs[i] = r.MapChunk(chunks[i], tally)
+		outs[i] = r.MapBlock(chunks[i], tally)
 	})
 	return outs, err
 }
@@ -94,16 +125,16 @@ func (ex *LocalExec) RunMaps(ctx context.Context, r *Rule, chunks [][]point.Poin
 func (ex *LocalExec) RunReduces(ctx context.Context, r *Rule, groups []Group, tally *metrics.Tally) ([]Group, error) {
 	outs := make([]Group, len(groups))
 	err := ex.run(ctx, len(groups), func(i int) {
-		outs[i] = Group{Gid: groups[i].Gid, Points: r.LocalSkyline(groups[i].Points, tally)}
+		outs[i] = Group{Gid: groups[i].Gid, Block: r.LocalSkylineBlock(groups[i].Block, tally)}
 	})
 	return outs, err
 }
 
 // RunMerges implements Executor.
-func (ex *LocalExec) RunMerges(ctx context.Context, r *Rule, tasks [][]Group, tally *metrics.Tally) ([][]point.Point, error) {
-	outs := make([][]point.Point, len(tasks))
+func (ex *LocalExec) RunMerges(ctx context.Context, r *Rule, tasks [][]Group, tally *metrics.Tally) ([]point.Block, error) {
+	outs := make([]point.Block, len(tasks))
 	err := ex.run(ctx, len(tasks), func(i int) {
-		outs[i] = r.MergeGroups(tasks[i], tally)
+		outs[i] = r.MergeGroupsBlock(tasks[i], tally)
 	})
 	return outs, err
 }

@@ -177,11 +177,25 @@ func (s *Spec) fanout() int {
 }
 
 // Group is one group's worth of routed points or skyline candidates —
-// the unit phase-2 reducers and phase-3 merge tasks operate on.
+// the unit phase-2 reducers and phase-3 merge tasks operate on. The
+// payload is a contiguous Block, so a group crosses an executor
+// boundary (goroutine, simulator shuffle, TCP) as one flat array.
 type Group struct {
-	Gid    int
-	Points []point.Point
+	Gid   int
+	Block point.Block
 }
+
+// NewGroup copies pts (each dims wide) into a block-backed group — the
+// bridge from view-based code onto the block data plane.
+func NewGroup(gid, dims int, pts []point.Point) Group {
+	return Group{Gid: gid, Block: point.BlockOf(dims, pts)}
+}
+
+// Len returns the group's row count.
+func (g Group) Len() int { return g.Block.Len() }
+
+// Points materializes zero-copy row views of the group's block.
+func (g Group) Points() []point.Point { return g.Block.Points() }
 
 // MapOutput is one map task's result: the chunk-local skyline
 // candidates per group, plus how many input points the task dropped
@@ -191,25 +205,31 @@ type MapOutput struct {
 	Filtered int64
 }
 
-// Shuffle gathers map outputs into per-group candidate lists in
+// Shuffle gathers map outputs into per-group candidate blocks in
 // deterministic first-seen group order — the coordinator-side shuffle
 // of the RPC and shared-memory substrates — and sums the filter drops.
 func Shuffle(outs []MapOutput) ([]Group, int64) {
-	byGroup := map[int][]point.Point{}
+	byGroup := map[int]*point.BlockBuilder{}
 	var order []int
 	var filtered int64
 	for _, out := range outs {
 		filtered += out.Filtered
 		for _, g := range out.Groups {
-			if _, seen := byGroup[g.Gid]; !seen {
+			if g.Block.Dims <= 0 {
+				continue
+			}
+			bb, seen := byGroup[g.Gid]
+			if !seen {
+				bb = point.NewBlockBuilder(g.Block.Dims, g.Block.Len())
+				byGroup[g.Gid] = bb
 				order = append(order, g.Gid)
 			}
-			byGroup[g.Gid] = append(byGroup[g.Gid], g.Points...)
+			bb.AppendBlock(g.Block)
 		}
 	}
 	groups := make([]Group, len(order))
 	for i, gid := range order {
-		groups[i] = Group{Gid: gid, Points: byGroup[gid]}
+		groups[i] = Group{Gid: gid, Block: byGroup[gid].Build()}
 	}
 	return groups, filtered
 }
@@ -253,14 +273,36 @@ func ChunkBy(pts []point.Point, size int) [][]point.Point {
 	return out
 }
 
-// chunk applies the spec's chunking policy.
-func (s *Spec) chunk(pts []point.Point) [][]point.Point {
+// chunkBlocks applies the spec's chunking policy to drained blocks
+// without copying: explicit ChunkSize re-slices each block to at most
+// ChunkSize rows; otherwise the blocks are cut into approximately
+// MapTasks near-equal chunks. Chunk boundaries never cross source
+// block boundaries, so every chunk stays a contiguous view.
+func (s *Spec) chunkBlocks(blocks []point.Block) []point.Block {
+	var out []point.Block
 	if s.ChunkSize > 0 {
-		return ChunkBy(pts, s.ChunkSize)
+		for _, b := range blocks {
+			out = append(out, b.ChunkBy(s.ChunkSize)...)
+		}
+		return out
 	}
 	n := s.MapTasks
 	if n <= 0 {
 		n = 8
 	}
-	return SplitN(pts, n)
+	if len(blocks) == 1 {
+		return blocks[0].SplitN(n)
+	}
+	var total int
+	for _, b := range blocks {
+		total += b.Len()
+	}
+	if total == 0 {
+		return nil
+	}
+	target := (total + n - 1) / n
+	for _, b := range blocks {
+		out = append(out, b.ChunkBy(target)...)
+	}
+	return out
 }

@@ -102,8 +102,8 @@ func TestSplitNAndChunkBy(t *testing.T) {
 
 func TestShuffleDeterministicOrder(t *testing.T) {
 	outs := []MapOutput{
-		{Groups: []Group{{Gid: 3, Points: []point.Point{{1}}}, {Gid: 1, Points: []point.Point{{2}}}}, Filtered: 2},
-		{Groups: []Group{{Gid: 1, Points: []point.Point{{3}}}, {Gid: 0, Points: []point.Point{{4}}}}, Filtered: 1},
+		{Groups: []Group{NewGroup(3, 1, []point.Point{{1}}), NewGroup(1, 1, []point.Point{{2}})}, Filtered: 2},
+		{Groups: []Group{NewGroup(1, 1, []point.Point{{3}}), NewGroup(0, 1, []point.Point{{4}})}, Filtered: 1},
 	}
 	groups, filtered := Shuffle(outs)
 	if filtered != 3 {
@@ -118,8 +118,8 @@ func TestShuffleDeterministicOrder(t *testing.T) {
 			t.Errorf("group[%d].Gid = %d, want %d (first-seen order)", i, groups[i].Gid, gid)
 		}
 	}
-	if len(groups[1].Points) != 2 {
-		t.Errorf("group 1 holds %d points, want 2 (concatenated)", len(groups[1].Points))
+	if groups[1].Len() != 2 {
+		t.Errorf("group 1 holds %d points, want 2 (concatenated)", groups[1].Len())
 	}
 }
 

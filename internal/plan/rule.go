@@ -235,9 +235,18 @@ func (r *Rule) LocalSkyline(pts []point.Point, tally *metrics.Tally) []point.Poi
 	return seq.SB(pts, tally)
 }
 
-// MapChunk is phase 2's map+combine over one chunk: filter against the
-// SZB-tree, route to groups (first-seen order), and emit the
-// chunk-local skyline per group.
+// LocalSkylineBlock computes one group's skyline over a block. The
+// survivors are compacted into a freshly owned block, so the result
+// never pins the (much larger) input block's backing array.
+func (r *Rule) LocalSkylineBlock(b point.Block, tally *metrics.Tally) point.Block {
+	return point.BlockOf(b.Dims, r.LocalSkyline(b.Points(), tally))
+}
+
+// MapChunk is phase 2's map+combine over one chunk of individual
+// points: filter against the SZB-tree, route to groups (first-seen
+// order), and emit the chunk-local skyline per group. This is the
+// pointer-per-point path; MapBlock is the flat equivalent bulk movers
+// use.
 func (r *Rule) MapChunk(pts []point.Point, tally *metrics.Tally) MapOutput {
 	byGroup := map[int][]point.Point{}
 	var order []int
@@ -256,7 +265,60 @@ func (r *Rule) MapChunk(pts []point.Point, tally *metrics.Tally) MapOutput {
 	tally.AddPointsPruned(out.Filtered)
 	out.Groups = make([]Group, len(order))
 	for i, gid := range order {
-		out.Groups[i] = Group{Gid: gid, Points: r.LocalSkyline(byGroup[gid], tally)}
+		out.Groups[i] = NewGroup(gid, r.dims, r.LocalSkyline(byGroup[gid], tally))
+	}
+	return out
+}
+
+// MapBlock is MapChunk over a contiguous block — the phase-2 hot path.
+// Routing reuses one grid/Z-address scratch pair across all rows and
+// routed points accumulate in per-group arenas, so the per-point cost
+// is zero allocations (the old path paid an encoded ZB-tree entry per
+// point).
+func (r *Rule) MapBlock(b point.Block, tally *metrics.Tally) MapOutput {
+	builders := map[int]*point.BlockBuilder{}
+	var order []int
+	var out MapOutput
+
+	var g []uint32
+	var z zorder.ZAddr
+	zRoute := r.assignFn == nil
+	if zRoute {
+		g = make([]uint32, r.enc.Dims())
+		z = make(zorder.ZAddr, r.enc.Words())
+	}
+	rows := b.Len()
+	for i := 0; i < rows; i++ {
+		p := b.Row(i)
+		var gid int
+		var ok bool
+		if !zRoute {
+			gid, ok = r.assignFn(p)
+		} else {
+			g = r.enc.GridInto(g, p)
+			if r.szb != nil && !r.filterOff && r.szb.DominatesPoint(g, p) {
+				ok = false
+			} else {
+				z = r.enc.EncodeGridInto(z, g)
+				gid, ok = r.groupOf[r.partitionOf(z)]
+			}
+		}
+		if !ok {
+			out.Filtered++
+			continue
+		}
+		bb := builders[gid]
+		if bb == nil {
+			bb = point.NewBlockBuilder(b.Dims, 0)
+			builders[gid] = bb
+			order = append(order, gid)
+		}
+		bb.Append(p)
+	}
+	tally.AddPointsPruned(out.Filtered)
+	out.Groups = make([]Group, len(order))
+	for i, gid := range order {
+		out.Groups[i] = Group{Gid: gid, Block: r.LocalSkylineBlock(builders[gid].Build(), tally)}
 	}
 	return out
 }
@@ -269,7 +331,7 @@ func (r *Rule) MergeGroups(groups []Group, tally *metrics.Tally) []point.Point {
 	case MergeZM:
 		trees := make([]*zbtree.Tree, 0, len(groups))
 		for _, g := range groups {
-			trees = append(trees, zbtree.BuildFromPoints(r.enc, r.fanout, g.Points, tally))
+			trees = append(trees, zbtree.BuildFromPoints(r.enc, r.fanout, g.Points(), tally))
 		}
 		return zbtree.MergeAll(r.enc, r.fanout, trees, tally).Points()
 	case MergeZS:
@@ -279,28 +341,35 @@ func (r *Rule) MergeGroups(groups []Group, tally *metrics.Tally) []point.Point {
 	}
 }
 
+// MergeGroupsBlock is MergeGroups with the merged skyline compacted
+// into an owned block.
+func (r *Rule) MergeGroupsBlock(groups []Group, tally *metrics.Tally) point.Block {
+	return point.BlockOf(r.dims, r.MergeGroups(groups, tally))
+}
+
 func flatten(groups []Group) []point.Point {
 	var n int
 	for _, g := range groups {
-		n += len(g.Points)
+		n += g.Len()
 	}
 	all := make([]point.Point, 0, n)
 	for _, g := range groups {
-		all = append(all, g.Points...)
+		all = g.Block.AppendPoints(all)
 	}
 	return all
 }
 
 // RuleData is the gob-serializable form of a Z-order rule — what a
 // coordinator broadcasts to remote workers (the paper's
-// distributed-cache step).
+// distributed-cache step). The sample skyline ships as one flat block
+// frame rather than a slice of per-point allocations.
 type RuleData struct {
 	Dims, Bits    int
 	Mins, Maxs    []float64
 	Pivots        [][]uint64
 	GroupOf       map[int]int
 	Groups        int
-	SampleSkyline []point.Point
+	SampleSkyline point.Block
 	Fanout        int
 	Local         LocalAlgo
 	Merge         MergeAlgo
@@ -320,7 +389,7 @@ func (r *Rule) Data() (*RuleData, error) {
 		Maxs:          r.maxs,
 		GroupOf:       r.groupOf,
 		Groups:        r.groups,
-		SampleSkyline: r.sampleSky,
+		SampleSkyline: point.BlockOf(r.dims, r.sampleSky),
 		Fanout:        r.fanout,
 		Local:         r.local,
 		Merge:         r.merge,
@@ -339,6 +408,7 @@ func FromData(rd *RuleData) (*Rule, error) {
 	if err != nil {
 		return nil, err
 	}
+	skyPts := rd.SampleSkyline.Points()
 	r := &Rule{
 		local:     rd.Local,
 		merge:     rd.Merge,
@@ -347,14 +417,14 @@ func FromData(rd *RuleData) (*Rule, error) {
 		enc:       enc,
 		localEnc:  enc,
 		groupOf:   rd.GroupOf,
-		sampleSky: rd.SampleSkyline,
+		sampleSky: skyPts,
 		dims:      rd.Dims,
 		bits:      rd.Bits,
 		mins:      rd.Mins,
 		maxs:      rd.Maxs,
 		groups:    rd.Groups,
 		parts:     len(rd.Pivots) + 1,
-		skySize:   len(rd.SampleSkyline),
+		skySize:   len(skyPts),
 	}
 	if r.fanout <= 0 {
 		r.fanout = zbtree.DefaultFanout
@@ -365,8 +435,8 @@ func FromData(rd *RuleData) (*Rule, error) {
 		}
 		r.pivots = append(r.pivots, zorder.ZAddr(p))
 	}
-	if len(rd.SampleSkyline) > 0 {
-		r.szb = zbtree.BuildFromPoints(enc, r.fanout, rd.SampleSkyline, nil)
+	if len(skyPts) > 0 {
+		r.szb = zbtree.BuildFromPoints(enc, r.fanout, skyPts, nil)
 	}
 	return r, nil
 }

@@ -3,6 +3,7 @@ package plan
 import (
 	"context"
 	"fmt"
+	"io"
 	"time"
 
 	"zskyline/internal/metrics"
@@ -15,8 +16,8 @@ import (
 // numbers every substrate shares. Substrates wrap it with their own
 // execution statistics (job stats, worker counts).
 type Report struct {
-	// Phase wall-clock durations. Preprocess covers sampling, rule
-	// learning, and the broadcast.
+	// Phase wall-clock durations. Preprocess covers ingest, sampling,
+	// rule learning, and the broadcast.
 	Preprocess time.Duration
 	Phase2     time.Duration
 	Phase3     time.Duration
@@ -45,17 +46,27 @@ type Report struct {
 	SkylineSize int
 }
 
-// Run executes the full three-phase pipeline on ex: learn the rule
-// from a sample of ds, map/combine/reduce to per-group skyline
+// Run executes the full three-phase pipeline on ex over an in-memory
+// dataset. It is RunSource over the dataset's block adapter.
+func Run(ctx context.Context, spec *Spec, ds *point.Dataset, ex Executor, tally *metrics.Tally) ([]point.Point, *Report, error) {
+	if ds == nil || ds.Len() == 0 {
+		return nil, &Report{}, nil
+	}
+	return RunSource(ctx, spec, point.NewDatasetSource(ds), ex, tally)
+}
+
+// RunSource executes the full three-phase pipeline on ex: drain src
+// into contiguous blocks (folding bounds in the same pass), learn the
+// rule from a sample, map/combine/reduce to per-group skyline
 // candidates, and merge them into the exact global skyline.
 //
-// When ctx carries an obs trace (obs.ContextWithTrace), Run emits the
-// library's uniform span taxonomy — learn, map, local-skyline, and
-// merge/round-N — under the context's current span, so every substrate
-// produces structurally identical trace reports.
-func Run(ctx context.Context, spec *Spec, ds *point.Dataset, ex Executor, tally *metrics.Tally) ([]point.Point, *Report, error) {
+// When ctx carries an obs trace (obs.ContextWithTrace), RunSource
+// emits the library's uniform span taxonomy — learn, map,
+// local-skyline, and merge/round-N — under the context's current span,
+// so every substrate produces structurally identical trace reports.
+func RunSource(ctx context.Context, spec *Spec, src point.Source, ex Executor, tally *metrics.Tally) ([]point.Point, *Report, error) {
 	rep := &Report{}
-	if ds == nil || ds.Len() == 0 {
+	if src == nil {
 		return nil, rep, nil
 	}
 	total := time.Now()
@@ -63,18 +74,26 @@ func Run(ctx context.Context, spec *Spec, ds *point.Dataset, ex Executor, tally 
 	// ---- Phase 1: preprocessing on the master ----
 	learnSpan, lctx := obs.StartSpan(ctx, "learn")
 	t0 := time.Now()
-	smp, err := sample.Ratio(ds.Points, spec.SampleRatio, spec.Seed)
+	blocks, mins, maxs, n, err := ingest(src, spec)
+	if err != nil {
+		learnSpan.End()
+		return nil, nil, err
+	}
+	if n == 0 {
+		learnSpan.End()
+		return nil, rep, nil
+	}
+	rows := make([]point.Point, 0, n)
+	for _, b := range blocks {
+		rows = b.AppendPoints(rows)
+	}
+	smp, err := sample.Ratio(rows, spec.SampleRatio, spec.Seed)
 	if err != nil {
 		learnSpan.End()
 		return nil, nil, err
 	}
 	rep.SampleSize = len(smp)
-	mins, maxs, err := ds.Bounds()
-	if err != nil {
-		learnSpan.End()
-		return nil, nil, err
-	}
-	r, err := Learn(spec, ds.Dims, mins, maxs, smp, tally)
+	r, err := Learn(spec, src.Dims(), mins, maxs, smp, tally)
 	if err != nil {
 		learnSpan.End()
 		return nil, nil, err
@@ -89,6 +108,7 @@ func Run(ctx context.Context, spec *Spec, ds *point.Dataset, ex Executor, tally 
 	rep.PrunedPartitions = r.pruned
 	rep.SampleSkySize = r.skySize
 	learnSpan.SetAttr("strategy", spec.Strategy)
+	learnSpan.SetAttr("points", n)
 	learnSpan.SetAttr("sample", rep.SampleSize)
 	learnSpan.SetAttr("sample_skyline", rep.SampleSkySize)
 	learnSpan.SetAttr("groups", rep.Groups)
@@ -98,7 +118,7 @@ func Run(ctx context.Context, spec *Spec, ds *point.Dataset, ex Executor, tally 
 
 	// ---- Phase 2: compute skyline candidates ----
 	t1 := time.Now()
-	groups, filtered, err := runPhase2(ctx, spec, r, ds, ex, tally)
+	groups, filtered, err := runPhase2(ctx, spec, r, blocks, ex, tally)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -106,9 +126,9 @@ func Run(ctx context.Context, spec *Spec, ds *point.Dataset, ex Executor, tally 
 	rep.Filtered = filtered
 	perGroup := make([]int, r.groups)
 	for _, g := range groups {
-		rep.Candidates += len(g.Points)
+		rep.Candidates += g.Len()
 		if g.Gid >= 0 && g.Gid < r.groups {
-			perGroup[g.Gid] += len(g.Points)
+			perGroup[g.Gid] += g.Len()
 		}
 	}
 	rep.PerGroupCandidates = perGroup
@@ -123,7 +143,7 @@ func Run(ctx context.Context, spec *Spec, ds *point.Dataset, ex Executor, tally 
 	rep.SkylineSize = len(sky)
 	rep.Total = time.Since(total)
 	if sp := obs.SpanFrom(ctx); sp != nil {
-		sp.SetAttr("points", ds.Len())
+		sp.SetAttr("points", n)
 		sp.SetAttr("skyline", rep.SkylineSize)
 		sp.SetAttr("candidates", rep.Candidates)
 		sp.SetAttr("candidate_balance", metrics.NewBalance(rep.PerGroupCandidates).String())
@@ -131,16 +151,49 @@ func Run(ctx context.Context, spec *Spec, ds *point.Dataset, ex Executor, tally 
 	return sky, rep, nil
 }
 
+// ingest drains the source into blocks, folding the running bounds in
+// the same pass. The drain batch size follows the spec's ChunkSize so
+// streaming sources hand back blocks already shaped for the map phase.
+func ingest(src point.Source, spec *Spec) (blocks []point.Block, mins, maxs []float64, n int, err error) {
+	dims := src.Dims()
+	if dims <= 0 {
+		return nil, nil, nil, 0, fmt.Errorf("plan: source has no dimensionality")
+	}
+	batch := spec.ChunkSize
+	if batch <= 0 {
+		batch = 1 << 16
+	}
+	for {
+		b, err := src.Next(batch)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, nil, 0, err
+		}
+		if b.Len() == 0 {
+			continue
+		}
+		if b.Dims != dims {
+			return nil, nil, nil, 0, fmt.Errorf("plan: source block has %d dims, want %d", b.Dims, dims)
+		}
+		mins, maxs = b.UpdateBounds(mins, maxs)
+		blocks = append(blocks, b)
+		n += b.Len()
+	}
+	return blocks, mins, maxs, n, nil
+}
+
 // runPhase2 prefers the substrate's fused map-reduce when offered,
 // falling back to map tasks + coordinator-side shuffle + reduce tasks.
 // The split path emits the taxonomy's map and local-skyline spans; a
 // fused MapReducer is responsible for emitting them itself (see the
 // interface contract).
-func runPhase2(ctx context.Context, spec *Spec, r *Rule, ds *point.Dataset, ex Executor, tally *metrics.Tally) ([]Group, int64, error) {
+func runPhase2(ctx context.Context, spec *Spec, r *Rule, blocks []point.Block, ex Executor, tally *metrics.Tally) ([]Group, int64, error) {
 	if mr, ok := ex.(MapReducer); ok {
-		return mr.MapReduce(ctx, r, ds.Points, tally)
+		return mr.MapReduce(ctx, r, blocks, tally)
 	}
-	chunks := spec.chunk(ds.Points)
+	chunks := spec.chunkBlocks(blocks)
 	mapSpan, mctx := obs.StartSpan(ctx, "map")
 	mapSpan.SetAttr("tasks", len(chunks))
 	outs, err := ex.RunMaps(mctx, r, chunks, tally)
@@ -160,7 +213,7 @@ func runPhase2(ctx context.Context, spec *Spec, r *Rule, ds *point.Dataset, ex E
 	}
 	candidates := 0
 	for _, g := range groups {
-		candidates += len(g.Points)
+		candidates += g.Len()
 	}
 	redSpan.SetAttr("candidates", candidates)
 	redSpan.End()
@@ -184,9 +237,9 @@ func MergePhase(ctx context.Context, ex Executor, r *Rule, groups []Group, tree 
 			sp.End()
 			return nil, err
 		}
-		sp.SetAttr("skyline", len(outs[0]))
+		sp.SetAttr("skyline", outs[0].Len())
 		sp.End()
-		return outs[0], nil
+		return outs[0].Points(), nil
 	}
 	for round := 1; len(groups) > 1; round++ {
 		if err := ctx.Err(); err != nil {
@@ -206,14 +259,14 @@ func MergePhase(ctx context.Context, ex Executor, r *Rule, groups []Group, tree 
 		}
 		sp.End()
 		next := make([]Group, 0, len(outs)+1)
-		for i, pts := range outs {
-			next = append(next, Group{Gid: i, Points: pts})
+		for i, b := range outs {
+			next = append(next, Group{Gid: i, Block: b})
 		}
 		if len(groups)%2 == 1 {
 			last := groups[len(groups)-1]
-			next = append(next, Group{Gid: len(next), Points: last.Points})
+			next = append(next, Group{Gid: len(next), Block: last.Block})
 		}
 		groups = next
 	}
-	return groups[0].Points, nil
+	return groups[0].Points(), nil
 }

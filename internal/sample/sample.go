@@ -90,6 +90,24 @@ func (s *Stream) AddBatch(pts []point.Point) {
 	}
 }
 
+// AddBlock feeds every row of a block. Admitted rows are copied out of
+// the block, so a long-lived reservoir never pins a transient block's
+// whole backing array.
+func (s *Stream) AddBlock(b point.Block) {
+	rows := b.Len()
+	for i := 0; i < rows; i++ {
+		s.seen++
+		if len(s.res) < s.k {
+			s.res = append(s.res, b.Row(i).Clone())
+			continue
+		}
+		j := s.rng.Int63n(s.seen)
+		if j < int64(s.k) {
+			s.res[j] = b.Row(i).Clone()
+		}
+	}
+}
+
 // Seen returns how many points have been offered.
 func (s *Stream) Seen() int64 { return s.seen }
 

@@ -109,8 +109,16 @@ func (e *Encoder) MaxGrid() uint32 { return e.maxG }
 // Grid floor-quantizes a float point to grid coordinates, clamping to
 // the encoder's box.
 func (e *Encoder) Grid(p point.Point) []uint32 {
-	g := make([]uint32, e.dims)
+	return e.GridInto(make([]uint32, e.dims), p)
+}
+
+// GridInto quantizes p into dst (which must have dims entries) and
+// returns dst — the allocation-free variant for per-point hot loops
+// that reuse one scratch buffer.
+func (e *Encoder) GridInto(dst []uint32, p point.Point) []uint32 {
+	g := dst
 	for i := 0; i < e.dims; i++ {
+		g[i] = 0
 		if e.scale[i] == 0 {
 			continue
 		}
@@ -152,7 +160,16 @@ func (e *Encoder) Encode(p point.Point) ZAddr {
 
 // EncodeGrid interleaves already-quantized grid coordinates.
 func (e *Encoder) EncodeGrid(g []uint32) ZAddr {
-	z := make(ZAddr, e.words)
+	return e.EncodeGridInto(make(ZAddr, e.words), g)
+}
+
+// EncodeGridInto interleaves g into z (which must have Words()
+// entries, and is zeroed first) and returns z — the allocation-free
+// variant for hot loops that reuse one scratch address.
+func (e *Encoder) EncodeGridInto(z ZAddr, g []uint32) ZAddr {
+	for i := range z {
+		z[i] = 0
+	}
 	pos := 0
 	for level := e.bits - 1; level >= 0; level-- {
 		for d := 0; d < e.dims; d++ {
