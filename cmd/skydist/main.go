@@ -39,6 +39,10 @@ func main() {
 		stream    = flag.Bool("stream", false, "stream a ZSKY binary file to the workers without loading it (requires -format binary and a file path)")
 		trace     = flag.Bool("trace", false, "print a per-run trace report (phase + RPC spans, wire bytes) to stderr")
 		metrics_  = flag.String("metrics-addr", "", "serve GET /metrics and /debug/pprof/ on this address during the run")
+		rpcTO     = flag.Duration("rpc-timeout", 0, "per-attempt RPC deadline (0 = default 15s, negative = no deadline)")
+		retries   = flag.Int("retries", 0, "retries after a failed RPC attempt (0 = default 3, negative = none)")
+		hedge     = flag.Duration("hedge", 0, "duplicate straggling reduce/merge RPCs on a second worker after this delay (0 = off)")
+		redial    = flag.Duration("redial-interval", 0, "interval between redials of suspect/dead workers (0 = default 500ms, negative = off)")
 	)
 	flag.Parse()
 
@@ -68,6 +72,11 @@ func main() {
 	cfg.Heuristic = *heuristic
 	cfg.UseZS = !*useSB
 	cfg.Seed = *seed
+	cfg.RPCTimeout = *rpcTO
+	cfg.Retries = *retries
+	cfg.Hedge = *hedge
+	cfg.RedialInterval = *redial
+	cfg.Metrics = reg
 	coord, err := dist.NewCoordinator(cfg, addrs)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "skydist: %v\n", err)

@@ -12,6 +12,11 @@
 // request/response bytes, latency histograms per method) in Prometheus
 // text format, plus /debug/pprof/; -trace prints the same counters as
 // a report on shutdown.
+//
+// -fault arms a deterministic fault-injection plan (delay, drop, or
+// sever the Nth call of an RPC method) for chaos-drilling a
+// coordinator's retry/hedging/resurrection machinery; see
+// docs/OPERATIONS.md.
 package main
 
 import (
@@ -30,10 +35,21 @@ func main() {
 		listen   = flag.String("listen", "127.0.0.1:7071", "address to listen on")
 		trace    = flag.Bool("trace", false, "print the worker's RPC counter report to stderr on shutdown")
 		metrics_ = flag.String("metrics-addr", "", "serve GET /metrics and /debug/pprof/ on this address")
+		fault    = flag.String("fault", "", "deterministic fault plan for chaos drills, e.g. 'Worker.MergeGroups:1:delay:2s,Worker.MapChunk:2x3:sever,Worker.ReduceGroup:1:drop'")
 	)
 	flag.Parse()
 
-	ws, err := dist.StartWorker(*listen)
+	var faults *dist.FaultPlan
+	if *fault != "" {
+		fp, perr := dist.ParseFaultPlan(*fault)
+		if perr != nil {
+			fmt.Fprintf(os.Stderr, "skyworker: %v\n", perr)
+			os.Exit(2)
+		}
+		faults = fp
+		fmt.Fprintf(os.Stderr, "skyworker: fault injection armed: %s\n", *fault)
+	}
+	ws, err := dist.StartWorkerWithFaults(*listen, faults)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "skyworker: %v\n", err)
 		os.Exit(1)

@@ -5,9 +5,11 @@ import (
 	cryptorand "crypto/rand"
 	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"net"
 	"net/rpc"
+	"reflect"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -20,7 +22,8 @@ import (
 )
 
 // CoordinatorConfig parameterizes a distributed run; it mirrors
-// core.Config where the concepts overlap.
+// core.Config where the concepts overlap and adds the fault-tolerance
+// policy every RPC obeys.
 type CoordinatorConfig struct {
 	// M is the target group count.
 	M int
@@ -43,8 +46,33 @@ type CoordinatorConfig struct {
 	// each round pairs up partial skylines and Z-merges them on
 	// whichever workers are free.
 	TreeMerge bool
-	// Seed drives sampling.
+	// Seed drives sampling (and the retry jitter schedule).
 	Seed int64
+
+	// RPCTimeout bounds each RPC attempt. 0 selects 15s; negative
+	// disables the per-attempt deadline (the context still applies).
+	RPCTimeout time.Duration
+	// Retries is how many times a failed call is re-issued on a live
+	// worker, with exponential backoff and jitter between attempts.
+	// 0 selects 3; negative disables retries.
+	Retries int
+	// Hedge, when positive, speculatively re-issues a straggling
+	// reduce or merge call on a second live worker after this delay
+	// and takes whichever reply lands first. 0 disables hedging.
+	Hedge time.Duration
+	// RedialInterval is the period of the resurrection sweep that
+	// re-dials suspect/dead workers, re-broadcasts the current rule,
+	// and readmits them. 0 selects 500ms; negative disables
+	// resurrection (a failed worker stays dead).
+	RedialInterval time.Duration
+	// DialTimeout bounds every worker dial (startup and redial).
+	// 0 selects 2s.
+	DialTimeout time.Duration
+	// Metrics, when non-nil, receives the coordinator's
+	// fault-tolerance counters (retries, resurrections, hedge wins,
+	// RPC error classes) and per-state worker gauges. Nil creates a
+	// private registry, readable via Coordinator.Metrics.
+	Metrics *obs.Registry
 }
 
 // spec lowers the config to the backend-agnostic plan parameters.
@@ -72,11 +100,42 @@ func (cfg *CoordinatorConfig) spec() *plan.Spec {
 	}
 }
 
+// policy resolves the user-facing knobs into the internal policy:
+// zero means default, negative means disabled.
+func (cfg *CoordinatorConfig) policy() policy {
+	pol := policy{
+		rpcTimeout:  15 * time.Second,
+		retries:     3,
+		backoffBase: 25 * time.Millisecond,
+		backoffMax:  time.Second,
+		redial:      500 * time.Millisecond,
+		dialTimeout: 2 * time.Second,
+	}
+	if cfg.RPCTimeout != 0 {
+		pol.rpcTimeout = max(cfg.RPCTimeout, 0)
+	}
+	if cfg.Retries != 0 {
+		pol.retries = max(cfg.Retries, 0)
+	}
+	if cfg.Hedge > 0 {
+		pol.hedge = cfg.Hedge
+	}
+	if cfg.RedialInterval != 0 {
+		pol.redial = max(cfg.RedialInterval, 0)
+	}
+	if cfg.DialTimeout > 0 {
+		pol.dialTimeout = cfg.DialTimeout
+	}
+	return pol
+}
+
 // DefaultCoordinatorConfig mirrors core.Defaults for the distributed
-// deployment.
+// deployment, with the fault-tolerance defaults spelled out.
 func DefaultCoordinatorConfig() CoordinatorConfig {
 	return CoordinatorConfig{M: 32, Delta: 4, SampleRatio: 0.02, Bits: 16,
-		Fanout: zbtree.DefaultFanout, UseZS: true}
+		Fanout: zbtree.DefaultFanout, UseZS: true,
+		RPCTimeout: 15 * time.Second, Retries: 3,
+		RedialInterval: 500 * time.Millisecond, DialTimeout: 2 * time.Second}
 }
 
 // Report describes a distributed run.
@@ -91,7 +150,8 @@ type Report struct {
 	Phase3     time.Duration
 	Total      time.Duration
 	// Wire holds per-worker TCP byte totals since the coordinator
-	// connected (cumulative across queries on a reused coordinator).
+	// connected (cumulative across queries and reconnects on a reused
+	// coordinator).
 	Wire []WireStat
 }
 
@@ -133,20 +193,61 @@ type wireCounter struct {
 // cached from another one.
 var ruleCounter atomic.Uint64
 
+// workerState is one worker's position in the liveness state machine:
+//
+//	live ──rpc failure──▶ suspect ──redial fails──▶ dead
+//	  ▲                      │                        │
+//	  │                      └──────▶ resurrecting ◀──┘  (each sweep)
+//	  └── ping + rule re-broadcast succeed ──┘
+//
+// Only live workers receive tasks. Suspect and dead workers are
+// re-dialed every RedialInterval; a successful redial re-broadcasts
+// the current rule before the worker rejoins the rotation, so a
+// restarted process (empty rule cache) serves correctly. With
+// resurrection disabled, suspect collapses into dead.
+type workerState int32
+
+const (
+	wsLive workerState = iota
+	wsSuspect
+	wsDead
+	wsResurrecting
+)
+
+var stateNames = [...]string{"live", "suspect", "dead", "resurrecting"}
+
 // Coordinator drives a set of TCP workers through the three phases.
-// Workers that fail an RPC are marked dead and their tasks retried on
-// the surviving ones; a query only fails once no worker is left.
+// Every RPC runs under the configured fault-tolerance policy:
+// per-attempt deadlines, bounded retries with jittered backoff, and
+// failover to live workers. A worker that fails an RPC is suspected
+// and periodically re-dialed; it rejoins the rotation once a redial,
+// ping, and rule re-broadcast succeed. A query fails with
+// ErrClusterDown only when every worker is confirmed dead.
 type Coordinator struct {
-	cfg     CoordinatorConfig
-	clients []*rpc.Client
-	addrs   []string
-	wire    []*wireCounter
-	salt    uint64
-	mu      sync.Mutex
-	dead    []bool
+	cfg   CoordinatorConfig
+	pol   policy
+	addrs []string
+	wire  []*wireCounter
+	salt  uint64
+	reg   *obs.Registry
+	bo    *backoff
+
+	mu       sync.Mutex
+	clients  []*rpc.Client
+	state    []workerState
+	inflight []int
+	lastRule *RuleBlob
+	changed  chan struct{} // closed+replaced on any state/inflight change
+	closed   bool
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
 }
 
-// NewCoordinator dials every worker address and verifies liveness.
+// NewCoordinator dials every worker address (with the configured dial
+// timeout) and verifies liveness. Startup is strict: any unreachable
+// worker fails construction. After that, fault handling takes over.
 func NewCoordinator(cfg CoordinatorConfig, workerAddrs []string) (*Coordinator, error) {
 	if len(workerAddrs) == 0 {
 		return nil, fmt.Errorf("dist: no workers")
@@ -162,12 +263,21 @@ func NewCoordinator(cfg CoordinatorConfig, workerAddrs []string) (*Coordinator, 
 		return nil, fmt.Errorf("dist: salt: %w", err)
 	}
 	salt := uint64(binary.LittleEndian.Uint32(saltBytes[:]))
-	c := &Coordinator{cfg: cfg, addrs: workerAddrs, salt: salt,
-		dead: make([]bool, len(workerAddrs))}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	c := &Coordinator{cfg: cfg, pol: cfg.policy(), addrs: workerAddrs,
+		salt: salt, reg: reg, bo: newBackoff(cfg.Seed + int64(salt)),
+		state:    make([]workerState, len(workerAddrs)),
+		inflight: make([]int, len(workerAddrs)),
+		changed:  make(chan struct{}),
+		stop:     make(chan struct{}),
+	}
 	for _, addr := range workerAddrs {
-		conn, err := net.Dial("tcp", addr)
+		conn, err := net.DialTimeout("tcp", addr, c.pol.dialTimeout)
 		if err != nil {
-			c.Close()
+			c.closeClients()
 			return nil, fmt.Errorf("dist: dial %s: %w", addr, err)
 		}
 		// Count wire bytes per worker so runs can report real RPC
@@ -175,18 +285,30 @@ func NewCoordinator(cfg CoordinatorConfig, workerAddrs []string) (*Coordinator, 
 		wc := &wireCounter{}
 		cl := rpc.NewClient(countConn{Conn: conn, sent: &wc.sent, recv: &wc.recv})
 		var pong PingReply
-		if err := cl.Call("Worker.Ping", PingArgs{}, &pong); err != nil {
+		if err := c.callDirect(cl, "Worker.Ping", PingArgs{}, &pong); err != nil {
 			cl.Close()
-			c.Close()
+			c.closeClients()
 			return nil, fmt.Errorf("dist: ping %s: %w", addr, err)
 		}
 		c.clients = append(c.clients, cl)
 		c.wire = append(c.wire, wc)
 	}
+	c.mu.Lock()
+	c.updateGaugesLocked()
+	c.mu.Unlock()
+	if c.pol.redial > 0 {
+		c.wg.Add(1)
+		go c.resurrector()
+	}
 	return c, nil
 }
 
-// WireStats returns per-worker TCP byte totals since connection.
+// Metrics returns the registry holding the coordinator's
+// fault-tolerance counters and per-state worker gauges.
+func (c *Coordinator) Metrics() *obs.Registry { return c.reg }
+
+// WireStats returns per-worker TCP byte totals since connection
+// (cumulative across reconnects).
 func (c *Coordinator) WireStats() []WireStat {
 	out := make([]WireStat, len(c.wire))
 	for i, wc := range c.wire {
@@ -195,24 +317,43 @@ func (c *Coordinator) WireStats() []WireStat {
 	return out
 }
 
-// Close hangs up all worker connections.
-func (c *Coordinator) Close() error {
-	var first error
+// closeClients hangs up every current connection (startup error path).
+func (c *Coordinator) closeClients() {
 	for _, cl := range c.clients {
+		if cl != nil {
+			cl.Close()
+		}
+	}
+}
+
+// Close stops the resurrector and hangs up all worker connections.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	clients := append([]*rpc.Client(nil), c.clients...)
+	c.signalLocked()
+	c.mu.Unlock()
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.wg.Wait()
+	var first error
+	for _, cl := range clients {
 		if cl != nil {
 			if err := cl.Close(); err != nil && first == nil {
 				first = err
 			}
 		}
 	}
-	c.clients = nil
 	return first
 }
 
 // Skyline runs the full distributed pipeline and returns the exact
 // skyline of ds.
 func (c *Coordinator) Skyline(ctx context.Context, ds *point.Dataset) ([]point.Point, *Report, error) {
-	rep := &Report{Workers: len(c.clients)}
+	rep := &Report{Workers: len(c.addrs)}
 	if ds == nil || ds.Len() == 0 {
 		return nil, rep, nil
 	}
@@ -230,7 +371,7 @@ func (c *Coordinator) Skyline(ctx context.Context, ds *point.Dataset) ([]point.P
 	rep.Total = prep.Total
 	rep.Wire = c.WireStats()
 	if sp := obs.SpanFrom(ctx); sp != nil {
-		sp.SetAttr("workers", len(c.clients))
+		sp.SetAttr("workers", len(c.addrs))
 		for _, ws := range rep.Wire {
 			sp.SetAttr("wire."+ws.Addr, fmt.Sprintf("sent=%dB recv=%dB", ws.Sent, ws.Recv))
 		}
@@ -258,17 +399,18 @@ func groupBytes(gs []plan.Group) int64 {
 	return n
 }
 
-// rpcSpan opens one per-RPC child span under ctx's current span,
+// startRPC opens one per-RPC child span under ctx's current span,
 // annotated with the request payload size. The returned closure
-// records the serving worker (post-failover) and response size, then
-// ends the span.
-func (c *Coordinator) rpcSpan(ctx context.Context, method string, reqBytes int64) func(worker int, respBytes int64) {
+// records the serving worker (post-failover), and response size, then
+// ends the span; the span itself is handed to the call layer so retry
+// and hedge attempts show up as attributes.
+func (c *Coordinator) startRPC(ctx context.Context, method string, reqBytes int64) (*obs.Span, func(worker int, respBytes int64)) {
 	sp := obs.SpanFrom(ctx).Child("rpc/" + method)
 	if sp == nil {
-		return func(int, int64) {}
+		return nil, func(int, int64) {}
 	}
 	sp.SetAttr("req_bytes", reqBytes)
-	return func(worker int, respBytes int64) {
+	return sp, func(worker int, respBytes int64) {
 		if worker >= 0 && worker < len(c.addrs) {
 			sp.SetAttr("worker", c.addrs[worker])
 		}
@@ -276,6 +418,459 @@ func (c *Coordinator) rpcSpan(ctx context.Context, method string, reqBytes int64
 		sp.End()
 	}
 }
+
+// ---- liveness state machine ----
+
+// signalLocked wakes every goroutine waiting for a state or inflight
+// change. Callers hold c.mu.
+func (c *Coordinator) signalLocked() {
+	close(c.changed)
+	c.changed = make(chan struct{})
+}
+
+// setStateLocked moves worker w to state s, refreshes the per-state
+// gauges, and wakes waiters. Callers hold c.mu.
+func (c *Coordinator) setStateLocked(w int, s workerState) {
+	c.state[w] = s
+	c.updateGaugesLocked()
+	c.signalLocked()
+}
+
+func (c *Coordinator) updateGaugesLocked() {
+	var n [len(stateNames)]int
+	for _, s := range c.state {
+		n[s]++
+	}
+	for s, name := range stateNames {
+		c.reg.Gauge("zsky_dist_workers", obs.L("state", name)).Set(float64(n[s]))
+	}
+}
+
+// markSuspect demotes a live worker after a transport failure. With
+// resurrection disabled the worker is immediately dead.
+func (c *Coordinator) markSuspect(w int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || c.state[w] != wsLive {
+		return
+	}
+	if c.pol.redial > 0 {
+		c.setStateLocked(w, wsSuspect)
+	} else {
+		c.setStateLocked(w, wsDead)
+	}
+}
+
+// allDownLocked reports whether every worker is confirmed dead (no
+// live, suspect, or resurrecting worker can serve or come back before
+// the next sweep). Callers hold c.mu.
+func (c *Coordinator) allDownLocked() bool {
+	for _, s := range c.state {
+		if s != wsDead {
+			return false
+		}
+	}
+	return true
+}
+
+// acquire blocks until a live worker with no in-flight task is
+// available and reserves it. It fails with ErrClusterDown once every
+// worker is confirmed dead, or with ctx's error.
+func (c *Coordinator) acquire(ctx context.Context) (int, error) {
+	for {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return -1, errCoordinatorClosed
+		}
+		for w := range c.addrs {
+			if c.state[w] == wsLive && c.inflight[w] == 0 {
+				c.inflight[w]++
+				c.mu.Unlock()
+				return w, nil
+			}
+		}
+		if c.allDownLocked() {
+			c.mu.Unlock()
+			return -1, ErrClusterDown
+		}
+		ch := c.changed
+		c.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return -1, ctx.Err()
+		case <-ch:
+		}
+	}
+}
+
+// release returns a worker reserved by acquire to the rotation.
+func (c *Coordinator) release(w int) {
+	c.mu.Lock()
+	if c.inflight[w] > 0 {
+		c.inflight[w]--
+	}
+	c.signalLocked()
+	c.mu.Unlock()
+}
+
+// pickLiveWait returns a live worker, preferring pref, waiting out
+// windows where every worker is suspect/resurrecting. It fails with
+// ErrClusterDown once all workers are confirmed dead.
+func (c *Coordinator) pickLiveWait(ctx context.Context, pref int) (int, error) {
+	n := len(c.addrs)
+	if pref < 0 || pref >= n {
+		pref = 0
+	}
+	for {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return -1, errCoordinatorClosed
+		}
+		for i := 0; i < n; i++ {
+			w := (pref + i) % n
+			if c.state[w] == wsLive {
+				c.mu.Unlock()
+				return w, nil
+			}
+		}
+		if c.allDownLocked() {
+			c.mu.Unlock()
+			return -1, ErrClusterDown
+		}
+		ch := c.changed
+		c.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return -1, ctx.Err()
+		case <-ch:
+		}
+	}
+}
+
+// pickLiveExcept returns a live worker other than skip for hedging,
+// preferring an idle one; ok is false when none exists right now.
+func (c *Coordinator) pickLiveExcept(skip int) (int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	pick, found := -1, false
+	for w := range c.addrs {
+		if w == skip || c.state[w] != wsLive {
+			continue
+		}
+		if c.inflight[w] == 0 {
+			return w, true
+		}
+		if !found {
+			pick, found = w, true
+		}
+	}
+	return pick, found
+}
+
+// client returns worker w's current connection (nil while severed).
+func (c *Coordinator) client(w int) *rpc.Client {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.clients[w]
+}
+
+// ---- resurrection ----
+
+// resurrector periodically sweeps suspect/dead workers: re-dial,
+// ping, re-broadcast the current rule, readmit.
+func (c *Coordinator) resurrector() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.pol.redial)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+		}
+		c.sweep()
+	}
+}
+
+// sweep attempts one resurrection round over every suspect/dead
+// worker, concurrently, and waits for the round to settle.
+func (c *Coordinator) sweep() {
+	c.mu.Lock()
+	var targets []int
+	for w := range c.addrs {
+		if c.state[w] == wsSuspect || c.state[w] == wsDead {
+			c.setStateLocked(w, wsResurrecting)
+			targets = append(targets, w)
+		}
+	}
+	c.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, w := range targets {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c.resurrect(w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// resurrect tries to bring worker w back: dial with timeout, ping,
+// re-broadcast the current rule, then swap the connection in and mark
+// the worker live. Any failure confirms it dead until the next sweep.
+func (c *Coordinator) resurrect(w int) {
+	fail := func() {
+		c.mu.Lock()
+		if !c.closed {
+			c.setStateLocked(w, wsDead)
+		}
+		c.mu.Unlock()
+	}
+	conn, err := net.DialTimeout("tcp", c.addrs[w], c.pol.dialTimeout)
+	if err != nil {
+		fail()
+		return
+	}
+	cl := rpc.NewClient(countConn{Conn: conn, sent: &c.wire[w].sent, recv: &c.wire[w].recv})
+	var pong PingReply
+	if err := c.callDirect(cl, "Worker.Ping", PingArgs{}, &pong); err != nil {
+		cl.Close()
+		fail()
+		return
+	}
+	c.mu.Lock()
+	blob := c.lastRule
+	c.mu.Unlock()
+	if blob != nil {
+		// Readmitting a worker without the query's rule would fail its
+		// first task (a restarted process has an empty rule cache), so
+		// the rule rides along with resurrection.
+		var ack LoadRuleReply
+		if err := c.callDirect(cl, "Worker.LoadRule", LoadRuleArgs{Rule: *blob}, &ack); err != nil {
+			cl.Close()
+			fail()
+			return
+		}
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		cl.Close()
+		return
+	}
+	old := c.clients[w]
+	c.clients[w] = cl
+	c.setStateLocked(w, wsLive)
+	c.reg.Counter("zsky_dist_resurrections_total", obs.L("worker", c.addrs[w])).Add(1)
+	c.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+}
+
+// callDirect invokes one method on a specific client with the
+// per-attempt deadline but no retry/failover — the building block for
+// startup pings and resurrection probes.
+func (c *Coordinator) callDirect(cl *rpc.Client, method string, args, reply any) error {
+	call := cl.Go(method, args, reply, make(chan *rpc.Call, 1))
+	var timeout <-chan time.Time
+	if c.pol.rpcTimeout > 0 {
+		t := time.NewTimer(c.pol.rpcTimeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case done := <-call.Done:
+		return done.Error
+	case <-timeout:
+		return errAttemptTimeout
+	}
+}
+
+// ---- the retrying, hedging call layer ----
+
+// callOpts tunes one coordinator call.
+type callOpts struct {
+	// preferred is the worker the scheduler reserved for this task; a
+	// retry rotates onward from it.
+	preferred int
+	// hedge allows a speculative duplicate on a second worker after
+	// the policy's hedge delay (reduce/merge tasks only: they are
+	// idempotent and few, so duplicates are cheap insurance).
+	hedge bool
+	// sp, when non-nil, collects attempt/hedge attributes.
+	sp *obs.Span
+}
+
+// call invokes one worker method under the full policy: per-attempt
+// deadline, classification, bounded retries with jittered backoff,
+// failover to live workers, optional hedging, and rule re-broadcast
+// when a worker answers "rule not loaded". It returns the index of the
+// worker that served the call.
+func (c *Coordinator) call(ctx context.Context, method string, args, reply any, opt callOpts) (int, error) {
+	var lastErr error
+	pref := opt.preferred
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return -1, err
+		}
+		w, err := c.pickLiveWait(ctx, pref)
+		if err != nil {
+			if errors.Is(err, ErrClusterDown) {
+				if lastErr != nil {
+					return -1, fmt.Errorf("dist: %s: %v: %w", method, lastErr, ErrClusterDown)
+				}
+				return -1, fmt.Errorf("dist: %s: %w", method, ErrClusterDown)
+			}
+			return -1, err
+		}
+		served, err := c.attempt(ctx, method, args, reply, w, opt)
+		if err == nil {
+			if attempt > 0 {
+				opt.sp.SetAttr("attempts", attempt+1)
+			}
+			return served, nil
+		}
+		lastErr = err
+		class := classify(err)
+		c.reg.Counter("zsky_dist_rpc_errors_total",
+			obs.L("method", method), obs.L("class", className(class))).Add(1)
+		if class == classFatal || ctx.Err() != nil {
+			return served, err
+		}
+		if class == classRuleMissing && served >= 0 {
+			// The worker is alive but lost the rule (e.g. a process
+			// restarted at the same address between sweeps): reinstall
+			// and let the retry land on it.
+			if rerr := c.resendRule(ctx, served); rerr != nil {
+				c.markSuspect(served)
+			}
+		}
+		if attempt >= c.pol.retries {
+			return served, fmt.Errorf("dist: %s: attempts exhausted: %w", method, lastErr)
+		}
+		c.reg.Counter("zsky_dist_retries_total", obs.L("method", method)).Add(1)
+		sleep(ctx, c.bo.delay(&c.pol, attempt))
+		if served >= 0 {
+			pref = (served + 1) % len(c.addrs)
+		}
+	}
+}
+
+func className(class errClass) string {
+	switch class {
+	case classRetryable:
+		return "retryable"
+	case classRuleMissing:
+		return "rule-missing"
+	default:
+		return "fatal"
+	}
+}
+
+// legRes is one attempt leg's outcome.
+type legRes struct {
+	w   int
+	rv  any
+	err error
+}
+
+// attempt runs one (possibly hedged) attempt of a call. Each leg gets
+// a fresh reply value so an abandoned straggler reply can never race a
+// retry writing the caller's reply; the winner is copied out.
+func (c *Coordinator) attempt(ctx context.Context, method string, args, reply any, primary int, opt callOpts) (int, error) {
+	resCh := make(chan legRes, 2)
+	leg := func(w int) {
+		cl := c.client(w)
+		if cl == nil {
+			resCh <- legRes{w: w, err: errNotConnected}
+			return
+		}
+		rv := newReplyLike(reply)
+		call := cl.Go(method, args, rv, make(chan *rpc.Call, 1))
+		var timeout <-chan time.Time
+		if c.pol.rpcTimeout > 0 {
+			t := time.NewTimer(c.pol.rpcTimeout)
+			defer t.Stop()
+			timeout = t.C
+		}
+		select {
+		case done := <-call.Done:
+			resCh <- legRes{w: w, rv: rv, err: done.Error}
+		case <-timeout:
+			resCh <- legRes{w: w, err: errAttemptTimeout}
+		case <-ctx.Done():
+			resCh <- legRes{w: w, err: ctx.Err()}
+		}
+	}
+	go leg(primary)
+	legs := 1
+	var hedgeC <-chan time.Time
+	if opt.hedge && c.pol.hedge > 0 {
+		t := time.NewTimer(c.pol.hedge)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+	var lastErr error
+	lastW := primary
+	for {
+		select {
+		case r := <-resCh:
+			if r.err == nil {
+				copyReply(reply, r.rv)
+				if r.w != primary {
+					c.reg.Counter("zsky_dist_hedge_wins_total", obs.L("method", method)).Add(1)
+					opt.sp.SetAttr("hedge_win", c.addrs[r.w])
+				}
+				return r.w, nil
+			}
+			if classify(r.err) == classRetryable {
+				c.markSuspect(r.w)
+			}
+			lastErr, lastW = r.err, r.w
+			if legs--; legs == 0 {
+				return lastW, lastErr
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if w2, ok := c.pickLiveExcept(primary); ok {
+				c.reg.Counter("zsky_dist_hedges_total", obs.L("method", method)).Add(1)
+				opt.sp.SetAttr("hedged", c.addrs[w2])
+				go leg(w2)
+				legs++
+			}
+		case <-ctx.Done():
+			return lastW, ctx.Err()
+		}
+	}
+}
+
+// newReplyLike allocates a fresh zero value of reply's pointee type.
+func newReplyLike(reply any) any {
+	return reflect.New(reflect.TypeOf(reply).Elem()).Interface()
+}
+
+// copyReply copies the winning leg's reply into the caller's.
+func copyReply(dst, src any) {
+	reflect.ValueOf(dst).Elem().Set(reflect.ValueOf(src).Elem())
+}
+
+// resendRule reinstalls the current rule on one worker.
+func (c *Coordinator) resendRule(ctx context.Context, w int) error {
+	c.mu.Lock()
+	blob := c.lastRule
+	c.mu.Unlock()
+	if blob == nil {
+		return fmt.Errorf("dist: no rule to re-broadcast")
+	}
+	var ack LoadRuleReply
+	_, err := c.attempt(ctx, "Worker.LoadRule", LoadRuleArgs{Rule: *blob}, &ack, w, callOpts{})
+	return err
+}
+
+// ---- executor plumbing ----
 
 // rpcExec is the plan.Executor that fans tasks out over the
 // coordinator's worker connections, with failover. One rpcExec serves
@@ -300,10 +895,11 @@ func (ex *rpcExec) Broadcast(ctx context.Context, r *plan.Rule) error {
 func (ex *rpcExec) RunMaps(ctx context.Context, _ *plan.Rule, chunks []point.Block, _ *metrics.Tally) ([]plan.MapOutput, error) {
 	outs := make([]plan.MapOutput, len(chunks))
 	err := ex.c.forEach(ctx, len(chunks), func(i, worker int) error {
-		done := ex.c.rpcSpan(ctx, "Worker.MapChunk", int64(chunks[i].Bytes()))
+		sp, done := ex.c.startRPC(ctx, "Worker.MapChunk", int64(chunks[i].Bytes()))
 		var reply MapReply
-		served, err := ex.c.call("Worker.MapChunk",
-			MapArgs{RuleID: ex.ruleID, Block: chunks[i]}, &reply, worker)
+		served, err := ex.c.call(ctx, "Worker.MapChunk",
+			MapArgs{RuleID: ex.ruleID, Block: chunks[i]}, &reply,
+			callOpts{preferred: worker, sp: sp})
 		if err != nil {
 			done(served, 0)
 			return err
@@ -319,10 +915,11 @@ func (ex *rpcExec) RunMaps(ctx context.Context, _ *plan.Rule, chunks []point.Blo
 func (ex *rpcExec) RunReduces(ctx context.Context, _ *plan.Rule, groups []plan.Group, _ *metrics.Tally) ([]plan.Group, error) {
 	outs := make([]plan.Group, len(groups))
 	err := ex.c.forEach(ctx, len(groups), func(i, worker int) error {
-		done := ex.c.rpcSpan(ctx, "Worker.ReduceGroup", int64(groups[i].Block.Bytes()))
+		sp, done := ex.c.startRPC(ctx, "Worker.ReduceGroup", int64(groups[i].Block.Bytes()))
 		var reply ReduceReply
-		served, err := ex.c.call("Worker.ReduceGroup",
-			ReduceArgs{RuleID: ex.ruleID, Group: groups[i]}, &reply, worker)
+		served, err := ex.c.call(ctx, "Worker.ReduceGroup",
+			ReduceArgs{RuleID: ex.ruleID, Group: groups[i]}, &reply,
+			callOpts{preferred: worker, hedge: true, sp: sp})
 		if err != nil {
 			done(served, 0)
 			return err
@@ -336,14 +933,17 @@ func (ex *rpcExec) RunReduces(ctx context.Context, _ *plan.Rule, groups []plan.G
 
 // RunMerges implements plan.Executor via Worker.MergeGroups RPCs. A
 // single task runs on one worker — the paper's lone merge reducer;
-// multiple tasks (tree-merge rounds) fan out across the fleet.
+// multiple tasks (tree-merge rounds) fan out across the fleet. Merge
+// tasks are the classic straggler magnet (the last round is one call
+// on one worker), so they hedge when the policy allows.
 func (ex *rpcExec) RunMerges(ctx context.Context, _ *plan.Rule, tasks [][]plan.Group, _ *metrics.Tally) ([]point.Block, error) {
 	outs := make([]point.Block, len(tasks))
 	mergeOne := func(i, worker int) error {
-		done := ex.c.rpcSpan(ctx, "Worker.MergeGroups", groupBytes(tasks[i]))
+		sp, done := ex.c.startRPC(ctx, "Worker.MergeGroups", groupBytes(tasks[i]))
 		var merged MergeReply
-		served, err := ex.c.call("Worker.MergeGroups",
-			MergeArgs{RuleID: ex.ruleID, Groups: tasks[i]}, &merged, worker)
+		served, err := ex.c.call(ctx, "Worker.MergeGroups",
+			MergeArgs{RuleID: ex.ruleID, Groups: tasks[i]}, &merged,
+			callOpts{preferred: worker, hedge: true, sp: sp})
 		if err != nil {
 			done(served, 0)
 			return err
@@ -366,9 +966,16 @@ func (w *countWriter) Write(p []byte) (int, error) {
 	return len(p), nil
 }
 
-// broadcast installs the rule on every live worker; workers that fail
-// the broadcast are marked dead. It errors only when nobody is left.
+// broadcast installs the rule on every live worker and records it as
+// the coordinator's current rule, so resurrection can re-install it.
+// The broadcast succeeds once at least one worker holds the rule;
+// workers that miss it are suspected and receive it when they rejoin.
+// With no worker live, it waits out resurrection and fails with
+// ErrClusterDown only when every worker is confirmed dead.
 func (c *Coordinator) broadcast(ctx context.Context, blob RuleBlob) error {
+	c.mu.Lock()
+	c.lastRule = &blob
+	c.mu.Unlock()
 	// Measure the serialized rule once so every LoadRule span carries
 	// the real broadcast payload size.
 	var blobBytes int64
@@ -378,80 +985,77 @@ func (c *Coordinator) broadcast(ctx context.Context, blob RuleBlob) error {
 			blobBytes = cw.n
 		}
 	}
-	var wg sync.WaitGroup
-	for w := range c.clients {
-		if c.isDead(w) {
-			continue
-		}
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			done := c.rpcSpan(ctx, "Worker.LoadRule", blobBytes)
-			var reply LoadRuleReply
-			if err := c.clients[w].Call("Worker.LoadRule", LoadRuleArgs{Rule: blob}, &reply); err != nil {
-				c.markDead(w)
+	for round := 0; ; round++ {
+		c.mu.Lock()
+		var targets []int
+		for w := range c.addrs {
+			if c.state[w] == wsLive {
+				targets = append(targets, w)
 			}
-			// LoadRule replies carry no payload; 0 keeps resp_bytes
-			// honest alongside the measured RPC spans.
-			done(w, 0)
-		}(w)
-	}
-	wg.Wait()
-	if err := ctx.Err(); err != nil {
-		return err
-	}
-	if c.aliveCount() == 0 {
-		return fmt.Errorf("dist: all workers failed the rule broadcast")
-	}
-	return nil
-}
-
-func (c *Coordinator) isDead(w int) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.dead[w]
-}
-
-func (c *Coordinator) markDead(w int) {
-	c.mu.Lock()
-	c.dead[w] = true
-	c.mu.Unlock()
-}
-
-func (c *Coordinator) aliveCount() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	n := 0
-	for _, d := range c.dead {
-		if !d {
-			n++
+		}
+		c.mu.Unlock()
+		var (
+			wg       sync.WaitGroup
+			mu       sync.Mutex
+			okCount  int
+			fatalErr error
+		)
+		for _, w := range targets {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				sp, done := c.startRPC(ctx, "Worker.LoadRule", blobBytes)
+				var ack LoadRuleReply
+				served, err := c.attempt(ctx, "Worker.LoadRule",
+					LoadRuleArgs{Rule: blob}, &ack, w, callOpts{sp: sp})
+				// LoadRule replies carry no payload; 0 keeps resp_bytes
+				// honest alongside the measured RPC spans.
+				done(served, 0)
+				mu.Lock()
+				defer mu.Unlock()
+				if err == nil {
+					okCount++
+				} else if classify(err) == classFatal && fatalErr == nil {
+					fatalErr = err
+				}
+			}(w)
+		}
+		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if fatalErr != nil {
+			return fmt.Errorf("dist: rule broadcast rejected: %w", fatalErr)
+		}
+		if okCount > 0 {
+			return nil
+		}
+		// Nobody took the rule: wait for a liveness change (a
+		// resurrected worker already carries lastRule) and re-offer.
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return errCoordinatorClosed
+		}
+		if c.allDownLocked() {
+			c.mu.Unlock()
+			return fmt.Errorf("dist: rule broadcast: %w", ErrClusterDown)
+		}
+		ch := c.changed
+		c.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ch:
 		}
 	}
-	return n
-}
-
-// call invokes one worker method with failover: a failed worker is
-// marked dead and the call retried on the next live one. It returns
-// the index of the worker that served the call.
-func (c *Coordinator) call(method string, args, reply any, preferred int) (int, error) {
-	tried := 0
-	w := preferred % len(c.clients)
-	for tried < len(c.clients) {
-		if !c.isDead(w) {
-			err := c.clients[w].Call(method, args, reply)
-			if err == nil {
-				return w, nil
-			}
-			c.markDead(w)
-		}
-		w = (w + 1) % len(c.clients)
-		tried++
-	}
-	return -1, fmt.Errorf("dist: %s failed on every worker", method)
 }
 
 // forEach fans n tasks out over the live workers with bounded
-// concurrency (one in-flight call per worker connection) and failover.
+// concurrency (one in-flight task per live worker) and failover.
+// Admission tracks the liveness state machine: resurrected workers
+// rejoin the rotation mid-phase, and admission only fails once every
+// worker is confirmed dead.
 func (c *Coordinator) forEach(ctx context.Context, n int, f func(task, worker int) error) error {
 	if n == 0 {
 		return nil
@@ -461,29 +1065,33 @@ func (c *Coordinator) forEach(ctx context.Context, n int, f func(task, worker in
 		mu       sync.Mutex
 		firstErr error
 	)
-	sem := make(chan int, len(c.clients))
-	for w := range c.clients {
-		sem <- w
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
 	}
 	for i := 0; i < n; i++ {
-		select {
-		case <-ctx.Done():
-			wg.Wait()
-			return ctx.Err()
-		case worker := <-sem:
-			wg.Add(1)
-			go func(i, worker int) {
-				defer wg.Done()
-				defer func() { sem <- worker }()
-				if err := f(i, worker); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("dist: task %d: %w", i, err)
-					}
-					mu.Unlock()
-				}
-			}(i, worker)
+		mu.Lock()
+		stop := firstErr != nil
+		mu.Unlock()
+		if stop {
+			break
 		}
+		worker, err := c.acquire(ctx)
+		if err != nil {
+			fail(err)
+			break
+		}
+		wg.Add(1)
+		go func(i, worker int) {
+			defer wg.Done()
+			defer c.release(worker)
+			if err := f(i, worker); err != nil {
+				fail(fmt.Errorf("dist: task %d: %w", i, err))
+			}
+		}(i, worker)
 	}
 	wg.Wait()
 	return firstErr

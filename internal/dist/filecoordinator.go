@@ -21,7 +21,7 @@ import (
 // is the deployment shape for datasets larger than the coordinator —
 // the same regime the paper's HDFS-resident inputs live in.
 func (c *Coordinator) SkylineFile(ctx context.Context, path string) ([]point.Point, *Report, error) {
-	rep := &Report{Workers: len(c.clients)}
+	rep := &Report{Workers: len(c.addrs)}
 	start := time.Now()
 
 	// ---- Pass 1: bounds + reservoir sample + count ----
@@ -135,10 +135,6 @@ func (c *Coordinator) streamMap(ctx context.Context, path string, ruleID uint64)
 		firstErr error
 		outs     []plan.MapOutput
 	)
-	sem := make(chan int, len(c.clients))
-	for w := range c.clients {
-		sem <- w
-	}
 	for {
 		batch, err := br.NextBlock(c.cfg.ChunkSize)
 		if err == io.EOF {
@@ -148,34 +144,42 @@ func (c *Coordinator) streamMap(ctx context.Context, path string, ruleID uint64)
 			wg.Wait()
 			return nil, err
 		}
-		select {
-		case <-ctx.Done():
-			wg.Wait()
-			return nil, ctx.Err()
-		case worker := <-sem:
-			wg.Add(1)
-			go func(batch point.Block, worker int) {
-				defer wg.Done()
-				defer func() { sem <- worker }()
-				done := c.rpcSpan(ctx, "Worker.MapChunk", int64(batch.Bytes()))
-				var reply MapReply
-				served, err := c.call("Worker.MapChunk",
-					MapArgs{RuleID: ruleID, Block: batch}, &reply, worker)
-				if err != nil {
-					done(served, 0)
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					return
-				}
-				done(served, groupBytes(reply.Groups))
-				mu.Lock()
-				outs = append(outs, plan.MapOutput{Groups: reply.Groups, Filtered: reply.Filtered})
-				mu.Unlock()
-			}(batch, worker)
+		mu.Lock()
+		stop := firstErr != nil
+		mu.Unlock()
+		if stop {
+			break
 		}
+		// Admission rides the liveness state machine: a resurrected
+		// worker rejoins the streaming rotation mid-file.
+		worker, err := c.acquire(ctx)
+		if err != nil {
+			wg.Wait()
+			return nil, err
+		}
+		wg.Add(1)
+		go func(batch point.Block, worker int) {
+			defer wg.Done()
+			defer c.release(worker)
+			sp, done := c.startRPC(ctx, "Worker.MapChunk", int64(batch.Bytes()))
+			var reply MapReply
+			served, err := c.call(ctx, "Worker.MapChunk",
+				MapArgs{RuleID: ruleID, Block: batch}, &reply,
+				callOpts{preferred: worker, sp: sp})
+			if err != nil {
+				done(served, 0)
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			done(served, groupBytes(reply.Groups))
+			mu.Lock()
+			outs = append(outs, plan.MapOutput{Groups: reply.Groups, Filtered: reply.Filtered})
+			mu.Unlock()
+		}(batch, worker)
 	}
 	wg.Wait()
 	if firstErr != nil {

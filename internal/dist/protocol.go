@@ -9,6 +9,23 @@
 // Workers are stateful only in that they cache the broadcast
 // partitioning rule (the distributed-cache step of Algorithm 3) keyed
 // by a rule ID, so repeated jobs pay the broadcast once.
+//
+// # Fault tolerance
+//
+// The coordinator assumes workers fail: every RPC runs under a policy
+// of per-attempt deadlines, bounded retries with jittered exponential
+// backoff, and failover, with errors classified as retryable
+// (transport casualties: conn reset, timeout, rpc.ErrShutdown) or
+// fatal (worker verdicts: bad rule, dims mismatch). Worker liveness is
+// a state machine — live → suspect → dead → resurrecting — where
+// suspect/dead workers are re-dialed every RedialInterval and rejoin
+// the task rotation only after a ping and a re-broadcast of the
+// current rule succeed, so a restarted worker process serves
+// correctly. Straggling reduce/merge calls can be hedged on a second
+// worker. A query fails with ErrClusterDown only once every worker is
+// confirmed dead. FaultPlan injects deterministic delay/drop/sever
+// faults for tests and chaos drills. docs/OPERATIONS.md is the
+// operator-facing guide to all of this.
 package dist
 
 import (

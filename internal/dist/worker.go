@@ -39,6 +39,7 @@ type WorkerServer struct {
 	worker   *Worker
 	listener net.Listener
 	server   *rpc.Server
+	faults   *FaultPlan
 	wg       sync.WaitGroup
 	mu       sync.Mutex
 	closed   bool
@@ -48,6 +49,16 @@ type WorkerServer struct {
 // StartWorker launches a worker RPC server on addr (use "127.0.0.1:0"
 // for an ephemeral port) and serves until Close.
 func StartWorker(addr string) (*WorkerServer, error) {
+	return StartWorkerWithFaults(addr, nil)
+}
+
+// StartWorkerWithFaults launches a worker whose RPC serving is routed
+// through a deterministic FaultPlan: the plan can delay, drop, or
+// sever the Nth call of a method, which is how the fault-injection
+// suite (and skyworker -fault chaos drills) exercise the
+// coordinator's retry, deadline, hedging, and resurrection machinery.
+// A nil plan serves normally.
+func StartWorkerWithFaults(addr string, faults *FaultPlan) (*WorkerServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("dist: listen %s: %w", addr, err)
@@ -59,7 +70,8 @@ func StartWorker(addr string) (*WorkerServer, error) {
 		ln.Close()
 		return nil, err
 	}
-	ws := &WorkerServer{worker: w, listener: ln, server: srv, conns: map[net.Conn]struct{}{}}
+	ws := &WorkerServer{worker: w, listener: ln, server: srv, faults: faults,
+		conns: map[net.Conn]struct{}{}}
 	ws.wg.Add(1)
 	go func() {
 		defer ws.wg.Done()
@@ -79,7 +91,11 @@ func StartWorker(addr string) (*WorkerServer, error) {
 			ws.wg.Add(1)
 			go func() {
 				defer ws.wg.Done()
-				srv.ServeConn(conn)
+				if faults != nil {
+					srv.ServeCodec(newFaultCodec(conn, faults))
+				} else {
+					srv.ServeConn(conn)
+				}
 				ws.mu.Lock()
 				delete(ws.conns, conn)
 				ws.mu.Unlock()

@@ -14,6 +14,19 @@ import (
 // decide placement, transport, and fault handling; the phase semantics
 // stay in plan. Bulk data crosses the interface as point.Blocks —
 // contiguous batches that substrates can ship as single payloads.
+//
+// Error contract: the driver (Run, RunSource, MergePhase) returns
+// executor errors unwrapped, so typed sentinels an implementation
+// exposes stay matchable with errors.Is at the API boundary — the
+// dist executor's ErrClusterDown is the worked example. Transient
+// substrate faults (lost connections, timed-out calls, worker
+// restarts) are the executor's to absorb: retry, failover, and
+// re-broadcast happen below this interface, and an error returned
+// from a Run* method means the phase is unrecoverable, not merely
+// that a task needed a second attempt. Every task is a deterministic
+// function of the Rule and its input, so executors may freely re-run
+// or duplicate tasks without changing the answer. Implementations
+// must also honor ctx cancellation and return ctx.Err() promptly.
 type Executor interface {
 	// Broadcast installs the rule wherever tasks will run (the paper's
 	// distributed-cache step). In-process executors may no-op.

@@ -146,8 +146,8 @@ func TestBlockUnmarshalRejectsBadFrames(t *testing.T) {
 	}
 	bad := [][]byte{
 		nil,
-		good[:4],            // truncated header
-		good[:len(good)-1],  // truncated payload
+		good[:4],                                // truncated header
+		good[:len(good)-1],                      // truncated payload
 		append(append([]byte(nil), good...), 0), // trailing garbage
 	}
 	for i, data := range bad {

@@ -1,0 +1,54 @@
+package point_test
+
+import (
+	"fmt"
+	"io"
+
+	"zskyline/internal/point"
+)
+
+// A BlockBuilder is the arena for assembling a Block row by row; the
+// built Block then hands out zero-copy row views.
+func ExampleBlockBuilder() {
+	bb := point.NewBlockBuilder(2, 4)
+	bb.Append(point.Point{1, 9})
+	bb.Append(point.Point{2, 2})
+	row := bb.Extend() // zeroed row, filled in place
+	row[0], row[1] = 9, 1
+
+	b := bb.Build() // detaches the arena; bb is reusable
+	fmt.Println("rows:", b.Len(), "dims:", b.Dims)
+	fmt.Println("row 1:", b.Row(1))
+	fmt.Println("views:", b.Points())
+	// Output:
+	// rows: 3 dims: 2
+	// row 1: (2, 2)
+	// views: [(1, 9) (2, 2) (9, 1)]
+}
+
+// A Source streams a dataset as Blocks until io.EOF. Blocks may be
+// shorter than max; callers own every returned block.
+func ExampleSource() {
+	pts := []point.Point{{1, 9}, {2, 2}, {9, 1}, {5, 5}, {3, 8}}
+	var src point.Source = point.NewSliceSource(2, pts)
+
+	total := 0
+	for {
+		b, err := src.Next(2) // at most 2 rows per block
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		total += b.Len()
+		fmt.Println("block:", b.Points())
+	}
+	fmt.Println("streamed:", total)
+	// Output:
+	// block: [(1, 9) (2, 2)]
+	// block: [(9, 1) (5, 5)]
+	// block: [(3, 8)]
+	// streamed: 5
+}

@@ -16,6 +16,13 @@
 // The classic Grid, Angle, Random and MR-GPMRS schemes are included as
 // baselines, as are the sequential BNL/sort-based algorithms.
 //
+// The same pipeline also runs on a shared-memory goroutine pool and,
+// via the skydist/skyworker commands, across real processes over TCP
+// with fault tolerance (per-attempt deadlines, retries with backoff,
+// worker resurrection with rule re-broadcast, optional hedging); all
+// three executors produce identical skylines and identical trace
+// structure. docs/OPERATIONS.md covers deploying the TCP form.
+//
 // Quick start:
 //
 //	eng, err := zskyline.New(zskyline.Defaults())
