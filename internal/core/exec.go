@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"sync"
 	"time"
 
 	"zskyline/internal/mapreduce"
@@ -53,10 +54,17 @@ func (ex *mrExec) MapReduce(ctx context.Context, r *plan.Rule, chunks []point.Bl
 	}
 	var filtered metrics.Tally
 	dims := ex.dims
+	// The simulator calls Map once per record from concurrent tasks;
+	// pooling Routers keeps the per-point route (grid quantization,
+	// SZB probe, Z-encode) allocation-free instead of paying
+	// Rule.Route's per-call scratch.
+	routers := sync.Pool{New: func() any { return r.NewRouter() }}
 	job := mapreduce.Job[point.Point, int, point.Point, candidate]{
 		Name: "skyline-candidates",
 		Map: func(_ *mapreduce.TaskContext, p point.Point, emit func(int, point.Point)) error {
-			gid, ok := r.Route(p)
+			rt := routers.Get().(*plan.Router)
+			gid, ok := rt.Route(p)
+			routers.Put(rt)
 			if !ok {
 				filtered.AddPointsPruned(1)
 				return nil
@@ -125,7 +133,7 @@ func (ex *mrExec) MapReduce(ctx context.Context, r *plan.Rule, chunks []point.Bl
 
 // RunMerges runs MapReduce job 2 (§5.3): every merge task becomes one
 // reducer, and each reducer Z-merges (or recomputes) its groups.
-func (ex *mrExec) RunMerges(ctx context.Context, r *plan.Rule, tasks [][]plan.Group, tally *metrics.Tally) ([]point.Block, error) {
+func (ex *mrExec) RunMerges(ctx context.Context, r *plan.Rule, tasks [][]plan.Group, tally *metrics.Tally) ([]plan.Group, error) {
 	var recs []mergeRec
 	for t, groups := range tasks {
 		for _, g := range groups {
@@ -135,7 +143,7 @@ func (ex *mrExec) RunMerges(ctx context.Context, r *plan.Rule, tasks [][]plan.Gr
 			}
 		}
 	}
-	outs := make([]point.Block, len(tasks))
+	outs := make([]plan.Group, len(tasks))
 	if len(recs) == 0 {
 		ex.job2 = &mapreduce.JobStats{Name: "skyline-merge"}
 		return outs, nil
@@ -186,8 +194,12 @@ func (ex *mrExec) RunMerges(ctx context.Context, r *plan.Rule, tasks [][]plan.Gr
 	for _, rec := range out {
 		perTask[rec.task] = append(perTask[rec.task], rec.p)
 	}
+	// The simulator shuffles records, not columns, so the merged
+	// groups come back without a Z-address column; tree-merge rounds
+	// re-encode at the (small) merge output. Executors that keep the
+	// column (LocalExec, dist) avoid that.
 	for t, pts := range perTask {
-		outs[t] = point.BlockOf(dims, pts)
+		outs[t] = plan.Group{Gid: t, Block: point.BlockOf(dims, pts)}
 	}
 	return outs, nil
 }

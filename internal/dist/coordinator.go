@@ -390,11 +390,11 @@ func pointBytes(pts []point.Point) int64 {
 }
 
 // groupBytes estimates the wire payload of routed groups (gid plus the
-// group's flat block frame).
+// group's flat block frame and its Z-address column, when carried).
 func groupBytes(gs []plan.Group) int64 {
 	var n int64
 	for _, g := range gs {
-		n += 8 + int64(g.Block.Bytes())
+		n += 8 + int64(g.Block.Bytes()) + int64(g.ZCol.Bytes())
 	}
 	return n
 }
@@ -924,8 +924,9 @@ func (ex *rpcExec) RunReduces(ctx context.Context, _ *plan.Rule, groups []plan.G
 			done(served, 0)
 			return err
 		}
-		done(served, int64(reply.Candidates.Bytes()))
-		outs[i] = plan.Group{Gid: groups[i].Gid, Block: reply.Candidates}
+		done(served, groupBytes([]plan.Group{reply.Candidates}))
+		outs[i] = reply.Candidates
+		outs[i].Gid = groups[i].Gid
 		return nil
 	})
 	return outs, err
@@ -936,8 +937,8 @@ func (ex *rpcExec) RunReduces(ctx context.Context, _ *plan.Rule, groups []plan.G
 // multiple tasks (tree-merge rounds) fan out across the fleet. Merge
 // tasks are the classic straggler magnet (the last round is one call
 // on one worker), so they hedge when the policy allows.
-func (ex *rpcExec) RunMerges(ctx context.Context, _ *plan.Rule, tasks [][]plan.Group, _ *metrics.Tally) ([]point.Block, error) {
-	outs := make([]point.Block, len(tasks))
+func (ex *rpcExec) RunMerges(ctx context.Context, _ *plan.Rule, tasks [][]plan.Group, _ *metrics.Tally) ([]plan.Group, error) {
+	outs := make([]plan.Group, len(tasks))
 	mergeOne := func(i, worker int) error {
 		sp, done := ex.c.startRPC(ctx, "Worker.MergeGroups", groupBytes(tasks[i]))
 		var merged MergeReply
@@ -948,7 +949,7 @@ func (ex *rpcExec) RunMerges(ctx context.Context, _ *plan.Rule, tasks [][]plan.G
 			done(served, 0)
 			return err
 		}
-		done(served, int64(merged.Skyline.Bytes()))
+		done(served, groupBytes([]plan.Group{merged.Skyline}))
 		outs[i] = merged.Skyline
 		return nil
 	}

@@ -77,9 +77,11 @@ type ReduceArgs struct {
 	Group  GroupPoints
 }
 
-// ReduceReply returns the group's skyline candidates as one block.
+// ReduceReply returns the group's skyline candidates as one group:
+// the candidate block plus its Z-address column, so the merge phase
+// never re-encodes what the reducer already computed.
 type ReduceReply struct {
-	Candidates point.Block
+	Candidates GroupPoints
 }
 
 // MergeArgs carries candidate groups for a phase-3 Z-merge task.
@@ -88,9 +90,11 @@ type MergeArgs struct {
 	Groups []GroupPoints
 }
 
-// MergeReply returns the merged skyline as one block.
+// MergeReply returns the merged skyline as one group; tree-merge
+// rounds feed it straight back into the next MergeArgs, column and
+// all.
 type MergeReply struct {
-	Skyline point.Block
+	Skyline GroupPoints
 }
 
 // PingArgs/PingReply support liveness checks.

@@ -188,8 +188,8 @@ func (w *Worker) ReduceGroup(args ReduceArgs, reply *ReduceReply) error {
 	if err != nil {
 		return err
 	}
-	reply.Candidates = r.LocalSkylineBlock(args.Group.Block, nil)
-	w.observe("ReduceGroup", start, int64(args.Group.Block.Bytes()), int64(reply.Candidates.Bytes()))
+	reply.Candidates = r.LocalSkylineGroup(args.Group, nil)
+	w.observe("ReduceGroup", start, groupBytes([]plan.Group{args.Group}), groupBytes([]plan.Group{reply.Candidates}))
 	return nil
 }
 
@@ -201,7 +201,7 @@ func (w *Worker) MergeGroups(args MergeArgs, reply *MergeReply) error {
 	if err != nil {
 		return err
 	}
-	reply.Skyline = r.MergeGroupsBlock(args.Groups, nil)
-	w.observe("MergeGroups", start, groupBytes(args.Groups), int64(reply.Skyline.Bytes()))
+	reply.Skyline = r.MergeGroupsZ(args.Groups, nil)
+	w.observe("MergeGroups", start, groupBytes(args.Groups), groupBytes([]plan.Group{reply.Skyline}))
 	return nil
 }

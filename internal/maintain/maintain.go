@@ -62,6 +62,7 @@ func NewUnit(dims, bits int) (*Maintainer, error) {
 
 // Insert merges a batch of points into the maintained skyline and
 // returns how many of the batch's points are part of the new skyline.
+// It is InsertBlock over a contiguous copy of the batch.
 func (m *Maintainer) Insert(batch []point.Point) (int, error) {
 	for i, p := range batch {
 		if len(p) != m.enc.Dims() {
@@ -71,20 +72,16 @@ func (m *Maintainer) Insert(batch []point.Point) (int, error) {
 	if len(batch) == 0 {
 		return 0, nil
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.seen += int64(len(batch))
-	// Reduce the batch to its own skyline tree, then Z-merge.
-	batchSky := zbtree.BuildFromPoints(m.enc, 0, batch, m.tally).SkylineTree()
-	m.sky = zbtree.Merge(m.sky, batchSky)
-	return m.countFromBatch(batch), nil
+	return m.InsertBlock(point.BlockOf(m.enc.Dims(), batch))
 }
 
 // InsertBlock merges every row of a block into the maintained skyline
-// and returns how many of them are part of the new skyline. Rows that
-// survive into the skyline are compacted into a fresh copy first, so
-// the long-lived tree never pins the (transient, typically much
-// larger) block's backing array.
+// and returns how many of them are part of the new skyline. The block
+// is Z-encoded once as a bulk columnar pass; the batch skyline runs on
+// row indices over that column, and only the surviving rows — already
+// compacted into a fresh copy, so the long-lived tree never pins the
+// (transient, typically much larger) block's backing array — are
+// lifted into a ZB-tree and Z-merged into the maintained skyline.
 func (m *Maintainer) InsertBlock(b point.Block) (int, error) {
 	if b.Len() == 0 {
 		return 0, nil
@@ -96,9 +93,12 @@ func (m *Maintainer) InsertBlock(b point.Block) (int, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.seen += int64(b.Len())
-	batchSky := zbtree.BuildFromPoints(m.enc, 0, views, m.tally).SkylineTree()
-	survivors := point.BlockOf(b.Dims, batchSky.Points()).Points()
-	m.sky = zbtree.Merge(m.sky, zbtree.BuildFromPoints(m.enc, 0, survivors, m.tally).SkylineTree())
+	zc := m.enc.EncodeBlock(zorder.ZCol{}, b)
+	skyB, skyZ := zbtree.ZSearchGroup(m.enc, 0, b, zc, m.tally)
+	if skyB.Len() > 0 {
+		batchSky := zbtree.BuildFromBlockZ(m.enc, 0, skyB, skyZ, m.tally)
+		m.sky = zbtree.Merge(m.sky, batchSky)
+	}
 	return m.countFromBatch(views), nil
 }
 

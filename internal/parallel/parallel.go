@@ -83,14 +83,19 @@ func Skyline(ctx context.Context, ds *point.Dataset, opts Options) ([]point.Poin
 	learnSpan.End()
 
 	// Shard positionally and solve each shard with Z-search. The input
-	// is packed into one contiguous block and sharded by re-slicing, so
-	// every shard is a zero-copy view of the same flat array.
+	// is packed into one contiguous block, Z-encoded once as a single
+	// bulk pass, and sharded by re-slicing — every shard is a zero-copy
+	// view of the same flat array and the same address column, so the
+	// reduce and merge phases never encode a point again.
 	mapSpan, _ := obs.StartSpan(ctx, "map")
 	block := point.BlockOf(ds.Dims, ds.Points)
+	zc := enc.EncodeBlock(zorder.ZCol{}, block)
 	parts := block.SplitN(opts.Workers)
 	shards := make([]plan.Group, 0, len(parts))
+	off := 0
 	for s, b := range parts {
-		shards = append(shards, plan.Group{Gid: s, Block: b})
+		shards = append(shards, plan.Group{Gid: s, Block: b, ZCol: zc.Slice(off, off+b.Len())})
+		off += b.Len()
 	}
 	mapSpan.SetAttr("tasks", len(shards))
 	mapSpan.SetAttr("filtered", 0)

@@ -52,14 +52,18 @@ func NewZCurve(enc *zorder.Encoder, sample []point.Point, m int) (*ZCurve, error
 	if m < 1 {
 		return nil, fmt.Errorf("partition: need at least one partition, got %d", m)
 	}
-	addrs := make([]zorder.ZAddr, len(sample))
-	for i, p := range sample {
-		addrs[i] = enc.Encode(p)
+	// One bulk columnar encode of the sample; the sort permutes row
+	// indices over the shared column instead of shuffling addresses.
+	zc := enc.EncodeBlock(zorder.ZCol{}, point.BlockOf(enc.Dims(), sample))
+	perm := make([]int, zc.Len())
+	for i := range perm {
+		perm[i] = i
 	}
-	sort.Slice(addrs, func(i, j int) bool { return zorder.Compare(addrs[i], addrs[j]) < 0 })
+	sort.Slice(perm, func(i, j int) bool { return zc.Compare(perm[i], perm[j]) < 0 })
 	z := &ZCurve{enc: enc}
 	for c := 1; c < m; c++ {
-		z.pivots = append(z.pivots, addrs[c*len(addrs)/m].Clone())
+		// Pivots outlive the column, so they own their storage.
+		z.pivots = append(z.pivots, zc.At(perm[c*len(perm)/m]).Clone())
 	}
 	z.dedupePivots()
 	// Sample skyline for the per-partition skyline histogram.
@@ -92,9 +96,10 @@ func (z *ZCurve) buildInfos(sample, sky []point.Point) {
 		z.infos[i].ID = i
 		z.infos[i].Interval = z.intervalRegion(i)
 	}
+	g := make([]uint32, z.enc.Dims())
+	a := make(zorder.ZAddr, z.enc.Words())
 	for _, p := range sample {
-		g := z.enc.Grid(p)
-		a := z.enc.EncodeGrid(g)
+		z.enc.EncodeInto(a, g, p)
 		id := z.assignAddr(a)
 		z.infos[id].Count++
 		if extents[id] == nil {
@@ -113,7 +118,8 @@ func (z *ZCurve) buildInfos(sample, sky []point.Point) {
 		}
 	}
 	for _, p := range sky {
-		z.infos[z.Assign(p)].SkyCount++
+		z.enc.EncodeInto(a, g, p)
+		z.infos[z.assignAddr(a)].SkyCount++
 	}
 	for i := range z.infos {
 		if extents[i] != nil {
@@ -183,24 +189,25 @@ func (z *ZCurve) Redistribute(sample []point.Point, maxSky int) *ZCurve {
 		maxSky = 1
 	}
 	sky := zbtree.ZSearch(z.enc, 0, sample, nil)
-	// Sample skyline addresses per partition.
-	perPart := make(map[int][]zorder.ZAddr)
-	for _, p := range sky {
-		a := z.enc.Encode(p)
-		id := z.assignAddr(a)
-		perPart[id] = append(perPart[id], a)
+	// One bulk encode of the sample skyline; partitions hold row
+	// indices into the shared column.
+	skyZ := z.enc.EncodeBlock(zorder.ZCol{}, point.BlockOf(z.enc.Dims(), sky))
+	perPart := make(map[int][]int)
+	for i := 0; i < skyZ.Len(); i++ {
+		id := z.assignAddr(skyZ.At(i))
+		perPart[id] = append(perPart[id], i)
 	}
 	newPivots := append([]zorder.ZAddr(nil), z.pivots...)
-	for id, addrs := range perPart {
-		if len(addrs) <= maxSky {
+	for _, rows := range perPart {
+		if len(rows) <= maxSky {
 			continue
 		}
-		sort.Slice(addrs, func(i, j int) bool { return zorder.Compare(addrs[i], addrs[j]) < 0 })
-		parts := (len(addrs) + maxSky - 1) / maxSky
+		sort.Slice(rows, func(i, j int) bool { return skyZ.Compare(rows[i], rows[j]) < 0 })
+		parts := (len(rows) + maxSky - 1) / maxSky
 		for c := 1; c < parts; c++ {
-			newPivots = append(newPivots, addrs[c*len(addrs)/parts].Clone())
+			// New pivots outlive the column: clone out of the arena.
+			newPivots = append(newPivots, skyZ.At(rows[c*len(rows)/parts]).Clone())
 		}
-		_ = id
 	}
 	sort.Slice(newPivots, func(i, j int) bool { return zorder.Compare(newPivots[i], newPivots[j]) < 0 })
 	nz := &ZCurve{enc: z.enc, pivots: newPivots}

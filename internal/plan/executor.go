@@ -33,12 +33,14 @@ type Executor interface {
 	Broadcast(ctx context.Context, r *Rule) error
 	// RunMaps executes r.MapBlock over each chunk.
 	RunMaps(ctx context.Context, r *Rule, chunks []point.Block, tally *metrics.Tally) ([]MapOutput, error)
-	// RunReduces executes r.LocalSkylineBlock over each group, preserving
+	// RunReduces executes r.LocalSkylineGroup over each group, preserving
 	// group order and ids.
 	RunReduces(ctx context.Context, r *Rule, groups []Group, tally *metrics.Tally) ([]Group, error)
-	// RunMerges executes r.MergeGroupsBlock once per task, preserving
-	// task order.
-	RunMerges(ctx context.Context, r *Rule, tasks [][]Group, tally *metrics.Tally) ([]point.Block, error)
+	// RunMerges executes r.MergeGroupsZ once per task, preserving task
+	// order. Results are Groups so the merged candidates keep their
+	// Z-address columns across tree-merge rounds; executors that cannot
+	// carry a column may return groups without one.
+	RunMerges(ctx context.Context, r *Rule, tasks [][]Group, tally *metrics.Tally) ([]Group, error)
 }
 
 // MapReducer is an optional Executor refinement for substrates with a
@@ -138,16 +140,16 @@ func (ex *LocalExec) RunMaps(ctx context.Context, r *Rule, chunks []point.Block,
 func (ex *LocalExec) RunReduces(ctx context.Context, r *Rule, groups []Group, tally *metrics.Tally) ([]Group, error) {
 	outs := make([]Group, len(groups))
 	err := ex.run(ctx, len(groups), func(i int) {
-		outs[i] = Group{Gid: groups[i].Gid, Block: r.LocalSkylineBlock(groups[i].Block, tally)}
+		outs[i] = r.LocalSkylineGroup(groups[i], tally)
 	})
 	return outs, err
 }
 
 // RunMerges implements Executor.
-func (ex *LocalExec) RunMerges(ctx context.Context, r *Rule, tasks [][]Group, tally *metrics.Tally) ([]point.Block, error) {
-	outs := make([]point.Block, len(tasks))
+func (ex *LocalExec) RunMerges(ctx context.Context, r *Rule, tasks [][]Group, tally *metrics.Tally) ([]Group, error) {
+	outs := make([]Group, len(tasks))
 	err := ex.run(ctx, len(tasks), func(i int) {
-		outs[i] = r.MergeGroupsBlock(tasks[i], tally)
+		outs[i] = r.MergeGroupsZ(tasks[i], tally)
 	})
 	return outs, err
 }

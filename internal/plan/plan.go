@@ -180,9 +180,20 @@ func (s *Spec) fanout() int {
 // the unit phase-2 reducers and phase-3 merge tasks operate on. The
 // payload is a contiguous Block, so a group crosses an executor
 // boundary (goroutine, simulator shuffle, TCP) as one flat array.
+//
+// ZCol is the group's Z-address column on the encode-once path:
+// when non-empty it holds one address per block row, encoded with the
+// rule's bounds encoder (Rule.Encoder) at the map phase, and travels
+// with the block through shuffle, reduce, and merge so no later phase
+// re-encodes. An empty ZCol is always legal — consumers fall back to
+// encoding locally — but a non-empty one MUST satisfy the invariant
+// (row count equal to the block's, addresses from the rule's bounds
+// encoder); Shuffle and the kernels check shape and drop columns that
+// do not line up.
 type Group struct {
 	Gid   int
 	Block point.Block
+	ZCol  zorder.ZCol
 }
 
 // NewGroup copies pts (each dims wide) into a block-backed group — the
@@ -208,8 +219,17 @@ type MapOutput struct {
 // Shuffle gathers map outputs into per-group candidate blocks in
 // deterministic first-seen group order — the coordinator-side shuffle
 // of the RPC and shared-memory substrates — and sums the filter drops.
+// Z-address columns are concatenated alongside their blocks; a group
+// whose contributions do not all carry a consistent column loses it
+// (the reduce kernel then re-encodes, trading speed, never
+// correctness).
 func Shuffle(outs []MapOutput) ([]Group, int64) {
-	byGroup := map[int]*point.BlockBuilder{}
+	type acc struct {
+		bb *point.BlockBuilder
+		zc zorder.ZCol
+		ok bool // every contribution so far carried a matching column
+	}
+	byGroup := map[int]*acc{}
 	var order []int
 	var filtered int64
 	for _, out := range outs {
@@ -218,18 +238,28 @@ func Shuffle(outs []MapOutput) ([]Group, int64) {
 			if g.Block.Dims <= 0 {
 				continue
 			}
-			bb, seen := byGroup[g.Gid]
+			a, seen := byGroup[g.Gid]
 			if !seen {
-				bb = point.NewBlockBuilder(g.Block.Dims, g.Block.Len())
-				byGroup[g.Gid] = bb
+				a = &acc{bb: point.NewBlockBuilder(g.Block.Dims, g.Block.Len()),
+					zc: zorder.ZCol{Words: g.ZCol.Words}, ok: g.ZCol.Words > 0}
+				byGroup[g.Gid] = a
 				order = append(order, g.Gid)
 			}
-			bb.AppendBlock(g.Block)
+			a.bb.AppendBlock(g.Block)
+			if a.ok && g.ZCol.Words == a.zc.Words && g.ZCol.Len() == g.Block.Len() {
+				a.zc.AppendCol(g.ZCol)
+			} else {
+				a.ok = false
+			}
 		}
 	}
 	groups := make([]Group, len(order))
 	for i, gid := range order {
-		groups[i] = Group{Gid: gid, Block: byGroup[gid].Build()}
+		a := byGroup[gid]
+		groups[i] = Group{Gid: gid, Block: a.bb.Build()}
+		if a.ok {
+			groups[i].ZCol = a.zc
+		}
 	}
 	return groups, filtered
 }

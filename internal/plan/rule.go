@@ -192,17 +192,18 @@ func (r *Rule) SampleSkySize() int { return r.skySize }
 func (r *Rule) Encoder() *zorder.Encoder { return r.enc }
 
 // Route maps a point to its group; ok is false when the point is
-// dropped (SZB-tree filtered, or routed to a pruned partition).
+// dropped (SZB-tree filtered, or routed to a pruned partition). This
+// is the one-shot entry point; per-point loops should hold a Router,
+// which reuses its quantization scratch across calls.
 func (r *Rule) Route(p point.Point) (gid int, ok bool) {
 	if r.assignFn != nil {
 		return r.assignFn(p)
 	}
-	// One encode serves both the SZB filter and routing.
-	return r.RouteEntry(zbtree.NewEntry(r.enc, p))
+	return r.NewRouter().Route(p)
 }
 
-// RouteEntry routes an already-encoded ZB-tree entry — the hot path
-// for mappers that need the entry anyway (Algorithm 3).
+// RouteEntry routes an already-encoded ZB-tree entry — for mappers
+// that hold the entry anyway (Algorithm 3).
 func (r *Rule) RouteEntry(e zbtree.Entry) (gid int, ok bool) {
 	if r.szb != nil && !r.filterOff && r.szb.DominatesPoint(e.G, e.P) {
 		return 0, false
@@ -210,6 +211,48 @@ func (r *Rule) RouteEntry(e zbtree.Entry) (gid int, ok bool) {
 	gid, ok = r.groupOf[r.partitionOf(e.Z)]
 	return gid, ok
 }
+
+// Router is per-task routing state: one grid/Z-address scratch pair
+// reused across every point the task routes, so a record-oriented
+// mapper pays zero allocations per point. A Rule is shared and
+// immutable after Learn, so the scratch cannot live on it — each
+// goroutine takes its own Router.
+type Router struct {
+	r *Rule
+	g []uint32
+	z zorder.ZAddr
+}
+
+// NewRouter builds a Router over r.
+func (r *Rule) NewRouter() *Router {
+	rt := &Router{r: r}
+	if r.assignFn == nil {
+		rt.g = make([]uint32, r.enc.Dims())
+		rt.z = make(zorder.ZAddr, r.enc.Words())
+	}
+	return rt
+}
+
+// Route maps a point to its group without allocating; ok is false when
+// the point is dropped. After a Z-routed accept, Z returns the
+// encoded address until the next call.
+func (rt *Router) Route(p point.Point) (gid int, ok bool) {
+	r := rt.r
+	if r.assignFn != nil {
+		return r.assignFn(p)
+	}
+	r.enc.GridInto(rt.g, p)
+	if r.szb != nil && !r.filterOff && r.szb.DominatesPoint(rt.g, p) {
+		return 0, false
+	}
+	r.enc.EncodeGridInto(rt.z, rt.g)
+	gid, ok = r.groupOf[r.partitionOf(rt.z)]
+	return gid, ok
+}
+
+// Z returns the Z-address of the last point Route accepted on the
+// Z-order path (a view of the router's scratch — copy to keep it).
+func (rt *Router) Z() zorder.ZAddr { return rt.z }
 
 // partitionOf binary-searches the Z-address into its partition
 // (Algorithm 3's searchPT step).
@@ -227,19 +270,68 @@ func (r *Rule) partitionOf(a zorder.ZAddr) int {
 }
 
 // LocalSkyline computes one group's skyline with the configured local
-// algorithm (phase 2's combine/reduce).
+// algorithm (phase 2's combine/reduce) — the slice adapter over the
+// block-native kernels.
 func (r *Rule) LocalSkyline(pts []point.Point, tally *metrics.Tally) []point.Point {
-	if r.local == ZS {
-		return zbtree.ZSearch(r.localEnc, r.fanout, pts, tally)
+	dims := r.dims
+	if dims == 0 && len(pts) > 0 {
+		dims = len(pts[0])
 	}
-	return seq.SB(pts, tally)
+	g := r.localSkylineGroup(Group{Block: point.BlockOf(dims, pts)}, tally, false)
+	return g.Block.Points()
 }
 
 // LocalSkylineBlock computes one group's skyline over a block. The
 // survivors are compacted into a freshly owned block, so the result
 // never pins the (much larger) input block's backing array.
 func (r *Rule) LocalSkylineBlock(b point.Block, tally *metrics.Tally) point.Block {
-	return point.BlockOf(b.Dims, r.LocalSkyline(b.Points(), tally))
+	return r.localSkylineGroup(Group{Block: b}, tally, false).Block
+}
+
+// LocalSkylineGroup is phase 2's reduce on the encode-once path: it
+// reuses the group's Z-address column when its shape matches the
+// rule's bounds encoder, and returns candidates carrying their own
+// column (unless the merge phase is SB, which has no use for one).
+func (r *Rule) LocalSkylineGroup(g Group, tally *metrics.Tally) Group {
+	return r.localSkylineGroup(g, tally, true)
+}
+
+// localSkylineGroup runs the configured local kernel over g. carryZ
+// selects whether the result should carry a bounds-encoder column for
+// the merge phase; slice/block adapters skip that work.
+func (r *Rule) localSkylineGroup(g Group, tally *metrics.Tally, carryZ bool) Group {
+	out := Group{Gid: g.Gid, Block: point.Block{Dims: g.Block.Dims}}
+	n := g.Block.Len()
+	if n == 0 {
+		return out
+	}
+	carryZ = carryZ && r.merge != MergeSB
+	if r.local == ZS {
+		if g.ZCol.Len() == n && g.ZCol.Words == r.enc.Words() {
+			// Encode-once: the column is bounds-encoded, so the kernel must
+			// run under the bounds encoder to keep the store consistent. For
+			// every rule that produces columns localEnc == enc anyway.
+			out.Block, out.ZCol = zbtree.ZSearchGroup(r.enc, r.fanout, g.Block, g.ZCol, tally)
+		} else {
+			out.Block, out.ZCol = zbtree.ZSearchGroup(r.localEnc, r.fanout, g.Block, zorder.ZCol{}, tally)
+			if r.localEnc != r.enc {
+				// Wrong provenance for the merge phase: the column was built
+				// by the unit-box local encoder.
+				out.ZCol = zorder.ZCol{}
+			}
+		}
+		if !carryZ {
+			out.ZCol = zorder.ZCol{}
+		} else if out.ZCol.Len() != out.Block.Len() {
+			out.ZCol = r.enc.EncodeBlock(zorder.ZCol{}, out.Block)
+		}
+		return out
+	}
+	out.Block = seq.SBBlock(g.Block, tally)
+	if carryZ {
+		out.ZCol = r.enc.EncodeBlock(zorder.ZCol{}, out.Block)
+	}
+	return out
 }
 
 // MapChunk is phase 2's map+combine over one chunk of individual
@@ -274,9 +366,12 @@ func (r *Rule) MapChunk(pts []point.Point, tally *metrics.Tally) MapOutput {
 // Routing reuses one grid/Z-address scratch pair across all rows and
 // routed points accumulate in per-group arenas, so the per-point cost
 // is zero allocations (the old path paid an encoded ZB-tree entry per
-// point).
+// point). On the Z-order path the address computed for routing is
+// appended to the group's Z-address column, so it is encoded exactly
+// once per query: combine, shuffle, reduce, and merge all reuse it.
 func (r *Rule) MapBlock(b point.Block, tally *metrics.Tally) MapOutput {
 	builders := map[int]*point.BlockBuilder{}
+	var zcols map[int]*zorder.ZCol
 	var order []int
 	var out MapOutput
 
@@ -286,6 +381,7 @@ func (r *Rule) MapBlock(b point.Block, tally *metrics.Tally) MapOutput {
 	if zRoute {
 		g = make([]uint32, r.enc.Dims())
 		z = make(zorder.ZAddr, r.enc.Words())
+		zcols = map[int]*zorder.ZCol{}
 	}
 	rows := b.Len()
 	for i := 0; i < rows; i++ {
@@ -311,52 +407,97 @@ func (r *Rule) MapBlock(b point.Block, tally *metrics.Tally) MapOutput {
 		if bb == nil {
 			bb = point.NewBlockBuilder(b.Dims, 0)
 			builders[gid] = bb
+			if zRoute {
+				zcols[gid] = &zorder.ZCol{Words: r.enc.Words()}
+			}
 			order = append(order, gid)
 		}
 		bb.Append(p)
+		if zRoute {
+			zcols[gid].AppendAddr(z)
+		}
 	}
 	tally.AddPointsPruned(out.Filtered)
 	out.Groups = make([]Group, len(order))
 	for i, gid := range order {
-		out.Groups[i] = Group{Gid: gid, Block: r.LocalSkylineBlock(builders[gid].Build(), tally)}
+		in := Group{Gid: gid, Block: builders[gid].Build()}
+		if zRoute {
+			in.ZCol = *zcols[gid]
+		}
+		out.Groups[i] = r.LocalSkylineGroup(in, tally)
 	}
 	return out
 }
 
 // MergeGroups is one phase-3 merge task over candidate groups, in the
 // given order: Z-merge one ZB-tree per group (Algorithm 4), or the
-// ZS / SB recompute baselines.
+// ZS / SB recompute baselines. Slice adapter over MergeGroupsZ.
 func (r *Rule) MergeGroups(groups []Group, tally *metrics.Tally) []point.Point {
-	switch r.merge {
-	case MergeZM:
-		trees := make([]*zbtree.Tree, 0, len(groups))
-		for _, g := range groups {
-			trees = append(trees, zbtree.BuildFromPoints(r.enc, r.fanout, g.Points(), tally))
-		}
-		return zbtree.MergeAll(r.enc, r.fanout, trees, tally).Points()
-	case MergeZS:
-		return zbtree.ZSearch(r.enc, r.fanout, flatten(groups), tally)
-	default: // MergeSB
-		return seq.SB(flatten(groups), tally)
-	}
+	return r.MergeGroupsZ(groups, tally).Block.Points()
 }
 
 // MergeGroupsBlock is MergeGroups with the merged skyline compacted
 // into an owned block.
 func (r *Rule) MergeGroupsBlock(groups []Group, tally *metrics.Tally) point.Block {
-	return point.BlockOf(r.dims, r.MergeGroups(groups, tally))
+	return r.MergeGroupsZ(groups, tally).Block
 }
 
-func flatten(groups []Group) []point.Point {
-	var n int
+// MergeGroupsZ is one phase-3 merge task on the encode-once path. For
+// the Z-order merges it concatenates the groups' blocks and Z-address
+// columns into one shared columnar store (encoding only rows whose
+// groups arrived without a column), builds index-based ZB-trees over
+// row ranges of that store, and Z-merges (or Z-searches) without
+// materializing a single per-point entry. The result carries its own
+// column so tree-merge rounds keep reusing addresses.
+func (r *Rule) MergeGroupsZ(groups []Group, tally *metrics.Tally) Group {
+	out := Group{Block: point.Block{Dims: r.dims}}
+	total := 0
 	for _, g := range groups {
-		n += g.Len()
+		total += g.Len()
 	}
-	all := make([]point.Point, 0, n)
+	if total == 0 {
+		return out
+	}
+	if r.merge == MergeSB {
+		bb := point.NewBlockBuilder(r.dims, total)
+		for _, g := range groups {
+			bb.AppendBlock(g.Block)
+		}
+		out.Block = seq.SBBlock(bb.Build(), tally)
+		return out
+	}
+	// Shared store over all candidates, reusing columns where present.
+	w := r.enc.Words()
+	bb := point.NewBlockBuilder(r.dims, total)
+	zc := zorder.ZCol{Words: w, Data: make([]uint64, 0, total*w)}
+	ranges := make([][2]int32, 0, len(groups)) // per-group [lo,hi) store rows
 	for _, g := range groups {
-		all = g.Block.AppendPoints(all)
+		lo := int32(bb.Len())
+		bb.AppendBlock(g.Block)
+		if g.ZCol.Len() == g.Block.Len() && g.ZCol.Words == w {
+			zc.AppendCol(g.ZCol)
+		} else {
+			zc.AppendCol(r.enc.EncodeBlock(zorder.ZCol{}, g.Block))
+		}
+		ranges = append(ranges, [2]int32{lo, int32(bb.Len())})
 	}
-	return all
+	st := zbtree.NewStoreWithZCol(r.enc, bb.Build(), zc)
+	var rows []int32
+	if r.merge == MergeZS {
+		rows = zbtree.BuildStore(st, r.fanout, tally).SkylineRows()
+	} else { // MergeZM: fold Z-merge over per-group trees (Algorithm 4)
+		acc := zbtree.NewBlockTree(st, r.fanout, tally)
+		for _, rg := range ranges {
+			seg := make([]int32, 0, rg[1]-rg[0])
+			for i := rg[0]; i < rg[1]; i++ {
+				seg = append(seg, i)
+			}
+			acc = zbtree.MergeBlock(acc, zbtree.BuildRows(st, r.fanout, seg, tally))
+		}
+		rows = acc.Rows()
+	}
+	out.Block, out.ZCol = st.CompactRows(rows)
+	return out
 }
 
 // RuleData is the gob-serializable form of a Z-order rule — what a

@@ -239,7 +239,7 @@ func MergePhase(ctx context.Context, ex Executor, r *Rule, groups []Group, tree 
 		}
 		sp.SetAttr("skyline", outs[0].Len())
 		sp.End()
-		return outs[0].Points(), nil
+		return outs[0].Block.Points(), nil
 	}
 	for round := 1; len(groups) > 1; round++ {
 		if err := ctx.Err(); err != nil {
@@ -258,13 +258,17 @@ func MergePhase(ctx context.Context, ex Executor, r *Rule, groups []Group, tree 
 			return nil, err
 		}
 		sp.End()
+		// Merged groups keep their Z-address columns (when the executor
+		// carries them) so the next round's merge reuses every address.
 		next := make([]Group, 0, len(outs)+1)
-		for i, b := range outs {
-			next = append(next, Group{Gid: i, Block: b})
+		for i, g := range outs {
+			g.Gid = i
+			next = append(next, g)
 		}
 		if len(groups)%2 == 1 {
 			last := groups[len(groups)-1]
-			next = append(next, Group{Gid: len(next), Block: last.Block})
+			last.Gid = len(next)
+			next = append(next, last)
 		}
 		groups = next
 	}

@@ -1,0 +1,622 @@
+package zbtree
+
+import (
+	"fmt"
+	"sort"
+
+	"zskyline/internal/metrics"
+	"zskyline/internal/point"
+	"zskyline/internal/zorder"
+)
+
+// Store is the shared columnar backing of a BlockTree: the flat point
+// block, its Z-address column, and the decoded grid coordinates, all
+// stride-indexed by row. Trees built over the same Store reference rows
+// by index instead of owning Entry copies, which is what lets the
+// pipeline encode each point's Z-address exactly once per query and
+// merge candidate sets without rematerializing them.
+type Store struct {
+	enc  *zorder.Encoder
+	blk  point.Block
+	zc   zorder.ZCol
+	grid []uint32 // Dims() stride per row, decoded once at store build
+}
+
+// NewStore encodes b's rows into a fresh Z-address column and grid
+// arena — one quantization pass for the whole block.
+func NewStore(enc *zorder.Encoder, b point.Block) *Store {
+	st := &Store{enc: enc, blk: b}
+	st.zc, st.grid = enc.EncodeBlockGrid(zorder.ZCol{}, nil, b)
+	return st
+}
+
+// NewStoreWithZCol builds a Store over a block whose Z-addresses were
+// already encoded upstream (the encode-once path). The grid arena is
+// recovered by de-interleaving zc — a pure bit operation, so the store
+// is exactly what NewStore would have produced from the same encoder.
+// zc must have one enc-encoded address per row of b.
+func NewStoreWithZCol(enc *zorder.Encoder, b point.Block, zc zorder.ZCol) *Store {
+	if zc.Len() != b.Len() || zc.Words != enc.Words() {
+		panic(fmt.Sprintf("zbtree: zcol shape %d×%d does not match block %d rows under a %d-word encoder",
+			zc.Len(), zc.Words, b.Len(), enc.Words()))
+	}
+	st := &Store{enc: enc, blk: b, zc: zc}
+	d := enc.Dims()
+	st.grid = make([]uint32, b.Len()*d)
+	for i := 0; i < b.Len(); i++ {
+		enc.DecodeGridInto(st.grid[i*d:(i+1)*d], zc.At(i))
+	}
+	return st
+}
+
+// Len returns the number of rows in the store.
+func (st *Store) Len() int { return st.blk.Len() }
+
+// Row returns the float point of row i (zero-copy view).
+func (st *Store) Row(i int32) point.Point { return st.blk.Row(int(i)) }
+
+// Grid returns the grid coordinates of row i (zero-copy view).
+func (st *Store) Grid(i int32) []uint32 {
+	d := st.enc.Dims()
+	lo := int(i) * d
+	return st.grid[lo : lo+d : lo+d]
+}
+
+// Z returns the Z-address of row i (zero-copy view).
+func (st *Store) Z(i int32) zorder.ZAddr { return st.zc.At(int(i)) }
+
+// CompactRows copies the given rows out into a fresh block and
+// Z-column, so results never pin the (potentially much larger) input
+// arenas.
+func (st *Store) CompactRows(rows []int32) (point.Block, zorder.ZCol) {
+	blk := point.Block{Dims: st.blk.Dims}
+	zc := zorder.ZCol{Words: st.zc.Words}
+	if len(rows) == 0 {
+		return blk, zc
+	}
+	blk.Data = make([]float64, 0, len(rows)*st.blk.Dims)
+	zc.Data = make([]uint64, 0, len(rows)*st.zc.Words)
+	for _, r := range rows {
+		blk.Data = append(blk.Data, st.Row(r)...)
+		zc.AppendRow(st.zc, int(r))
+	}
+	return blk, zc
+}
+
+// bnode is one slab-allocated tree node, addressed by index into
+// BlockTree.nodes. kids == nil marks a leaf. minRow/maxRow reference
+// store rows whose Z-addresses bound the subtree; like the legacy
+// tree, they (and the region arenas) are left as stale supersets after
+// RemoveDominatedBy compaction — Z-merge re-balances once at the end.
+type bnode struct {
+	kids   []int32 // child node ids; nil for leaves
+	rows   []int32 // leaf rows in Z-order
+	count  int32
+	minRow int32
+	maxRow int32
+}
+
+func (n *bnode) isLeaf() bool { return n.kids == nil }
+
+// BlockTree is a ZB-tree whose nodes live in one slab and whose
+// entries are (row index into a shared Store) instead of owned
+// Entry copies: no per-node heap allocation on the bulk-load path, no
+// per-point ZAddr/grid clones anywhere. Structure and pruning mirror
+// Tree exactly — same RZ-regions, same conservative grid tests, same
+// stale-region-after-delete strategy — so the two implementations are
+// interchangeable oracles for one another.
+type BlockTree struct {
+	st     *Store
+	fanout int
+	tally  *metrics.Tally
+	nodes  []bnode
+	// Region corner arenas, Dims() stride per node id.
+	regMin, regMax []uint32
+	scratch        zorder.ZAddr // RegionInto scratch, Words() wide
+	root           int32        // -1 when empty
+}
+
+// NewBlockTree returns an empty tree over st. fanout <= 0 selects
+// DefaultFanout; tally may be nil.
+func NewBlockTree(st *Store, fanout int, tally *metrics.Tally) *BlockTree {
+	if fanout <= 0 {
+		fanout = DefaultFanout
+	}
+	if fanout < 2 {
+		fanout = 2
+	}
+	return &BlockTree{st: st, fanout: fanout, tally: tally,
+		scratch: make(zorder.ZAddr, st.enc.Words()), root: -1}
+}
+
+// newNode appends a zeroed node to the slab and grows the region
+// arenas in tandem, returning its id. Callers must re-index t.nodes
+// after calling (the slab may move).
+func (t *BlockTree) newNode() int32 {
+	id := int32(len(t.nodes))
+	t.nodes = append(t.nodes, bnode{minRow: -1, maxRow: -1})
+	d := t.st.enc.Dims()
+	for i := 0; i < d; i++ {
+		t.regMin = append(t.regMin, 0)
+		t.regMax = append(t.regMax, 0)
+	}
+	return id
+}
+
+// region returns node n's RZ-region as views into the corner arenas.
+func (t *BlockTree) region(n int32) zorder.Region {
+	d := t.st.enc.Dims()
+	lo := int(n) * d
+	return zorder.Region{MinG: t.regMin[lo : lo+d : lo+d], MaxG: t.regMax[lo : lo+d : lo+d]}
+}
+
+// setRegion recomputes node n's RZ-region from the Z-addresses of rows
+// a and b, writing straight into the arenas.
+func (t *BlockTree) setRegion(n, a, b int32) {
+	r := t.region(n)
+	t.st.enc.RegionInto(r.MinG, r.MaxG, t.scratch, t.st.Z(a), t.st.Z(b))
+}
+
+// setPointRegion sets node n's region to the degenerate region of one
+// row.
+func (t *BlockTree) setPointRegion(n, row int32) {
+	r := t.region(n)
+	copy(r.MinG, t.st.Grid(row))
+	copy(r.MaxG, t.st.Grid(row))
+}
+
+// Len returns the number of rows in the tree.
+func (t *BlockTree) Len() int {
+	if t.root < 0 {
+		return 0
+	}
+	return int(t.nodes[t.root].count)
+}
+
+// Empty reports whether the tree holds no rows.
+func (t *BlockTree) Empty() bool { return t.Len() == 0 }
+
+// Store returns the shared backing store.
+func (t *BlockTree) Store() *Store { return t.st }
+
+// Rows returns all stored row indices in Z-order.
+func (t *BlockTree) Rows() []int32 {
+	out := make([]int32, 0, t.Len())
+	return t.appendRows(t.root, out)
+}
+
+func (t *BlockTree) appendRows(n int32, out []int32) []int32 {
+	if n < 0 {
+		return out
+	}
+	nd := &t.nodes[n]
+	if nd.isLeaf() {
+		return append(out, nd.rows...)
+	}
+	for _, c := range nd.kids {
+		out = t.appendRows(c, out)
+	}
+	return out
+}
+
+// BuildStore bulk-loads a balanced tree over every row of st.
+func BuildStore(st *Store, fanout int, tally *metrics.Tally) *BlockTree {
+	rows := make([]int32, st.Len())
+	for i := range rows {
+		rows[i] = int32(i)
+	}
+	return BuildRows(st, fanout, rows, tally)
+}
+
+// BuildRows bulk-loads a balanced tree holding the given store rows,
+// sorting them by Z-address first (stably, so ties keep input order —
+// the same tie rule as Build). It takes ownership of rows and sorts it
+// in place; the slice becomes the leaf-row arena.
+func BuildRows(st *Store, fanout int, rows []int32, tally *metrics.Tally) *BlockTree {
+	t := NewBlockTree(st, fanout, tally)
+	if len(rows) == 0 {
+		return t
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		return st.zc.Compare(int(rows[i]), int(rows[j])) < 0
+	})
+	// Leaves: subslices of the sorted permutation arena.
+	nLeaves := (len(rows) + t.fanout - 1) / t.fanout
+	t.nodes = make([]bnode, 0, nLeaves+nLeaves/(t.fanout-1)+2)
+	level := make([]int32, 0, nLeaves)
+	for lo := 0; lo < len(rows); lo += t.fanout {
+		hi := lo + t.fanout
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		id := t.newNode()
+		nd := &t.nodes[id]
+		nd.rows = rows[lo:hi:hi]
+		nd.count = int32(hi - lo)
+		nd.minRow = rows[lo]
+		nd.maxRow = rows[hi-1]
+		t.setRegion(id, nd.minRow, nd.maxRow)
+		level = append(level, id)
+	}
+	// Internal levels: kid lists are subslices of one per-level arena.
+	for len(level) > 1 {
+		arena := append([]int32(nil), level...)
+		up := level[:0]
+		for lo := 0; lo < len(arena); lo += t.fanout {
+			hi := lo + t.fanout
+			if hi > len(arena) {
+				hi = len(arena)
+			}
+			kids := arena[lo:hi:hi]
+			id := t.newNode()
+			nd := &t.nodes[id]
+			nd.kids = kids
+			for _, c := range kids {
+				nd.count += t.nodes[c].count
+			}
+			nd.minRow = t.nodes[kids[0]].minRow
+			nd.maxRow = t.nodes[kids[len(kids)-1]].maxRow
+			t.setRegion(id, nd.minRow, nd.maxRow)
+			up = append(up, id)
+		}
+		level = up
+	}
+	t.root = level[0]
+	return t
+}
+
+// Append inserts a row whose Z-address is >= every address already in
+// the tree (rightmost-edge insertion), mirroring Tree.Append. It
+// panics on an out-of-order insert for the same reason the legacy tree
+// does: a silently corrupted index would invalidate every later
+// dominance test.
+func (t *BlockTree) Append(row int32) {
+	if t.root < 0 {
+		id := t.newNode()
+		nd := &t.nodes[id]
+		nd.rows = make([]int32, 1, t.fanout)
+		nd.rows[0] = row
+		nd.count = 1
+		nd.minRow, nd.maxRow = row, row
+		t.setPointRegion(id, row)
+		t.root = id
+		return
+	}
+	if t.st.zc.Compare(int(row), int(t.nodes[t.root].maxRow)) < 0 {
+		panic(fmt.Sprintf("zbtree: Append out of Z-order: row %d < row %d", row, t.nodes[t.root].maxRow))
+	}
+	if up := t.appendAt(t.root, row); up >= 0 {
+		id := t.newNode()
+		old, sib := t.root, up
+		nd := &t.nodes[id]
+		nd.kids = make([]int32, 2, t.fanout)
+		nd.kids[0], nd.kids[1] = old, sib
+		nd.count = t.nodes[old].count + t.nodes[sib].count
+		nd.minRow = t.nodes[old].minRow
+		nd.maxRow = t.nodes[sib].maxRow
+		t.setRegion(id, nd.minRow, nd.maxRow)
+		t.root = id
+	}
+}
+
+// appendAt inserts row under node n (rightmost path) and returns the
+// id of a new right sibling if n overflowed, else -1.
+func (t *BlockTree) appendAt(n, row int32) int32 {
+	if t.nodes[n].isLeaf() {
+		if len(t.nodes[n].rows) < t.fanout {
+			nd := &t.nodes[n]
+			nd.rows = append(nd.rows, row)
+			nd.count++
+			nd.maxRow = row
+			t.setRegion(n, nd.minRow, nd.maxRow)
+			return -1
+		}
+		id := t.newNode()
+		nd := &t.nodes[id]
+		nd.rows = make([]int32, 1, t.fanout)
+		nd.rows[0] = row
+		nd.count = 1
+		nd.minRow, nd.maxRow = row, row
+		t.setPointRegion(id, row)
+		return id
+	}
+	last := t.nodes[n].kids[len(t.nodes[n].kids)-1]
+	up := t.appendAt(last, row)
+	if up >= 0 && len(t.nodes[n].kids) < t.fanout {
+		t.nodes[n].kids = append(t.nodes[n].kids, up)
+		up = -1
+	}
+	if up < 0 {
+		nd := &t.nodes[n]
+		nd.count++
+		nd.maxRow = row
+		t.setRegion(n, nd.minRow, nd.maxRow)
+		return -1
+	}
+	// n is full: push the new sibling up wrapped in a fresh node.
+	id := t.newNode()
+	nd := &t.nodes[id]
+	nd.kids = make([]int32, 1, t.fanout)
+	nd.kids[0] = up
+	nd.count = t.nodes[up].count
+	nd.minRow = t.nodes[up].minRow
+	nd.maxRow = t.nodes[up].maxRow
+	r, ur := t.region(id), t.region(up)
+	copy(r.MinG, ur.MinG)
+	copy(r.MaxG, ur.MaxG)
+	return id
+}
+
+// DominatesRow reports whether some stored row strictly dominates row
+// (exact float semantics; grid tests only prune).
+func (t *BlockTree) DominatesRow(row int32) bool {
+	return t.dominatesPoint(t.root, t.st.Grid(row), t.st.Row(row))
+}
+
+func (t *BlockTree) dominatesPoint(n int32, g []uint32, p point.Point) bool {
+	if n < 0 {
+		return false
+	}
+	t.tally.AddRegionTests(1)
+	r := t.region(n)
+	if zorder.RegionCannotDominatePointGrid(r, g) {
+		return false
+	}
+	if zorder.GridStrictDominates(r.MaxG, g) {
+		return true
+	}
+	nd := &t.nodes[n]
+	if nd.isLeaf() {
+		t.tally.AddDominanceTests(int64(len(nd.rows)))
+		for _, e := range nd.rows {
+			if point.Dominates(t.st.Row(e), p) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, c := range nd.kids {
+		if t.dominatesPoint(c, g, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// DominatesAllOfRegion reports whether some single stored row strictly
+// dominates every float point that could lie in region r.
+func (t *BlockTree) DominatesAllOfRegion(r zorder.Region) bool {
+	return t.dominatesRegion(t.root, r)
+}
+
+func (t *BlockTree) dominatesRegion(n int32, r zorder.Region) bool {
+	if n < 0 {
+		return false
+	}
+	t.tally.AddRegionTests(1)
+	nr := t.region(n)
+	if !zorder.GridStrictDominates(nr.MinG, r.MinG) {
+		return false
+	}
+	if zorder.GridStrictDominates(nr.MaxG, r.MinG) {
+		return true
+	}
+	nd := &t.nodes[n]
+	if nd.isLeaf() {
+		for _, e := range nd.rows {
+			if zorder.GridStrictDominates(t.st.Grid(e), r.MinG) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, c := range nd.kids {
+		if t.dominatesRegion(c, r) {
+			return true
+		}
+	}
+	return false
+}
+
+// RemoveDominatedBy deletes every stored row strictly dominated by row
+// and returns how many were removed. Interior regions are left as-is
+// (valid supersets), matching Tree.RemoveDominatedBy.
+func (t *BlockTree) RemoveDominatedBy(row int32) int {
+	if t.root < 0 {
+		return 0
+	}
+	removed := t.removeDominated(t.root, t.st.Grid(row), t.st.Row(row))
+	if t.nodes[t.root].count == 0 {
+		t.root = -1
+	}
+	return removed
+}
+
+func (t *BlockTree) removeDominated(n int32, g []uint32, p point.Point) int {
+	t.tally.AddRegionTests(1)
+	if zorder.GridSomeGreater(g, t.region(n).MaxG) {
+		return 0
+	}
+	nd := &t.nodes[n]
+	if nd.isLeaf() {
+		kept := nd.rows[:0]
+		removed := 0
+		t.tally.AddDominanceTests(int64(len(nd.rows)))
+		for _, e := range nd.rows {
+			if point.Dominates(p, t.st.Row(e)) {
+				removed++
+				continue
+			}
+			kept = append(kept, e)
+		}
+		nd.rows = kept
+		nd.count = int32(len(kept))
+		return removed
+	}
+	removed := 0
+	kept := nd.kids[:0]
+	for _, c := range nd.kids {
+		if zorder.PointGridDominatesRegion(g, t.region(c)) {
+			removed += int(t.nodes[c].count)
+			continue
+		}
+		removed += t.removeDominated(c, g, p)
+		if t.nodes[c].count > 0 {
+			kept = append(kept, c)
+		}
+	}
+	nd.kids = kept
+	nd.count -= int32(removed)
+	return removed
+}
+
+// SkylineRows runs Z-search over the tree and returns the skyline's
+// row indices in Z-order. Semantics mirror Tree.Skyline: the running
+// skyline lives in a second BlockTree over the same store.
+func (t *BlockTree) SkylineRows() []int32 {
+	sky := NewBlockTree(t.st, t.fanout, t.tally)
+	t.zsearch(t.root, sky)
+	return sky.Rows()
+}
+
+func (t *BlockTree) zsearch(n int32, sky *BlockTree) {
+	if n < 0 {
+		return
+	}
+	if sky.DominatesAllOfRegion(t.region(n)) {
+		return
+	}
+	if t.nodes[n].isLeaf() {
+		for _, e := range t.nodes[n].rows {
+			if sky.DominatesRow(e) {
+				continue
+			}
+			sky.RemoveDominatedBy(e)
+			sky.Append(e)
+		}
+		return
+	}
+	for _, c := range t.nodes[n].kids {
+		t.zsearch(c, sky)
+	}
+}
+
+// incomparableWith mirrors Tree.incomparableWith: a conservative,
+// depth-bounded check that no stored row and no float point of region
+// r can dominate one another.
+func (t *BlockTree) incomparableWith(n int32, r zorder.Region, depth int) bool {
+	if n < 0 {
+		return false
+	}
+	t.tally.AddRegionTests(1)
+	if zorder.RegionsIncomparable(t.region(n), r) {
+		return true
+	}
+	nd := &t.nodes[n]
+	if depth == 0 || nd.isLeaf() {
+		return false
+	}
+	for _, c := range nd.kids {
+		if !t.incomparableWith(c, r, depth-1) {
+			return false
+		}
+	}
+	return true
+}
+
+// MergeBlock implements Z-merge (Algorithm 4) over two trees sharing
+// one Store, mirroring Merge entry for entry: BFS over src, discard
+// branches an existing skyline row region-dominates, stash branches
+// incomparable with the whole skyline, and let surviving leaf rows
+// prune dominated sky rows before the final rebalance. Both inputs
+// must individually be skyline candidate sets.
+func MergeBlock(sky, src *BlockTree) *BlockTree {
+	if sky.st != src.st {
+		panic("zbtree: MergeBlock requires both trees to share one Store")
+	}
+	if src.Empty() {
+		return sky
+	}
+	if sky.Empty() {
+		return src
+	}
+	var stash, survivors []int32
+	queue := []int32{src.root}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if sky.DominatesAllOfRegion(src.region(n)) {
+			continue
+		}
+		if sky.incomparableWith(sky.root, src.region(n), 2) {
+			stash = src.appendRows(n, stash)
+			continue
+		}
+		nd := &src.nodes[n]
+		if !nd.isLeaf() {
+			queue = append(queue, nd.kids...)
+			continue
+		}
+		for _, e := range nd.rows {
+			if sky.DominatesRow(e) {
+				continue
+			}
+			sky.RemoveDominatedBy(e)
+			survivors = append(survivors, e)
+		}
+	}
+	all := sky.Rows()
+	all = append(all, survivors...)
+	all = append(all, stash...)
+	return BuildRows(sky.st, sky.fanout, all, sky.tally)
+}
+
+// ZSearchBlock is the block-native "ZS" entry point: index b's rows
+// into a BlockTree and return the exact skyline as a compact block.
+func ZSearchBlock(enc *zorder.Encoder, fanout int, b point.Block, tally *metrics.Tally) point.Block {
+	out, _ := ZSearchGroup(enc, fanout, b, zorder.ZCol{}, tally)
+	return out
+}
+
+// ZSearchGroup is ZSearchBlock for callers that already hold b's
+// Z-address column (the pipeline's encode-once path): when zc has one
+// enc-encoded address per row it is reused verbatim, otherwise the
+// block is encoded here. Returns the skyline block and the matching
+// sub-column of survivor addresses, both compacted so they never pin
+// the input arenas.
+func ZSearchGroup(enc *zorder.Encoder, fanout int, b point.Block, zc zorder.ZCol, tally *metrics.Tally) (point.Block, zorder.ZCol) {
+	if b.Len() == 0 {
+		return point.Block{Dims: b.Dims}, zorder.ZCol{Words: enc.Words()}
+	}
+	var st *Store
+	if zc.Len() == b.Len() && zc.Words == enc.Words() {
+		st = NewStoreWithZCol(enc, b, zc)
+	} else {
+		st = NewStore(enc, b)
+	}
+	rows := BuildStore(st, fanout, tally).SkylineRows()
+	return st.CompactRows(rows)
+}
+
+// BuildFromBlockZ builds a legacy Tree over a block whose Z-addresses
+// were already encoded (one address per row). Entries reference the
+// block's rows and the column's addresses zero-copy; only the decoded
+// grid coordinates are materialized, in one arena. This is the bridge
+// for long-lived legacy-tree owners (incremental maintenance) to join
+// the encode-once path.
+func BuildFromBlockZ(enc *zorder.Encoder, fanout int, b point.Block, zc zorder.ZCol, tally *metrics.Tally) *Tree {
+	n := b.Len()
+	if zc.Len() != n || zc.Words != enc.Words() {
+		panic(fmt.Sprintf("zbtree: zcol shape %d×%d does not match block %d rows under a %d-word encoder",
+			zc.Len(), zc.Words, n, enc.Words()))
+	}
+	entries := make([]Entry, n)
+	d := enc.Dims()
+	garena := make([]uint32, n*d)
+	for i := 0; i < n; i++ {
+		g := garena[i*d : (i+1)*d : (i+1)*d]
+		enc.DecodeGridInto(g, zc.At(i))
+		entries[i] = Entry{Z: zc.At(i), G: g, P: b.Row(i)}
+	}
+	return Build(enc, fanout, entries, tally)
+}

@@ -118,11 +118,19 @@ func Build(enc *zorder.Encoder, fanout int, entries []Entry, tally *metrics.Tall
 	return t
 }
 
-// BuildFromPoints encodes pts and bulk-loads them.
+// BuildFromPoints encodes pts and bulk-loads them. Z-addresses and
+// grid coordinates go into two shared arenas rather than per-point
+// allocations; entries hold views into them.
 func BuildFromPoints(enc *zorder.Encoder, fanout int, pts []point.Point, tally *metrics.Tally) *Tree {
 	entries := make([]Entry, len(pts))
+	w, d := enc.Words(), enc.Dims()
+	zarena := make([]uint64, len(pts)*w)
+	garena := make([]uint32, len(pts)*d)
 	for i, p := range pts {
-		entries[i] = NewEntry(enc, p)
+		z := zorder.ZAddr(zarena[i*w : (i+1)*w : (i+1)*w])
+		g := garena[i*d : (i+1)*d : (i+1)*d]
+		enc.EncodeInto(z, g, p)
+		entries[i] = Entry{Z: z, G: g, P: p}
 	}
 	return Build(enc, fanout, entries, tally)
 }

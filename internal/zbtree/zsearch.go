@@ -52,8 +52,10 @@ func (t *Tree) SkylineTree() *Tree {
 
 // ZSearch is the convenience entry point for the "ZS" algorithm of the
 // paper's evaluation: index pts into a ZB-tree and compute the skyline.
+// It is a thin adapter over the block-native path (ZSearchBlock), so
+// the slice and columnar kernels cannot drift apart.
 func ZSearch(enc *zorder.Encoder, fanout int, pts []point.Point, tally *metrics.Tally) []point.Point {
-	return BuildFromPoints(enc, fanout, pts, tally).Skyline()
+	return ZSearchBlock(enc, fanout, point.BlockOf(enc.Dims(), pts), tally).Points()
 }
 
 // Merge implements Z-merge (Algorithm 4): it merges the skyline tree

@@ -1,6 +1,7 @@
 package zorder
 
 import (
+	"math/rand"
 	"testing"
 )
 
@@ -35,6 +36,57 @@ func FuzzEncodeDecode(f *testing.F) {
 		zlo := enc.EncodeGrid(lo)
 		if Compare(zlo, enc.EncodeGrid(ga)) > 0 || Compare(zlo, enc.EncodeGrid(gb)) > 0 {
 			t.Fatalf("monotonicity violated: lo=%v a=%v b=%v", lo, ga, gb)
+		}
+	})
+}
+
+// FuzzZColEncode: the columnar bulk encoder must agree with the scalar
+// path row for row — identical addresses, identical ordering, and
+// identical RZ-regions derived from adjacent rows.
+func FuzzZColEncode(f *testing.F) {
+	f.Add(uint16(4), uint16(8), int64(1), uint8(9))
+	f.Add(uint16(1), uint16(1), int64(42), uint8(1))
+	f.Add(uint16(11), uint16(32), int64(-3), uint8(17))
+	f.Fuzz(func(t *testing.T, dRaw, bitsRaw uint16, seed int64, nRaw uint8) {
+		dims := int(dRaw%12) + 1
+		bits := int(bitsRaw%MaxBits) + 1
+		n := int(nRaw%40) + 1
+		enc, err := NewUnitEncoder(dims, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		b := randBlock(rng, n, dims)
+		zc := enc.EncodeBlock(ZCol{}, b)
+		if zc.Len() != n || zc.Words != enc.Words() {
+			t.Fatalf("EncodeBlock shape %d×%d, want %d×%d", zc.Len(), zc.Words, n, enc.Words())
+		}
+		for i := 0; i < n; i++ {
+			want := enc.Encode(b.Row(i))
+			if !Equal(zc.At(i), want) {
+				t.Fatalf("row %d: bulk %v != scalar %v", i, zc.At(i), want)
+			}
+			if j := (i + 1) % n; true {
+				if got, wantC := zc.Compare(i, j), Compare(want, enc.Encode(b.Row(j))); got != wantC {
+					t.Fatalf("Compare(%d,%d) = %d, scalar says %d", i, j, got, wantC)
+				}
+			}
+		}
+		// Regions from column views must equal regions from scalar addrs.
+		for i := 0; i+1 < n; i++ {
+			alpha, beta := zc.At(i), zc.At(i+1)
+			if Compare(alpha, beta) > 0 {
+				alpha, beta = beta, alpha
+			}
+			sa, sb := enc.Encode(b.Row(i)), enc.Encode(b.Row(i+1))
+			if Compare(sa, sb) > 0 {
+				sa, sb = sb, sa
+			}
+			got, want := enc.RegionOf(alpha, beta), enc.RegionOf(sa, sb)
+			if !equalU32(got.MinG, want.MinG) || !equalU32(got.MaxG, want.MaxG) {
+				t.Fatalf("rows %d,%d: region %v/%v, want %v/%v",
+					i, i+1, got.MinG, got.MaxG, want.MinG, want.MaxG)
+			}
 		}
 	})
 }

@@ -158,6 +158,14 @@ func (e *Encoder) Encode(p point.Point) ZAddr {
 	return e.EncodeGrid(e.Grid(p))
 }
 
+// EncodeInto quantizes p into g and interleaves it into z, returning
+// z. g must have Dims() entries and z Words() entries; neither
+// allocates, making this the scalar building block for hot loops that
+// carry their own scratch (see also EncodeBlock for whole blocks).
+func (e *Encoder) EncodeInto(z ZAddr, g []uint32, p point.Point) ZAddr {
+	return e.EncodeGridInto(z, e.GridInto(g, p))
+}
+
 // EncodeGrid interleaves already-quantized grid coordinates.
 func (e *Encoder) EncodeGrid(g []uint32) ZAddr {
 	return e.EncodeGridInto(make(ZAddr, e.words), g)
@@ -185,7 +193,15 @@ func (e *Encoder) EncodeGridInto(z ZAddr, g []uint32) ZAddr {
 
 // DecodeGrid reverses EncodeGrid, recovering grid coordinates.
 func (e *Encoder) DecodeGrid(z ZAddr) []uint32 {
-	g := make([]uint32, e.dims)
+	return e.DecodeGridInto(make([]uint32, e.dims), z)
+}
+
+// DecodeGridInto reverses EncodeGrid into g (which must have Dims()
+// entries) and returns g — the allocation-free variant.
+func (e *Encoder) DecodeGridInto(g []uint32, z ZAddr) []uint32 {
+	for i := range g {
+		g[i] = 0
+	}
 	pos := 0
 	for level := e.bits - 1; level >= 0; level-- {
 		for d := 0; d < e.dims; d++ {
@@ -267,14 +283,26 @@ type Region struct {
 // alpha <= beta: the common prefix padded with zeros gives minpt, with
 // ones gives maxpt.
 func (e *Encoder) RegionOf(alpha, beta ZAddr) Region {
+	return e.RegionInto(make([]uint32, e.dims), make([]uint32, e.dims),
+		make(ZAddr, e.words), alpha, beta)
+}
+
+// RegionInto computes RegionOf into caller-owned storage: minG and
+// maxG (Dims() entries each) receive the corner grids, and scratch
+// (Words() entries) holds the intermediate padded address. Nothing
+// allocates, so index builds can compute one region per node into
+// slab arenas.
+func (e *Encoder) RegionInto(minG, maxG []uint32, scratch ZAddr, alpha, beta ZAddr) Region {
 	total := e.TotalBits()
 	cpl := CommonPrefixLen(alpha, beta, total)
-	minA := make(ZAddr, e.words)
-	maxA := make(ZAddr, e.words)
-	copyPrefix(minA, alpha, cpl)
-	copyPrefix(maxA, alpha, cpl)
-	setOnes(maxA, cpl, total)
-	return Region{MinG: e.DecodeGrid(minA), MaxG: e.DecodeGrid(maxA)}
+	for i := range scratch {
+		scratch[i] = 0
+	}
+	copyPrefix(scratch, alpha, cpl)
+	e.DecodeGridInto(minG, scratch)
+	setOnes(scratch, cpl, total)
+	e.DecodeGridInto(maxG, scratch)
+	return Region{MinG: minG, MaxG: maxG}
 }
 
 // RegionOfPoint is the degenerate region covering a single address.
