@@ -1,12 +1,14 @@
 package main
 
-// Benchmark-suite mode (-bench-tag): one fixed dataset pushed through
+// Benchmark-suite mode (-bench-tag): fixed named dataset configs
+// (small / medium / large, all pinned — never scaled) pushed through
 // all three executors — the in-process MapReduce simulator, the
 // shared-memory parallel path, and the TCP coordinator against
 // loopback workers — with wall clock, allocation, wire-byte, and
-// skyline-size measurements written to BENCH_<tag>.json. CI uploads
-// the file as an artifact so the repo's perf trajectory accumulates
-// across commits.
+// skyline-size measurements for every config written to one
+// BENCH_<tag>.json. Pinned sizes make the numbers comparable across
+// commits; CI uploads the file as an artifact so the repo's perf
+// trajectory accumulates.
 
 import (
 	"context"
@@ -35,6 +37,18 @@ type benchDataset struct {
 	Seed         int64  `json:"seed"`
 }
 
+// benchSizes are the pinned named configurations. The sizes are part
+// of the measurement contract: changing them breaks cross-commit
+// comparability, so add a new name instead of editing one.
+var benchSizes = map[string]int{
+	"small":  2500,
+	"medium": 20000,
+	"large":  50000,
+}
+
+// benchConfigOrder fixes the emission order of the named configs.
+var benchConfigOrder = []string{"small", "medium", "large"}
+
 type benchExecutor struct {
 	Executor      string  `json:"executor"`
 	WallMS        float64 `json:"wall_ms"`
@@ -56,12 +70,18 @@ type benchMapPath struct {
 	Ratio             float64 `json:"ratio"`
 }
 
-type benchReport struct {
-	Tag       string          `json:"tag"`
-	GoVersion string          `json:"go_version"`
+// benchConfig is one named config's full measurement set.
+type benchConfig struct {
+	Name      string          `json:"name"`
 	Dataset   benchDataset    `json:"dataset"`
 	Executors []benchExecutor `json:"executors"`
 	MapPath   benchMapPath    `json:"map_path"`
+}
+
+type benchReport struct {
+	Tag       string        `json:"tag"`
+	GoVersion string        `json:"go_version"`
+	Configs   []benchConfig `json:"configs"`
 }
 
 // measure runs f once and records wall clock plus heap-allocation
@@ -88,96 +108,35 @@ func measure(name string, f func() (sky int, err error)) (benchExecutor, error) 
 	}, nil
 }
 
-func runBenchSuite(tag string, scale float64, workers int, seed int64, outdir string) error {
+func runBenchSuite(tag, configs string, workers int, seed int64, outdir string) error {
 	if strings.ContainsAny(tag, "/\\ ") {
 		return fmt.Errorf("bench tag %q must be a plain filename fragment", tag)
 	}
-	n := int(50000 * scale)
-	if n < 2000 {
-		n = 2000
+	names := benchConfigOrder
+	if configs != "" {
+		names = nil
+		for _, name := range strings.Split(configs, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if _, ok := benchSizes[name]; !ok {
+				return fmt.Errorf("unknown bench config %q (have small, medium, large)", name)
+			}
+			names = append(names, name)
+		}
+		if len(names) == 0 {
+			return fmt.Errorf("no bench configs selected")
+		}
 	}
-	const d = 5
-	ds := gen.Synthetic(gen.AntiCorrelated, n, d, seed)
-	ctx := context.Background()
-	rep := benchReport{
-		Tag:       tag,
-		GoVersion: runtime.Version(),
-		Dataset:   benchDataset{Distribution: gen.AntiCorrelated.String(), Points: n, Dims: d, Seed: seed},
-	}
-
-	// Executor 1: the fused MapReduce simulator.
-	res, err := measure("core", func() (int, error) {
-		cfg := core.Defaults()
-		cfg.Workers = workers
-		cfg.Seed = seed
-		eng, err := core.NewEngine(cfg)
+	rep := benchReport{Tag: tag, GoVersion: runtime.Version()}
+	for _, name := range names {
+		cfg, err := runBenchConfig(name, benchSizes[name], workers, seed)
 		if err != nil {
-			return 0, err
+			return fmt.Errorf("config %s: %w", name, err)
 		}
-		sky, _, err := eng.Skyline(ctx, ds)
-		return len(sky), err
-	})
-	if err != nil {
-		return err
+		rep.Configs = append(rep.Configs, cfg)
 	}
-	rep.Executors = append(rep.Executors, res)
-
-	// Executor 2: the shared-memory shard-and-merge path.
-	res, err = measure("parallel", func() (int, error) {
-		sky, err := parallel.Skyline(ctx, ds, parallel.Options{Workers: workers})
-		return len(sky), err
-	})
-	if err != nil {
-		return err
-	}
-	rep.Executors = append(rep.Executors, res)
-
-	// Executor 3: the TCP coordinator over loopback workers. Wire
-	// totals cover the whole run — rule broadcast, block chunks, and
-	// merge replies — which is the communication-volume number the
-	// block framing is meant to shrink.
-	var wss []*dist.WorkerServer
-	defer func() {
-		for _, ws := range wss {
-			ws.Close()
-		}
-	}()
-	addrs := make([]string, 2)
-	for i := range addrs {
-		ws, err := dist.StartWorker("127.0.0.1:0")
-		if err != nil {
-			return err
-		}
-		wss = append(wss, ws)
-		addrs[i] = ws.Addr()
-	}
-	var wire []dist.WireStat
-	res, err = measure("dist", func() (int, error) {
-		cfg := dist.DefaultCoordinatorConfig()
-		cfg.Seed = seed
-		coord, err := dist.NewCoordinator(cfg, addrs)
-		if err != nil {
-			return 0, err
-		}
-		defer coord.Close()
-		sky, _, err := coord.Skyline(ctx, ds)
-		wire = coord.WireStats()
-		return len(sky), err
-	})
-	if err != nil {
-		return err
-	}
-	for _, w := range wire {
-		res.WireSentBytes += w.Sent
-		res.WireRecvBytes += w.Recv
-	}
-	rep.Executors = append(rep.Executors, res)
-
-	mp, err := measureMapPath(ds, seed)
-	if err != nil {
-		return err
-	}
-	rep.MapPath = mp
 
 	dir := outdir
 	if dir == "" {
@@ -196,6 +155,92 @@ func runBenchSuite(tag string, scale float64, workers int, seed int64, outdir st
 	}
 	fmt.Fprintf(os.Stderr, "skybench: wrote %s\n", path)
 	return nil
+}
+
+// runBenchConfig measures one pinned config through every executor.
+func runBenchConfig(name string, n, workers int, seed int64) (benchConfig, error) {
+	const d = 5
+	ds := gen.Synthetic(gen.AntiCorrelated, n, d, seed)
+	ctx := context.Background()
+	rep := benchConfig{
+		Name:    name,
+		Dataset: benchDataset{Distribution: gen.AntiCorrelated.String(), Points: n, Dims: d, Seed: seed},
+	}
+
+	// Executor 1: the fused MapReduce simulator.
+	res, err := measure("core", func() (int, error) {
+		cfg := core.Defaults()
+		cfg.Workers = workers
+		cfg.Seed = seed
+		eng, err := core.NewEngine(cfg)
+		if err != nil {
+			return 0, err
+		}
+		sky, _, err := eng.Skyline(ctx, ds)
+		return len(sky), err
+	})
+	if err != nil {
+		return benchConfig{}, err
+	}
+	rep.Executors = append(rep.Executors, res)
+
+	// Executor 2: the shared-memory shard-and-merge path.
+	res, err = measure("parallel", func() (int, error) {
+		sky, err := parallel.Skyline(ctx, ds, parallel.Options{Workers: workers})
+		return len(sky), err
+	})
+	if err != nil {
+		return benchConfig{}, err
+	}
+	rep.Executors = append(rep.Executors, res)
+
+	// Executor 3: the TCP coordinator over loopback workers. Wire
+	// totals cover the whole run — rule broadcast, block chunks, and
+	// merge replies — which is the communication-volume number the
+	// block framing is meant to shrink.
+	var wss []*dist.WorkerServer
+	defer func() {
+		for _, ws := range wss {
+			ws.Close()
+		}
+	}()
+	addrs := make([]string, 2)
+	for i := range addrs {
+		ws, err := dist.StartWorker("127.0.0.1:0")
+		if err != nil {
+			return benchConfig{}, err
+		}
+		wss = append(wss, ws)
+		addrs[i] = ws.Addr()
+	}
+	var wire []dist.WireStat
+	res, err = measure("dist", func() (int, error) {
+		cfg := dist.DefaultCoordinatorConfig()
+		cfg.Seed = seed
+		coord, err := dist.NewCoordinator(cfg, addrs)
+		if err != nil {
+			return 0, err
+		}
+		defer coord.Close()
+		sky, _, err := coord.Skyline(ctx, ds)
+		wire = coord.WireStats()
+		return len(sky), err
+	})
+	if err != nil {
+		return benchConfig{}, err
+	}
+	for _, w := range wire {
+		res.WireSentBytes += w.Sent
+		res.WireRecvBytes += w.Recv
+	}
+	rep.Executors = append(rep.Executors, res)
+
+	mp, err := measureMapPath(ds, seed)
+	if err != nil {
+		return benchConfig{}, err
+	}
+	rep.MapPath = mp
+	return rep, nil
 }
 
 // measureMapPath mirrors bench_test.go's mapPhaseFixture: SB locally

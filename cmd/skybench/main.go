@@ -30,18 +30,19 @@ import (
 
 func main() {
 	var (
-		run      = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
-		scale    = flag.Float64("scale", 1.0, "dataset size multiplier")
-		workers  = flag.Int("workers", 8, "simulated cluster worker slots")
-		seed     = flag.Int64("seed", 42, "generator seed")
-		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		netMBps  = flag.Float64("net-mbps", 0, "simulated shuffle bandwidth in MB/s (0 = free in-process shuffle)")
-		overhead = flag.Int("task-overhead-ms", 0, "simulated per-task startup cost in ms")
-		list     = flag.Bool("list", false, "list available experiments and exit")
-		outdir   = flag.String("outdir", "", "also write each experiment's table as <outdir>/<id>.csv")
-		trace    = flag.Bool("trace", false, "print a per-run trace report (one span tree per experiment) to stderr")
-		metrics_ = flag.String("metrics-addr", "", "serve GET /metrics and /debug/pprof/ on this address during the run")
-		benchTag = flag.String("bench-tag", "", "run the fixed cross-executor benchmark suite and write BENCH_<tag>.json to -outdir (default: current directory)")
+		run       = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+		scale     = flag.Float64("scale", 1.0, "dataset size multiplier")
+		workers   = flag.Int("workers", 8, "simulated cluster worker slots")
+		seed      = flag.Int64("seed", 42, "generator seed")
+		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		netMBps   = flag.Float64("net-mbps", 0, "simulated shuffle bandwidth in MB/s (0 = free in-process shuffle)")
+		overhead  = flag.Int("task-overhead-ms", 0, "simulated per-task startup cost in ms")
+		list      = flag.Bool("list", false, "list available experiments and exit")
+		outdir    = flag.String("outdir", "", "also write each experiment's table as <outdir>/<id>.csv")
+		trace     = flag.Bool("trace", false, "print a per-run trace report (one span tree per experiment) to stderr")
+		metrics_  = flag.String("metrics-addr", "", "serve GET /metrics and /debug/pprof/ on this address during the run")
+		benchTag  = flag.String("bench-tag", "", "run the pinned cross-executor benchmark suite and write BENCH_<tag>.json to -outdir (default: current directory)")
+		benchCfgs = flag.String("bench-configs", "", "comma-separated named bench configs (small|medium|large; default all three)")
 	)
 	flag.Parse()
 
@@ -53,7 +54,7 @@ func main() {
 	}
 
 	if *benchTag != "" {
-		if err := runBenchSuite(*benchTag, *scale, *workers, *seed, *outdir); err != nil {
+		if err := runBenchSuite(*benchTag, *benchCfgs, *workers, *seed, *outdir); err != nil {
 			fmt.Fprintf(os.Stderr, "skybench: %v\n", err)
 			os.Exit(1)
 		}

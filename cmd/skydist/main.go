@@ -21,6 +21,7 @@ import (
 
 	"zskyline/internal/codec"
 	"zskyline/internal/dist"
+	dominancepkg "zskyline/internal/dominance"
 	"zskyline/internal/obs"
 	"zskyline/internal/point"
 )
@@ -35,6 +36,7 @@ func main() {
 		heuristic = flag.Bool("zhg", false, "use heuristic grouping instead of dominance-based")
 		useSB     = flag.Bool("sb", false, "use sort-based local skylines instead of Z-search")
 		seed      = flag.Int64("seed", 42, "sampling seed")
+		dominance = flag.String("dominance", "pareto", "dominance relation: pareto | flex:w1,w2;... | kdom:k | robust:rho")
 		report    = flag.Bool("report", false, "print the run report to stderr")
 		stream    = flag.Bool("stream", false, "stream a ZSKY binary file to the workers without loading it (requires -format binary and a file path)")
 		trace     = flag.Bool("trace", false, "print a per-run trace report (phase + RPC spans, wire bytes) to stderr")
@@ -72,6 +74,12 @@ func main() {
 	cfg.Heuristic = *heuristic
 	cfg.UseZS = !*useSB
 	cfg.Seed = *seed
+	desc, err := dominancepkg.ParseDescriptor(*dominance)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skydist: %v\n", err)
+		os.Exit(2)
+	}
+	cfg.Dominance = desc
 	cfg.RPCTimeout = *rpcTO
 	cfg.Retries = *retries
 	cfg.Hedge = *hedge

@@ -58,10 +58,11 @@ func parsePrefs(spec string) ([]zskyline.Pref, error) {
 
 func main() {
 	var (
-		in      = flag.String("in", "-", "input CSV ('-' for stdin); first line may be a header")
-		prefer  = flag.String("prefer", "", "comma-separated attr:min|max|ignore preferences (required)")
-		header  = flag.Bool("header", true, "print the header line before results")
-		explain = flag.Int("explain", -1, "explain row N instead of printing the skyline")
+		in        = flag.String("in", "-", "input CSV ('-' for stdin); first line may be a header")
+		prefer    = flag.String("prefer", "", "comma-separated attr:min|max|ignore preferences (required)")
+		header    = flag.Bool("header", true, "print the header line before results")
+		explain   = flag.Int("explain", -1, "explain row N instead of printing the skyline")
+		dominance = flag.String("dominance", "pareto", "dominance relation: pareto | flex:w1,w2;... | kdom:k | robust:rho")
 	)
 	flag.Parse()
 	if *prefer == "" {
@@ -69,6 +70,16 @@ func main() {
 		os.Exit(2)
 	}
 	prefs, err := parsePrefs(*prefer)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skyquery: %v\n", err)
+		os.Exit(2)
+	}
+	desc, err := zskyline.ParseDominance(*dominance)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skyquery: %v\n", err)
+		os.Exit(2)
+	}
+	prov, err := desc.Provider()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "skyquery: %v\n", err)
 		os.Exit(2)
@@ -94,7 +105,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "skyquery: %v\n", err)
 		os.Exit(1)
 	}
-	res, err := zskyline.RunQuery(context.Background(), rel, zskyline.Query{Prefer: prefs})
+	res, err := zskyline.RunQuery(context.Background(), rel, zskyline.Query{Prefer: prefs, Dominance: desc})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "skyquery: %v\n", err)
 		os.Exit(1)
@@ -131,7 +142,7 @@ func main() {
 		fmt.Fprintf(w, "row %d is dominated by:\n", *explain)
 		target := rows[*explain]
 		for _, id := range res.RowIDs {
-			if dominatesUnder(rows[id], target, prefs, rel) {
+			if dominatesUnder(prov, rows[id], target, prefs, rel) {
 				writeRow(rows[id])
 			}
 		}
@@ -147,13 +158,16 @@ func main() {
 	fmt.Fprintf(os.Stderr, "skyquery: %d of %d rows in the skyline\n", len(res.RowIDs), len(rows))
 }
 
-// dominatesUnder checks preference-space dominance of row a over row b.
-func dominatesUnder(a, b []float64, prefs []zskyline.Pref, rel *zskyline.Relation) bool {
+// dominatesUnder checks preference-space dominance of row a over row b
+// under the selected relation: both rows are projected into preference
+// space (max negated, ignored attributes dropped) and handed to the
+// provider.
+func dominatesUnder(prov zskyline.DominanceProvider, a, b []float64, prefs []zskyline.Pref, rel *zskyline.Relation) bool {
 	idx := map[string]int{}
 	for i, attr := range rel.Attrs {
 		idx[attr] = i
 	}
-	noWorse, better := true, false
+	var pa, pb zskyline.Point
 	for _, p := range prefs {
 		if p.Dir == zskyline.Ignore {
 			continue
@@ -163,13 +177,8 @@ func dominatesUnder(a, b []float64, prefs []zskyline.Pref, rel *zskyline.Relatio
 		if p.Dir == zskyline.Max {
 			av, bv = -av, -bv
 		}
-		if av > bv {
-			noWorse = false
-			break
-		}
-		if av < bv {
-			better = true
-		}
+		pa = append(pa, av)
+		pb = append(pb, bv)
 	}
-	return noWorse && better
+	return prov.Dominates(pa, pb)
 }

@@ -6,6 +6,7 @@ import (
 
 	"zskyline/internal/approx"
 	"zskyline/internal/dist"
+	"zskyline/internal/dominance"
 	"zskyline/internal/estimate"
 	"zskyline/internal/kdom"
 	"zskyline/internal/maintain"
@@ -13,6 +14,7 @@ import (
 	"zskyline/internal/parallel"
 	"zskyline/internal/point"
 	"zskyline/internal/rank"
+	"zskyline/internal/seq"
 	"zskyline/internal/subspace"
 	"zskyline/internal/window"
 	"zskyline/internal/zorder"
@@ -113,6 +115,62 @@ func DistributedSkyline(ctx context.Context, ds *Dataset, workerAddrs []string) 
 	defer coord.Close()
 	sky, _, err := coord.Skyline(ctx, ds)
 	return sky, err
+}
+
+// --- Dominance variants ---
+
+// DominanceProvider is a pluggable dominance relation; see package
+// internal/dominance for the capability contract implementations obey.
+type DominanceProvider = dominance.Provider
+
+// DominanceDescriptor is the serializable description of a dominance
+// relation. The zero value selects classic Pareto dominance; set it on
+// Config.Dominance, ParallelOptions.Dominance,
+// CoordinatorConfig.Dominance, or Query.Dominance to run any executor
+// under a variant relation.
+type DominanceDescriptor = dominance.Descriptor
+
+// ParseDominance parses a dominance-relation spelling:
+//
+//	pareto                   classic Pareto dominance
+//	flex:w1,w2,...;v1,v2,...  F-dominance under a family of weight vectors
+//	kdom:k                   k-dominance (Chan et al.)
+//	robust:rho               dominance by margin rho in every dimension
+func ParseDominance(s string) (DominanceDescriptor, error) {
+	return dominance.ParseDescriptor(s)
+}
+
+// SkylineUnder computes the exact skyline of pts under the described
+// relation with the sequential reference algorithm — the oracle the
+// parallel executors are tested against.
+func SkylineUnder(desc DominanceDescriptor, pts []Point) ([]Point, error) {
+	prov, err := desc.Provider()
+	if err != nil {
+		return nil, err
+	}
+	return seq.SkylineUnder(prov, pts, nil), nil
+}
+
+// NewMaintainerUnder is NewMaintainer under a variant relation. Only
+// transitive relations support incremental maintenance; k-dominance is
+// rejected.
+func NewMaintainerUnder(desc DominanceDescriptor, dims, bits int, mins, maxs []float64) (*Maintainer, error) {
+	prov, err := desc.Provider()
+	if err != nil {
+		return nil, err
+	}
+	return maintain.NewUnder(prov, dims, bits, mins, maxs)
+}
+
+// NewWindowSkylineUnder is NewWindowSkyline under a variant relation;
+// any irreflexive relation is supported (non-transitive ones recompute
+// from the retained window on every push).
+func NewWindowSkylineUnder(desc DominanceDescriptor, capacity, dims, bits int, mins, maxs []float64) (*WindowSkyline, error) {
+	prov, err := desc.Provider()
+	if err != nil {
+		return nil, err
+	}
+	return window.NewUnder(prov, capacity, dims, bits, mins, maxs)
 }
 
 // --- k-dominant skylines ---

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"time"
 
+	"zskyline/internal/dominance"
 	"zskyline/internal/mapreduce"
 	"zskyline/internal/metrics"
 	"zskyline/internal/plan"
@@ -113,6 +114,10 @@ type Config struct {
 	// the sample-skyline ZB-tree. Used by the ablation experiments to
 	// quantify the filter's contribution; leave false for normal runs.
 	DisableSZBFilter bool
+	// Dominance selects the dominance relation the pipeline computes
+	// under (see internal/dominance); the zero value is classic Pareto
+	// dominance.
+	Dominance dominance.Descriptor
 }
 
 // Defaults returns the configuration used throughout the experiments:
@@ -145,6 +150,7 @@ func (c *Config) spec() *plan.Spec {
 		Seed:             c.Seed,
 		DisableSZBFilter: c.DisableSZBFilter,
 		MapTasks:         c.splits(),
+		Dominance:        c.Dominance,
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"zskyline/internal/dominance"
 	"zskyline/internal/metrics"
 	"zskyline/internal/obs"
 	"zskyline/internal/plan"
@@ -48,6 +49,11 @@ type CoordinatorConfig struct {
 	TreeMerge bool
 	// Seed drives sampling (and the retry jitter schedule).
 	Seed int64
+	// Dominance selects the dominance relation (see internal/dominance);
+	// the zero value is classic Pareto dominance. The descriptor rides
+	// the rule broadcast, so every worker computes under the same
+	// relation.
+	Dominance dominance.Descriptor
 
 	// RPCTimeout bounds each RPC attempt. 0 selects 15s; negative
 	// disables the per-attempt deadline (the context still applies).
@@ -97,6 +103,7 @@ func (cfg *CoordinatorConfig) spec() *plan.Spec {
 		Seed:        cfg.Seed,
 		TreeMerge:   cfg.TreeMerge,
 		ChunkSize:   cfg.ChunkSize,
+		Dominance:   cfg.Dominance,
 	}
 }
 

@@ -1,0 +1,198 @@
+package dominance
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Registry kinds of the built-in providers.
+const (
+	KindPareto = "pareto"
+	KindFlex   = "flex"
+	KindKDom   = "kdom"
+	KindRobust = "robust"
+)
+
+// Descriptor is the serializable wire form of a provider: a plain
+// struct of plain fields, so it crosses process boundaries embedded in
+// the rule broadcast (gob via net/rpc) without custom codecs. Unused
+// parameter fields stay at their zero value for kinds that do not need
+// them.
+//
+// The textual form (String/Parse) doubles as the CLI flag grammar:
+//
+//	pareto
+//	flex:w1,w2,...[;w1,w2,...]*   (one weight vector per ';' group)
+//	kdom:k
+//	robust[:rho]
+type Descriptor struct {
+	// Kind is the registry kind ("pareto", "flex", "kdom", "robust").
+	// An empty Kind means Pareto, so zero-valued rule payloads from
+	// older peers keep their meaning.
+	Kind string
+	// K is the k-dominance parameter (Kind "kdom").
+	K int
+	// Rho is the robustness margin (Kind "robust").
+	Rho float64
+	// Weights is the scoring family, one weight vector per entry (Kind
+	// "flex").
+	Weights [][]float64
+}
+
+// validate checks the parameter ranges for the descriptor's kind.
+func (d Descriptor) validate() error {
+	switch d.Kind {
+	case "", KindPareto:
+		return nil
+	case KindFlex:
+		if len(d.Weights) == 0 {
+			return fmt.Errorf("dominance: flex needs at least one weight vector")
+		}
+		dims := len(d.Weights[0])
+		if dims == 0 {
+			return fmt.Errorf("dominance: flex weight vector 0 is empty")
+		}
+		for i, w := range d.Weights {
+			if len(w) != dims {
+				return fmt.Errorf("dominance: flex weight vector %d has %d weights, want %d", i, len(w), dims)
+			}
+			positive := false
+			for j, v := range w {
+				if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+					return fmt.Errorf("dominance: flex weight %d[%d] = %v is not a finite non-negative number", i, j, v)
+				}
+				if v > 0 {
+					positive = true
+				}
+			}
+			if !positive {
+				return fmt.Errorf("dominance: flex weight vector %d is all-zero", i)
+			}
+		}
+		return nil
+	case KindKDom:
+		if d.K < 1 {
+			return fmt.Errorf("dominance: kdom k must be >= 1, got %d", d.K)
+		}
+		return nil
+	case KindRobust:
+		if math.IsNaN(d.Rho) || math.IsInf(d.Rho, 0) || d.Rho < 0 {
+			return fmt.Errorf("dominance: robust rho must be a finite non-negative number, got %v", d.Rho)
+		}
+		return nil
+	default:
+		return fmt.Errorf("dominance: unknown provider kind %q", d.Kind)
+	}
+}
+
+// Provider reconstructs the provider the descriptor describes by
+// consulting the registry, validating its parameters. The inverse of
+// Provider.Descriptor.
+func (d Descriptor) Provider() (Provider, error) {
+	f, ok := lookup(d.Kind)
+	if !ok {
+		return nil, fmt.Errorf("dominance: unknown provider kind %q (registered: %v)", d.Kind, Kinds())
+	}
+	return f(d)
+}
+
+// String renders the descriptor in the CLI grammar, exactly
+// re-parseable by Parse (floats use the shortest exact decimal form).
+func (d Descriptor) String() string {
+	switch d.Kind {
+	case "", KindPareto:
+		return KindPareto
+	case KindFlex:
+		var b strings.Builder
+		b.WriteString(KindFlex)
+		b.WriteByte(':')
+		for i, w := range d.Weights {
+			if i > 0 {
+				b.WriteByte(';')
+			}
+			for j, v := range w {
+				if j > 0 {
+					b.WriteByte(',')
+				}
+				b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+			}
+		}
+		return b.String()
+	case KindKDom:
+		return fmt.Sprintf("%s:%d", KindKDom, d.K)
+	case KindRobust:
+		if d.Rho == 0 {
+			return KindRobust
+		}
+		return KindRobust + ":" + strconv.FormatFloat(d.Rho, 'g', -1, 64)
+	default:
+		return d.Kind
+	}
+}
+
+// ParseDescriptor parses the CLI grammar (see Descriptor) into a
+// validated descriptor.
+func ParseDescriptor(s string) (Descriptor, error) {
+	kind, arg := s, ""
+	if i := strings.IndexByte(s, ':'); i >= 0 {
+		kind, arg = s[:i], s[i+1:]
+	}
+	kind = strings.TrimSpace(kind)
+	var d Descriptor
+	switch kind {
+	case "", KindPareto:
+		d.Kind = KindPareto
+		if arg != "" {
+			return d, fmt.Errorf("dominance: pareto takes no parameter, got %q", arg)
+		}
+	case KindFlex:
+		d.Kind = KindFlex
+		if strings.TrimSpace(arg) == "" {
+			return d, fmt.Errorf("dominance: flex needs weight vectors, e.g. flex:1,2,1")
+		}
+		for _, group := range strings.Split(arg, ";") {
+			var w []float64
+			for _, f := range strings.Split(group, ",") {
+				v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+				if err != nil {
+					return d, fmt.Errorf("dominance: flex weight %q: %v", f, err)
+				}
+				w = append(w, v)
+			}
+			d.Weights = append(d.Weights, w)
+		}
+	case KindKDom:
+		d.Kind = KindKDom
+		k, err := strconv.Atoi(strings.TrimSpace(arg))
+		if err != nil {
+			return d, fmt.Errorf("dominance: kdom needs an integer k, got %q", arg)
+		}
+		d.K = k
+	case KindRobust:
+		d.Kind = KindRobust
+		if strings.TrimSpace(arg) != "" {
+			rho, err := strconv.ParseFloat(strings.TrimSpace(arg), 64)
+			if err != nil {
+				return d, fmt.Errorf("dominance: robust rho %q: %v", arg, err)
+			}
+			d.Rho = rho
+		}
+	default:
+		return d, fmt.Errorf("dominance: unknown provider kind %q (want pareto|flex:w1,w2,…|kdom:k|robust[:rho])", kind)
+	}
+	if err := d.validate(); err != nil {
+		return d, err
+	}
+	return d, nil
+}
+
+// Parse parses the CLI grammar directly into a provider.
+func Parse(s string) (Provider, error) {
+	d, err := ParseDescriptor(s)
+	if err != nil {
+		return nil, err
+	}
+	return d.Provider()
+}

@@ -1,0 +1,61 @@
+package dominance
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+)
+
+// FuzzProviderDescriptor feeds arbitrary strings through the CLI
+// grammar and requires every accepted descriptor to round-trip: text
+// -> Descriptor -> String -> Descriptor must be a fixed point after
+// one normalization, the descriptor must reconstruct a provider whose
+// own descriptor matches, and the gob wire form must decode to the
+// same descriptor.
+func FuzzProviderDescriptor(f *testing.F) {
+	f.Add("pareto")
+	f.Add("flex:1,2,1")
+	f.Add("flex:1,0;0,1;2,3")
+	f.Add("kdom:3")
+	f.Add("robust")
+	f.Add("robust:0.25")
+	f.Add("flex:0.1,1e-3")
+	f.Add("kdom:999")
+	f.Add("bogus:stuff")
+	f.Fuzz(func(t *testing.T, s string) {
+		d, err := ParseDescriptor(s)
+		if err != nil {
+			return // rejected input: nothing to round-trip
+		}
+		// Text round trip: String must re-parse to the same descriptor.
+		d2, err := ParseDescriptor(d.String())
+		if err != nil {
+			t.Fatalf("String %q of accepted input %q does not re-parse: %v", d.String(), s, err)
+		}
+		if !reflect.DeepEqual(d2, d) {
+			t.Fatalf("text round trip drifted: %q -> %+v -> %q -> %+v", s, d, d.String(), d2)
+		}
+		// Provider round trip: descriptor must build a provider that
+		// reports an equal descriptor.
+		prov, err := d.Provider()
+		if err != nil {
+			t.Fatalf("accepted descriptor %+v does not build a provider: %v", d, err)
+		}
+		if got := prov.Descriptor(); !reflect.DeepEqual(got, d) {
+			t.Fatalf("provider round trip drifted: %+v -> %+v", d, got)
+		}
+		// Wire round trip: gob encode/decode must be exact.
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(d); err != nil {
+			t.Fatalf("gob encode %+v: %v", d, err)
+		}
+		var d3 Descriptor
+		if err := gob.NewDecoder(&buf).Decode(&d3); err != nil {
+			t.Fatalf("gob decode: %v", err)
+		}
+		if !reflect.DeepEqual(d3, d) {
+			t.Fatalf("gob round trip drifted: %+v -> %+v", d, d3)
+		}
+	})
+}

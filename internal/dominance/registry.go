@@ -1,0 +1,58 @@
+package dominance
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Factory reconstructs a provider from its wire descriptor, validating
+// the parameters.
+type Factory func(Descriptor) (Provider, error)
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Factory{
+		KindPareto: func(d Descriptor) (Provider, error) { return Pareto{}, nil },
+		KindFlex:   func(d Descriptor) (Provider, error) { return NewFlex(d.Weights) },
+		KindKDom:   func(d Descriptor) (Provider, error) { return NewKDom(d.K) },
+		KindRobust: func(d Descriptor) (Provider, error) { return NewRobust(d.Rho) },
+	}
+)
+
+// Register adds (or replaces) a provider kind in the registry, making
+// descriptors of that kind reconstructible on this process. Every peer
+// that may receive the descriptor over the wire must register the same
+// kind.
+func Register(kind string, f Factory) error {
+	if kind == "" || f == nil {
+		return fmt.Errorf("dominance: Register needs a kind and a factory")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	registry[kind] = f
+	return nil
+}
+
+// Kinds lists the registered provider kinds, sorted.
+func Kinds() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// lookup resolves a kind to its factory; the empty kind means Pareto.
+func lookup(kind string) (Factory, bool) {
+	if kind == "" {
+		kind = KindPareto
+	}
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	f, ok := registry[kind]
+	return f, ok
+}

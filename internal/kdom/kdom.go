@@ -6,40 +6,42 @@
 // set aggressively.
 //
 // k-dominance is not transitive, so the one-pass window algorithms of
-// package seq are unsound here; this package implements the Two-Scan
-// Algorithm (TSA): a first scan produces candidates, a second scan
-// verifies every candidate against the full dataset.
+// package seq are unsound here.
+//
+// Deprecated: this package is now a thin facade over the k-dominance
+// provider of package dominance, kept for API compatibility. New code
+// should construct dominance.NewKDom(k) and use the provider-generic
+// kernels (dominance.Skyline, seq.SkylineUnder) or thread the
+// descriptor kdom:k through a pipeline Spec, which runs k-dominance on
+// any executor.
 package kdom
 
 import (
 	"fmt"
 
+	"zskyline/internal/dominance"
 	"zskyline/internal/metrics"
 	"zskyline/internal/point"
 )
 
-// KDominates reports whether p k-dominates q: at least k dimensions
-// where p <= q, at least one of them strict, and no... precisely: p is
-// no worse than q in at least k dims and better in at least one of
-// those k dims.
+// KDominates reports whether p k-dominates q: p is no worse than q in
+// at least k dims and better in at least one of those k dims.
 func KDominates(p, q point.Point, k int) bool {
 	if len(p) != len(q) || k <= 0 || k > len(p) {
 		return false
 	}
-	noWorse, better := 0, false
-	for i := range p {
-		if p[i] <= q[i] {
-			noWorse++
-			if p[i] < q[i] {
-				better = true
-			}
-		}
+	prov, err := dominance.NewKDom(k)
+	if err != nil {
+		return false
 	}
-	return noWorse >= k && better
+	return prov.Dominates(p, q)
 }
 
-// Skyline computes the k-dominant skyline with the Two-Scan Algorithm.
-// k == d degenerates to the classic skyline. tally may be nil.
+// Skyline computes the k-dominant skyline (a scan that keeps a
+// candidate window, closed by a verification scan against the full
+// dataset — k-dominance is not transitive, so an eliminated point can
+// still disqualify a candidate). k == d degenerates to the classic
+// skyline. tally may be nil.
 func Skyline(pts []point.Point, k int, tally *metrics.Tally) ([]point.Point, error) {
 	if len(pts) == 0 {
 		return nil, nil
@@ -48,83 +50,19 @@ func Skyline(pts []point.Point, k int, tally *metrics.Tally) ([]point.Point, err
 	if k <= 0 || k > d {
 		return nil, fmt.Errorf("kdom: k must be in [1,%d], got %d", d, k)
 	}
-
-	// Scan 1: build a candidate set. A candidate may still be a false
-	// positive (k-dominated by a point that was itself eliminated).
-	var cands []point.Point
-	var tests int64
-	for _, p := range pts {
-		dominated := false
-		keep := cands[:0]
-		for i, q := range cands {
-			tests++
-			if KDominates(q, p, k) {
-				dominated = true
-				keep = append(keep, cands[i:]...)
-				break
-			}
-			tests++
-			if KDominates(p, q, k) {
-				continue // evict q
-			}
-			keep = append(keep, q)
-		}
-		cands = keep
-		if !dominated {
-			cands = append(cands, p)
-		}
+	prov, err := dominance.NewKDom(k)
+	if err != nil {
+		return nil, fmt.Errorf("kdom: %w", err)
 	}
-
-	// Scan 2: verify candidates against the whole dataset, because
-	// non-transitivity means an eliminated point can still k-dominate a
-	// candidate.
-	var out []point.Point
-	for _, c := range cands {
-		ok := true
-		for _, q := range pts {
-			if sameSlice(c, q) {
-				continue
-			}
-			tests++
-			if KDominates(q, c, k) {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			out = append(out, c)
-		}
-	}
-	tally.AddDominanceTests(tests)
-	return out, nil
-}
-
-// sameSlice reports whether two points are the same backing slice (the
-// identity check scan 2 needs so a point does not disqualify itself;
-// coordinate-equal duplicates must still be compared, as equal points
-// never k-dominate each other anyway).
-func sameSlice(a, b point.Point) bool {
-	return len(a) == len(b) && len(a) > 0 && &a[0] == &b[0]
+	return dominance.Skyline(prov, pts, tally), nil
 }
 
 // BruteForce is the quadratic oracle: keep p iff no other point
 // k-dominates it.
 func BruteForce(pts []point.Point, k int) []point.Point {
-	var out []point.Point
-	for i, p := range pts {
-		dominated := false
-		for j, q := range pts {
-			if i == j {
-				continue
-			}
-			if KDominates(q, p, k) {
-				dominated = true
-				break
-			}
-		}
-		if !dominated {
-			out = append(out, p)
-		}
+	prov, err := dominance.NewKDom(k)
+	if err != nil {
+		return nil
 	}
-	return out
+	return dominance.BruteForce(prov, pts)
 }

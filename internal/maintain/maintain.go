@@ -20,6 +20,7 @@ import (
 	"sync"
 
 	"zskyline/internal/codec"
+	"zskyline/internal/dominance"
 	"zskyline/internal/metrics"
 	"zskyline/internal/point"
 	"zskyline/internal/zbtree"
@@ -32,6 +33,7 @@ import (
 type Maintainer struct {
 	mu    sync.Mutex
 	enc   *zorder.Encoder
+	prov  dominance.Provider
 	sky   *zbtree.Tree
 	tally *metrics.Tally
 	seen  int64
@@ -42,12 +44,29 @@ type Maintainer struct {
 // (quantization clamps; exact float tests decide), but pruning works
 // best when the box matches the data.
 func New(dims, bits int, mins, maxs []float64) (*Maintainer, error) {
+	return NewUnder(nil, dims, bits, mins, maxs)
+}
+
+// NewUnder creates a Maintainer that maintains the skyline under the
+// given dominance provider (nil selects classic Pareto dominance).
+// Insert-only maintenance discards dominated points forever, which is
+// exact only when the relation is transitive (a discarded point's
+// future victims are also dominated by its surviving dominator); a
+// non-transitive provider is rejected — recompute from retained data
+// instead (e.g. with internal/window or a pipeline run).
+func NewUnder(prov dominance.Provider, dims, bits int, mins, maxs []float64) (*Maintainer, error) {
+	if prov != nil && !dominance.IsPareto(prov) && !prov.Caps().Transitive {
+		return nil, fmt.Errorf("maintain: relation %q is not transitive; incremental maintenance would be unsound", prov.Name())
+	}
 	enc, err := zorder.NewEncoder(dims, bits, mins, maxs)
 	if err != nil {
 		return nil, err
 	}
 	tally := &metrics.Tally{}
-	return &Maintainer{enc: enc, sky: zbtree.New(enc, 0, tally), tally: tally}, nil
+	if prov == nil {
+		prov = dominance.Pareto{}
+	}
+	return &Maintainer{enc: enc, prov: prov, sky: zbtree.New(enc, 0, tally), tally: tally}, nil
 }
 
 // NewUnit creates a Maintainer over the unit hypercube.
@@ -93,6 +112,14 @@ func (m *Maintainer) InsertBlock(b point.Block) (int, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.seen += int64(b.Len())
+	if !dominance.IsPareto(m.prov) {
+		skyB := zbtree.ZSearchBlockUnder(m.prov, m.enc, 0, b, m.tally)
+		if skyB.Len() > 0 {
+			batchSky := zbtree.BuildFromPoints(m.enc, 0, skyB.Points(), m.tally)
+			m.sky = zbtree.MergeUnder(m.prov, m.sky, batchSky)
+		}
+		return m.countFromBatch(views), nil
+	}
 	zc := m.enc.EncodeBlock(zorder.ZCol{}, b)
 	skyB, skyZ := zbtree.ZSearchGroup(m.enc, 0, b, zc, m.tally)
 	if skyB.Len() > 0 {
@@ -147,7 +174,7 @@ func (m *Maintainer) Dominated(p point.Point) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	e := zbtree.NewEntry(m.enc, p)
-	return m.sky.DominatesPoint(e.G, e.P)
+	return m.sky.DominatesPointUnder(m.prov, e.G, e.P)
 }
 
 // Stats exposes the accumulated dominance/region test counters.
@@ -162,6 +189,9 @@ func (m *Maintainer) Stats() metrics.Snapshot {
 func (m *Maintainer) Save(w io.Writer) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if !dominance.IsPareto(m.prov) {
+		return fmt.Errorf("maintain: Save supports only the Pareto relation (have %q)", m.prov.Name())
+	}
 	dims := m.enc.Dims()
 	hdr := make([]byte, 4+4+8+16*dims)
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(m.enc.Bits()))

@@ -1,0 +1,122 @@
+package maintain
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"zskyline/internal/dominance"
+	"zskyline/internal/point"
+)
+
+// newUnitUnder builds a provider maintainer over the unit hypercube.
+func newUnitUnder(t testing.TB, prov dominance.Provider, dims, bits int) *Maintainer {
+	t.Helper()
+	mins := make([]float64, dims)
+	maxs := make([]float64, dims)
+	for i := range maxs {
+		maxs[i] = 1
+	}
+	m, err := NewUnder(prov, dims, bits, mins, maxs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// transitiveProviders builds the transitive non-Pareto providers the
+// maintainer supports, for d-dimensional data.
+func transitiveProviders(t testing.TB, d int) []dominance.Provider {
+	t.Helper()
+	w1 := make([]float64, d)
+	w2 := make([]float64, d)
+	for i := range w1 {
+		w1[i] = 1
+		w2[i] = 1
+	}
+	w2[0] = 3
+	flex, err := dominance.NewFlex([][]float64{w1, w2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	robust, err := dominance.NewRobust(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []dominance.Provider{flex, robust}
+}
+
+// TestNewUnderRejectsNonTransitive pins the soundness gate: insert-only
+// maintenance discards dominated points forever, which k-dominance's
+// cycles would falsify.
+func TestNewUnderRejectsNonTransitive(t *testing.T) {
+	kdom, err := dominance.NewKDom(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewUnder(kdom, 3, 8, []float64{0, 0, 0}, []float64{1, 1, 1}); err == nil {
+		t.Fatal("non-transitive provider accepted")
+	}
+}
+
+// Property: after any sequence of batches, the maintained provider
+// skyline equals the per-provider brute-force skyline of everything
+// inserted.
+func TestIncrementalUnderMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	const d = 3
+	for _, prov := range transitiveProviders(t, d) {
+		m := newUnitUnder(t, prov, d, 8)
+		var all []point.Point
+		for batch := 0; batch < 8; batch++ {
+			n := 1 + rng.Intn(60)
+			pts := make([]point.Point, n)
+			for i := range pts {
+				p := make(point.Point, d)
+				for k := range p {
+					p[k] = float64(rng.Intn(10)) / 10 // ties included
+				}
+				pts[i] = p
+			}
+			all = append(all, pts...)
+			if _, err := m.Insert(pts); err != nil {
+				t.Fatal(err)
+			}
+			sameSet(t, m.Skyline(), dominance.BruteForce(prov, all), prov.Name())
+		}
+		if m.Seen() != int64(len(all)) {
+			t.Fatalf("%s: seen %d, want %d", prov.Name(), m.Seen(), len(all))
+		}
+	}
+}
+
+func TestDominatedUnder(t *testing.T) {
+	robust, err := dominance.NewRobust(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := newUnitUnder(t, robust, 2, 10)
+	if _, err := m.Insert([]point.Point{{0.1, 0.1}}); err != nil {
+		t.Fatal(err)
+	}
+	// Within the robustness margin: not dominated under rho=0.2.
+	if m.Dominated(point.Point{0.25, 0.25}) {
+		t.Error("point inside the margin reported dominated")
+	}
+	if !m.Dominated(point.Point{0.5, 0.5}) {
+		t.Error("point beyond the margin not reported dominated")
+	}
+}
+
+// TestSaveRejectsNonPareto pins that the fixed binary header has no
+// provider field, so persistence stays Pareto-only.
+func TestSaveRejectsNonPareto(t *testing.T) {
+	robust, err := dominance.NewRobust(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := newUnitUnder(t, robust, 2, 8)
+	if err := m.Save(&bytes.Buffer{}); err == nil {
+		t.Fatal("Save accepted a non-Pareto maintainer")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"zskyline/internal/dominance"
 	"zskyline/internal/metrics"
 	"zskyline/internal/obs"
 	"zskyline/internal/plan"
@@ -31,6 +32,9 @@ type Options struct {
 	Fanout int
 	// Tally receives work counters; may be nil.
 	Tally *metrics.Tally
+	// Dominance selects the dominance relation (see internal/dominance);
+	// the zero value is classic Pareto dominance.
+	Dominance dominance.Descriptor
 }
 
 func (o Options) normalize(dims int) Options {
@@ -67,6 +71,11 @@ func Skyline(ctx context.Context, ds *point.Dataset, opts Options) ([]point.Poin
 	// path shards positionally instead of partitioning by Z-address.
 	learnSpan, _ := obs.StartSpan(ctx, "learn")
 	learnSpan.SetAttr("strategy", "positional")
+	prov, err := opts.Dominance.Provider()
+	if err != nil {
+		learnSpan.End()
+		return nil, err
+	}
 	mins, maxs, err := ds.Bounds()
 	if err != nil {
 		learnSpan.End()
@@ -77,7 +86,7 @@ func Skyline(ctx context.Context, ds *point.Dataset, opts Options) ([]point.Poin
 		learnSpan.End()
 		return nil, err
 	}
-	r := plan.NewLocalRule(enc, opts.Fanout, plan.ZS, plan.MergeZM)
+	r := plan.NewLocalRuleUnder(prov, enc, opts.Fanout, plan.ZS, plan.MergeZM)
 	ex := plan.NewLocalExec(opts.Workers)
 	learnSpan.SetAttr("groups", opts.Workers)
 	learnSpan.End()
@@ -116,7 +125,26 @@ func Skyline(ctx context.Context, ds *point.Dataset, opts Options) ([]point.Poin
 	redSpan.End()
 
 	// Parallel pairwise Z-merge reduction.
-	return plan.MergePhase(ctx, ex, r, skys, true, opts.Tally)
+	sky, err := plan.MergePhase(ctx, ex, r, skys, true, opts.Tally)
+	if err != nil {
+		return nil, err
+	}
+
+	// Non-transitive relations leave the merge with a candidate
+	// superset (an eliminated shard point can still dominate a
+	// candidate); close it against the full input. Candidates are
+	// compacted copies, so coordinate-equal source rows never
+	// self-eliminate.
+	if !dominance.IsPareto(prov) && !prov.Caps().Transitive && len(sky) > 0 {
+		sp, _ := obs.StartSpan(ctx, "verify")
+		sp.SetAttr("candidates", len(sky))
+		cand := point.BlockOf(ds.Dims, sky)
+		cand = dominance.FilterBlock(prov, cand, block, opts.Tally)
+		sp.SetAttr("skyline", cand.Len())
+		sp.End()
+		sky = cand.Points()
+	}
+	return sky, nil
 }
 
 // SkylineOf is a convenience wrapper over raw points.

@@ -21,6 +21,7 @@ package plan
 import (
 	"fmt"
 
+	"zskyline/internal/dominance"
 	"zskyline/internal/point"
 	"zskyline/internal/zbtree"
 	"zskyline/internal/zorder"
@@ -149,6 +150,12 @@ type Spec struct {
 	// ChunkSize, when positive, bounds the points per map task and
 	// overrides MapTasks — the chunking the RPC substrate uses.
 	ChunkSize int
+	// Dominance selects the dominance relation the pipeline computes
+	// under; the zero value is classic Pareto dominance. Learn consults
+	// the provider's capabilities and disables the Pareto-derived
+	// optimizations (SZB-tree mapper filter, dominance-based partition
+	// grouping) that the relation does not keep sound.
+	Dominance dominance.Descriptor
 }
 
 // Validate checks the spec's algorithmic parameters.
@@ -164,6 +171,9 @@ func (s *Spec) Validate() error {
 	}
 	if s.Bits < 1 || s.Bits > zorder.MaxBits {
 		return fmt.Errorf("plan: Bits must be in [1,%d], got %d", zorder.MaxBits, s.Bits)
+	}
+	if _, err := s.Dominance.Provider(); err != nil {
+		return err
 	}
 	return nil
 }

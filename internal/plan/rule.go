@@ -3,6 +3,7 @@ package plan
 import (
 	"fmt"
 
+	"zskyline/internal/dominance"
 	"zskyline/internal/grouping"
 	"zskyline/internal/metrics"
 	"zskyline/internal/partition"
@@ -21,6 +22,16 @@ type Rule struct {
 	merge     MergeAlgo
 	fanout    int
 	filterOff bool
+
+	// prov is the dominance relation every kernel of this rule computes
+	// under (never nil; Pareto by default), with its capability flags
+	// cached. Learn disables the SZB-tree filter and dominance-based
+	// partition pruning when the relation does not transfer Pareto
+	// eliminations (ParetoImplies false), and RunSource appends a
+	// full-dataset verification pass when the relation is not
+	// transitive.
+	prov dominance.Provider
+	caps dominance.Caps
 
 	// enc quantizes over the data bounds; merge always uses it. localEnc
 	// is the phase-2 local-skyline encoder: the same bounds encoder for
@@ -58,17 +69,29 @@ func Learn(spec *Spec, dims int, mins, maxs []float64, smp []point.Point, tally 
 	if err != nil {
 		return nil, err
 	}
+	prov, err := spec.Dominance.Provider()
+	if err != nil {
+		return nil, err
+	}
 	r := &Rule{
 		local:     spec.Local,
 		merge:     spec.Merge,
 		fanout:    spec.fanout(),
 		filterOff: spec.DisableSZBFilter,
+		prov:      prov,
+		caps:      prov.Caps(),
 		enc:       enc,
 		localEnc:  enc,
 		dims:      dims,
 		bits:      spec.Bits,
 		mins:      mins,
 		maxs:      maxs,
+	}
+	// The SZB-tree mapper filter eliminates points the Pareto sample
+	// skyline dominates; that elimination transfers to the provider's
+	// relation only when Pareto dominance implies provider dominance.
+	if !r.caps.ParetoImplies {
+		r.filterOff = true
 	}
 
 	switch spec.Strategy {
@@ -129,7 +152,15 @@ func Learn(spec *Spec, dims int, mins, maxs []float64, smp []point.Point, tally 
 		pg, err = grouping.Heuristic(zc.Infos(), spec.M)
 	case ZDG:
 		zc = zc.Redistribute(smp, sconsOf(skyPts, spec.M))
-		pg, err = grouping.Dominance(enc, zc.Infos(), spec.M)
+		if r.caps.ParetoImplies {
+			pg, err = grouping.Dominance(enc, zc.Infos(), spec.M)
+		} else {
+			// Dominance-based grouping prunes partitions whose every
+			// point is Pareto-dominated — unsound when the provider
+			// keeps some Pareto-dominated points. Degrade to heuristic
+			// grouping, which only balances and never prunes.
+			pg, err = grouping.Heuristic(zc.Infos(), spec.M)
+		}
 	}
 	if err != nil {
 		return nil, err
@@ -169,10 +200,20 @@ func (r *Rule) withUnitLocalEncoder() (*Rule, error) {
 // shard positionally (the shared-memory executor): only LocalSkyline
 // and MergeGroups are meaningful on it.
 func NewLocalRule(enc *zorder.Encoder, fanout int, local LocalAlgo, merge MergeAlgo) *Rule {
+	return NewLocalRuleUnder(nil, enc, fanout, local, merge)
+}
+
+// NewLocalRuleUnder is NewLocalRule under a dominance provider (nil
+// means Pareto).
+func NewLocalRuleUnder(prov dominance.Provider, enc *zorder.Encoder, fanout int, local LocalAlgo, merge MergeAlgo) *Rule {
 	if fanout <= 0 {
 		fanout = zbtree.DefaultFanout
 	}
-	return &Rule{local: local, merge: merge, fanout: fanout, enc: enc, localEnc: enc, dims: enc.Dims()}
+	if prov == nil {
+		prov = dominance.Pareto{}
+	}
+	return &Rule{local: local, merge: merge, fanout: fanout, prov: prov, caps: prov.Caps(),
+		enc: enc, localEnc: enc, dims: enc.Dims()}
 }
 
 // Groups returns the number of groups (= phase-2 reducers).
@@ -190,6 +231,19 @@ func (r *Rule) SampleSkySize() int { return r.skySize }
 
 // Encoder returns the rule's bounds encoder.
 func (r *Rule) Encoder() *zorder.Encoder { return r.enc }
+
+// Provider returns the dominance relation the rule's kernels compute
+// under (never nil).
+func (r *Rule) Provider() dominance.Provider {
+	if r.prov == nil {
+		return dominance.Pareto{}
+	}
+	return r.prov
+}
+
+// pareto reports whether the rule runs under the classic relation —
+// the zero-overhead fast path every kernel branches on once.
+func (r *Rule) pareto() bool { return dominance.IsPareto(r.prov) }
 
 // Route maps a point to its group; ok is false when the point is
 // dropped (SZB-tree filtered, or routed to a pruned partition). This
@@ -303,6 +357,19 @@ func (r *Rule) localSkylineGroup(g Group, tally *metrics.Tally, carryZ bool) Gro
 	out := Group{Gid: g.Gid, Block: point.Block{Dims: g.Block.Dims}}
 	n := g.Block.Len()
 	if n == 0 {
+		return out
+	}
+	if !r.pareto() {
+		// Non-Pareto relations run the capability-gated kernels; the
+		// encode-once column is not carried (the provider merge path
+		// re-derives what it needs). For non-transitive relations the
+		// result is a candidate superset that the pipeline's final
+		// verification pass closes.
+		if r.local == ZS {
+			out.Block = zbtree.ZSearchBlockUnder(r.prov, r.localEnc, r.fanout, g.Block, tally)
+		} else {
+			out.Block = dominance.SkylineBlock(r.prov, g.Block, tally)
+		}
 		return out
 	}
 	carryZ = carryZ && r.merge != MergeSB
@@ -458,6 +525,24 @@ func (r *Rule) MergeGroupsZ(groups []Group, tally *metrics.Tally) Group {
 	if total == 0 {
 		return out
 	}
+	if !r.pareto() {
+		// Provider fallback: concatenate the candidate groups and
+		// recompute under the capability-gated kernels. Z-merge's
+		// branch stashing and the columnar block trees assume Pareto
+		// region semantics; recomputation over the union is exact for
+		// transitive providers and yields the candidate superset the
+		// final verification pass expects otherwise.
+		bb := point.NewBlockBuilder(r.dims, total)
+		for _, g := range groups {
+			bb.AppendBlock(g.Block)
+		}
+		if r.merge == MergeSB {
+			out.Block = dominance.SkylineBlock(r.prov, bb.Build(), tally)
+		} else {
+			out.Block = zbtree.ZSearchBlockUnder(r.prov, r.enc, r.fanout, bb.Build(), tally)
+		}
+		return out
+	}
 	if r.merge == MergeSB {
 		bb := point.NewBlockBuilder(r.dims, total)
 		for _, g := range groups {
@@ -515,6 +600,10 @@ type RuleData struct {
 	Local         LocalAlgo
 	Merge         MergeAlgo
 	DisableFilter bool
+	// Dominance is the wire descriptor of the rule's dominance
+	// provider; the zero value means classic Pareto, so payloads from
+	// peers that predate providers keep their meaning.
+	Dominance dominance.Descriptor
 }
 
 // Data serializes the rule. Only Z-order rules serialize: the
@@ -535,6 +624,7 @@ func (r *Rule) Data() (*RuleData, error) {
 		Local:         r.local,
 		Merge:         r.merge,
 		DisableFilter: r.filterOff,
+		Dominance:     r.Provider().Descriptor(),
 	}
 	rd.Pivots = make([][]uint64, len(r.pivots))
 	for i, p := range r.pivots {
@@ -549,12 +639,18 @@ func FromData(rd *RuleData) (*Rule, error) {
 	if err != nil {
 		return nil, err
 	}
+	prov, err := rd.Dominance.Provider()
+	if err != nil {
+		return nil, err
+	}
 	skyPts := rd.SampleSkyline.Points()
 	r := &Rule{
 		local:     rd.Local,
 		merge:     rd.Merge,
 		fanout:    rd.Fanout,
 		filterOff: rd.DisableFilter,
+		prov:      prov,
+		caps:      prov.Caps(),
 		enc:       enc,
 		localEnc:  enc,
 		groupOf:   rd.GroupOf,

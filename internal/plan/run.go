@@ -6,6 +6,7 @@ import (
 	"io"
 	"time"
 
+	"zskyline/internal/dominance"
 	"zskyline/internal/metrics"
 	"zskyline/internal/obs"
 	"zskyline/internal/point"
@@ -139,6 +140,7 @@ func RunSource(ctx context.Context, spec *Spec, src point.Source, ex Executor, t
 	if err != nil {
 		return nil, nil, err
 	}
+	sky = verifyCandidates(ctx, r, sky, blocks, tally)
 	rep.Phase3 = time.Since(t2)
 	rep.SkylineSize = len(sky)
 	rep.Total = time.Since(total)
@@ -149,6 +151,29 @@ func RunSource(ctx context.Context, spec *Spec, src point.Source, ex Executor, t
 		sp.SetAttr("candidate_balance", metrics.NewBalance(rep.PerGroupCandidates).String())
 	}
 	return sky, rep, nil
+}
+
+// verifyCandidates closes the pipeline for non-transitive dominance
+// relations: local and merge phases then produce candidate supersets
+// (an eliminated point can still dominate a candidate), so every
+// candidate is retested against the full ingested dataset. Elimination
+// cites a real dataset point, which is sound under any irreflexive
+// relation; candidates are compacted copies, so their own source rows
+// are merely coordinate-equal and never self-eliminate. Transitive
+// relations (Pareto included) return sky unchanged.
+func verifyCandidates(ctx context.Context, r *Rule, sky []point.Point, blocks []point.Block, tally *metrics.Tally) []point.Point {
+	if r.pareto() || r.caps.Transitive || len(sky) == 0 {
+		return sky
+	}
+	sp, _ := obs.StartSpan(ctx, "verify")
+	sp.SetAttr("candidates", len(sky))
+	cand := point.BlockOf(r.dims, sky)
+	for _, b := range blocks {
+		cand = dominance.FilterBlock(r.prov, cand, b, tally)
+	}
+	sp.SetAttr("skyline", cand.Len())
+	sp.End()
+	return cand.Points()
 }
 
 // ingest drains the source into blocks, folding the running bounds in

@@ -74,6 +74,29 @@ func Dominates(p, q Point) bool {
 	return strict
 }
 
+// DominatesRows reports whether row i of a dominates row j of b,
+// reading the flat strides directly — the block-kernel form of
+// Dominates, with no row-view headers on the hot path. Blocks of
+// unequal dimensionality are never comparable.
+func DominatesRows(a Block, i int, b Block, j int) bool {
+	dims := a.Dims
+	if dims != b.Dims || dims == 0 {
+		return false
+	}
+	pa := a.Data[i*dims : (i+1)*dims]
+	pb := b.Data[j*dims : (j+1)*dims]
+	strict := false
+	for k := 0; k < dims; k++ {
+		if pa[k] > pb[k] {
+			return false
+		}
+		if pa[k] < pb[k] {
+			strict = true
+		}
+	}
+	return strict
+}
+
 // DominatesOrEqual reports whether p[i] <= q[i] in every dimension.
 func DominatesOrEqual(p, q Point) bool {
 	if len(p) != len(q) {

@@ -15,6 +15,7 @@ package window
 import (
 	"fmt"
 
+	"zskyline/internal/dominance"
 	"zskyline/internal/metrics"
 	"zskyline/internal/point"
 	"zskyline/internal/zbtree"
@@ -25,6 +26,7 @@ import (
 // concurrent use; wrap with a mutex if shared.
 type Skyline struct {
 	enc      *zorder.Encoder
+	prov     dominance.Provider
 	capacity int
 	ring     []point.Point
 	head     int // index of the oldest point
@@ -32,13 +34,26 @@ type Skyline struct {
 	sky      *zbtree.Tree
 	tally    *metrics.Tally
 	// dirty marks that the tree must be rebuilt from the ring before
-	// the next read (set when a skyline point expired).
+	// the next read (set when a skyline point expired, and on every
+	// push under a non-transitive relation — see Push).
 	dirty bool
+	subs  []func([]point.Point)
 }
 
 // New creates a window of the given capacity for dims-dimensional
 // points over [mins, maxs].
 func New(capacity, dims, bits int, mins, maxs []float64) (*Skyline, error) {
+	return NewUnder(nil, capacity, dims, bits, mins, maxs)
+}
+
+// NewUnder creates a window that maintains the skyline under the given
+// dominance provider (nil selects classic Pareto dominance). Unlike
+// package maintain, any irreflexive relation is supported: the window
+// retains all live points, so a non-transitive relation simply
+// recomputes from the ring on every push instead of updating the tree
+// incrementally (the incremental path tests arrivals only against the
+// current skyline, which is conclusive only under transitivity).
+func NewUnder(prov dominance.Provider, capacity, dims, bits int, mins, maxs []float64) (*Skyline, error) {
 	if capacity < 1 {
 		return nil, fmt.Errorf("window: capacity must be positive, got %d", capacity)
 	}
@@ -47,8 +62,12 @@ func New(capacity, dims, bits int, mins, maxs []float64) (*Skyline, error) {
 		return nil, err
 	}
 	tally := &metrics.Tally{}
+	if prov == nil {
+		prov = dominance.Pareto{}
+	}
 	return &Skyline{
 		enc:      enc,
+		prov:     prov,
 		capacity: capacity,
 		ring:     make([]point.Point, capacity),
 		sky:      zbtree.New(enc, 0, tally),
@@ -69,11 +88,46 @@ func NewUnit(capacity, dims, bits int) (*Skyline, error) {
 // Len returns the number of live points in the window.
 func (w *Skyline) Len() int { return w.size }
 
+// Subscribe registers fn to be called after every Push that changes
+// the skyline, with the new skyline (in Z-order; callers must not
+// mutate it). Subscribing makes maintenance eager: detecting a change
+// forces the lazy rebuild on every push.
+func (w *Skyline) Subscribe(fn func([]point.Point)) {
+	w.subs = append(w.subs, fn)
+}
+
 // Push appends p to the stream, expiring the oldest point if the
 // window is full. It returns whether p is currently a skyline point.
 func (w *Skyline) Push(p point.Point) (bool, error) {
 	if len(p) != w.enc.Dims() {
 		return false, fmt.Errorf("window: point has %d dims, want %d", len(p), w.enc.Dims())
+	}
+	var before []point.Point
+	if len(w.subs) > 0 {
+		before = w.Current()
+	}
+	on, err := w.push(p)
+	if err != nil {
+		return false, err
+	}
+	if len(w.subs) > 0 {
+		after := w.Current()
+		if !sameZOrdered(before, after) {
+			for _, fn := range w.subs {
+				fn(after)
+			}
+		}
+	}
+	return on, nil
+}
+
+func (w *Skyline) push(p point.Point) (bool, error) {
+	// A non-transitive relation invalidates both incremental shortcuts:
+	// an arrival undominated by the skyline may still be dominated by a
+	// live non-skyline point, and a non-skyline expiry may resurrect
+	// points only it was dominating. Recompute from the ring instead.
+	if !w.prov.Caps().Transitive {
+		w.dirty = true
 	}
 	// Expire the oldest point first.
 	if w.size == w.capacity {
@@ -94,14 +148,20 @@ func (w *Skyline) Push(p point.Point) (bool, error) {
 		// The rebuild recomputes the exact skyline of the live window,
 		// which already includes p — do not insert it a second time.
 		w.rebuild()
-		return !w.sky.DominatesPoint(e.G, e.P), nil
+		if !w.prov.Caps().Transitive {
+			// The tree holds the exact skyline; membership is
+			// coordinate-determined, so a coordinate match decides.
+			return w.contains(p), nil
+		}
+		return !w.sky.DominatesPointUnder(w.prov, e.G, e.P), nil
 	}
 	// Incremental arrival: if p is dominated by the current skyline it
 	// changes nothing; otherwise it evicts what it dominates and joins.
-	if w.sky.DominatesPoint(e.G, e.P) {
+	// Sound for transitive relations only (see push's dirty rule).
+	if w.sky.DominatesPointUnder(w.prov, e.G, e.P) {
 		return false, nil
 	}
-	w.sky.RemoveDominatedBy(e.G, e.P)
+	w.sky.RemoveDominatedByUnder(w.prov, e.G, e.P)
 	// Rebuild-and-insert keeps the tree balanced and sidesteps the
 	// append-only Z-order restriction for out-of-order arrivals.
 	entries := append(w.sky.Entries(), e)
@@ -126,8 +186,27 @@ func (w *Skyline) rebuild() {
 	for i := 0; i < w.size; i++ {
 		live = append(live, w.ring[(w.head+i)%w.capacity])
 	}
-	w.sky = zbtree.BuildFromPoints(w.enc, 0, live, w.tally).SkylineTree()
+	if dominance.IsPareto(w.prov) {
+		w.sky = zbtree.BuildFromPoints(w.enc, 0, live, w.tally).SkylineTree()
+	} else {
+		sky := zbtree.ZSearchUnder(w.prov, w.enc, 0, live, w.tally)
+		w.sky = zbtree.BuildFromPoints(w.enc, 0, sky, w.tally)
+	}
 	w.dirty = false
+}
+
+// sameZOrdered compares two skyline snapshots, both read off a ZB-tree
+// and therefore in Z-order, so equal sets compare equal element-wise.
+func sameZOrdered(a, b []point.Point) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
 }
 
 // Current returns the skyline of the live window.

@@ -1,0 +1,150 @@
+package window
+
+import (
+	"math/rand"
+	"testing"
+
+	"zskyline/internal/dominance"
+	"zskyline/internal/point"
+)
+
+// newUnder builds a provider window over the unit hypercube.
+func newUnder(t testing.TB, prov dominance.Provider, capacity, dims, bits int) *Skyline {
+	t.Helper()
+	mins := make([]float64, dims)
+	maxs := make([]float64, dims)
+	for i := range maxs {
+		maxs[i] = 1
+	}
+	w, err := NewUnder(prov, capacity, dims, bits, mins, maxs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// windowProviders builds one provider of each kind for d-dimensional
+// data — a transitive, a non-transitive, and the classic relation.
+func windowProviders(t testing.TB, d int) []dominance.Provider {
+	t.Helper()
+	w1 := make([]float64, d)
+	w2 := make([]float64, d)
+	for i := range w1 {
+		w1[i] = 1
+		w2[i] = 1
+	}
+	w2[0] = 3
+	flex, err := dominance.NewFlex([][]float64{w1, w2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := d - 1
+	if k < 1 {
+		k = 1
+	}
+	kdom, err := dominance.NewKDom(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	robust, err := dominance.NewRobust(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []dominance.Provider{dominance.Pareto{}, flex, kdom, robust}
+}
+
+// Property: at every sampled step, the provider window skyline equals
+// the per-provider brute-force skyline of the last capacity points.
+func TestSlidingUnderMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	const d = 3
+	for _, prov := range windowProviders(t, d) {
+		capacity := 30 + rng.Intn(50)
+		w := newUnder(t, prov, capacity, d, 8)
+		var stream []point.Point
+		for s := 0; s < 400; s++ {
+			p := make(point.Point, d)
+			for k := range p {
+				p[k] = float64(rng.Intn(12)) / 12 // ties included
+			}
+			stream = append(stream, p)
+			on, err := w.Push(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s%23 != 0 {
+				continue // checking every step is O(n^2); sample steps
+			}
+			lo := len(stream) - capacity
+			if lo < 0 {
+				lo = 0
+			}
+			live := stream[lo:]
+			want := dominance.BruteForce(prov, live)
+			sameSet(t, w.Current(), want, prov.Name())
+			// Membership report must agree with the oracle on p.
+			inOracle := false
+			for _, q := range want {
+				if q.Equal(p) {
+					inOracle = true
+					break
+				}
+			}
+			if on != inOracle {
+				t.Fatalf("%s: Push reported %v for %v, oracle says %v",
+					prov.Name(), on, p, inOracle)
+			}
+		}
+	}
+}
+
+func TestSubscribeNotifiesOnChange(t *testing.T) {
+	w := newUnder(t, dominance.Pareto{}, 10, 2, 10)
+	var fired int
+	var last []point.Point
+	w.Subscribe(func(sky []point.Point) {
+		fired++
+		last = append([]point.Point(nil), sky...)
+	})
+	w.Push(point.Point{0.5, 0.5})
+	if fired != 1 {
+		t.Fatalf("first push: fired %d, want 1", fired)
+	}
+	// Dominated arrival changes nothing — no notification.
+	w.Push(point.Point{0.9, 0.9})
+	if fired != 1 {
+		t.Fatalf("dominated push: fired %d, want 1", fired)
+	}
+	// Dominating arrival replaces the skyline.
+	w.Push(point.Point{0.1, 0.1})
+	if fired != 2 {
+		t.Fatalf("dominating push: fired %d, want 2", fired)
+	}
+	sameSet(t, last, []point.Point{{0.1, 0.1}}, "notified skyline")
+}
+
+func TestSubscribeNonTransitive(t *testing.T) {
+	kdom, err := dominance.NewKDom(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := newUnder(t, kdom, 5, 2, 10)
+	var fired int
+	w.Subscribe(func([]point.Point) { fired++ })
+	w.Push(point.Point{0.5, 0.5})
+	w.Push(point.Point{0.9, 0.9}) // 1-dominated: skyline unchanged
+	if fired != 1 {
+		t.Fatalf("fired %d, want 1", fired)
+	}
+	w.Push(point.Point{0.5, 0.5}) // duplicate joins: skyline grows
+	if fired != 2 {
+		t.Fatalf("fired %d, want 2", fired)
+	}
+}
+
+func TestNewUnderNilIsPareto(t *testing.T) {
+	w := newUnder(t, nil, 4, 2, 10)
+	w.Push(point.Point{0.3, 0.3})
+	w.Push(point.Point{0.7, 0.7})
+	sameSet(t, w.Current(), []point.Point{{0.3, 0.3}}, "nil provider")
+}

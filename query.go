@@ -93,6 +93,10 @@ type Query struct {
 	// Config optionally overrides the pipeline configuration; the zero
 	// value selects sensible defaults for the relation size.
 	Config *Config
+	// Dominance optionally selects a variant dominance relation (see
+	// ParseDominance); the zero value keeps classic Pareto dominance.
+	// When both Config and Dominance are set, Dominance wins.
+	Dominance DominanceDescriptor
 }
 
 // Result is the answer to a Query.
@@ -162,6 +166,9 @@ func RunQuery(ctx context.Context, rel *Relation, q Query) (*Result, error) {
 	cfg := defaultQueryConfig(rel.Len())
 	if q.Config != nil {
 		cfg = *q.Config
+	}
+	if q.Dominance.Kind != "" {
+		cfg.Dominance = q.Dominance
 	}
 	eng, err := core.NewEngine(cfg)
 	if err != nil {
