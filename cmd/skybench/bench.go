@@ -108,9 +108,9 @@ func measure(name string, f func() (sky int, err error)) (benchExecutor, error) 
 	}, nil
 }
 
-func runBenchSuite(tag, configs string, workers int, seed int64, outdir string) error {
+func runBenchSuite(tag, configs string, workers int, seed int64, outdir string) (*benchReport, error) {
 	if strings.ContainsAny(tag, "/\\ ") {
-		return fmt.Errorf("bench tag %q must be a plain filename fragment", tag)
+		return nil, fmt.Errorf("bench tag %q must be a plain filename fragment", tag)
 	}
 	names := benchConfigOrder
 	if configs != "" {
@@ -121,19 +121,19 @@ func runBenchSuite(tag, configs string, workers int, seed int64, outdir string) 
 				continue
 			}
 			if _, ok := benchSizes[name]; !ok {
-				return fmt.Errorf("unknown bench config %q (have small, medium, large)", name)
+				return nil, fmt.Errorf("unknown bench config %q (have small, medium, large)", name)
 			}
 			names = append(names, name)
 		}
 		if len(names) == 0 {
-			return fmt.Errorf("no bench configs selected")
+			return nil, fmt.Errorf("no bench configs selected")
 		}
 	}
 	rep := benchReport{Tag: tag, GoVersion: runtime.Version()}
 	for _, name := range names {
 		cfg, err := runBenchConfig(name, benchSizes[name], workers, seed)
 		if err != nil {
-			return fmt.Errorf("config %s: %w", name, err)
+			return nil, fmt.Errorf("config %s: %w", name, err)
 		}
 		rep.Configs = append(rep.Configs, cfg)
 	}
@@ -143,18 +143,18 @@ func runBenchSuite(tag, configs string, workers int, seed int64, outdir string) 
 		dir = "."
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
+		return nil, err
 	}
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
-		return err
+		return nil, err
 	}
 	path := filepath.Join(dir, "BENCH_"+tag+".json")
 	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Fprintf(os.Stderr, "skybench: wrote %s\n", path)
-	return nil
+	return &rep, nil
 }
 
 // runBenchConfig measures one pinned config through every executor.

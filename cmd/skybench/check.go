@@ -1,0 +1,141 @@
+package main
+
+// Regression-gate mode (-check-against): compare a bench report — a
+// fresh run or an existing file (-check-file) — against a committed
+// baseline BENCH_*.json, per (config, executor), with tolerance bands
+// for wall clock, allocations, and wire bytes. Any violation exits
+// non-zero, so CI can hold the line on perf without a human reading
+// the numbers. Comparison covers the intersection of the two reports:
+// a baseline with all three configs still gates a small-only CI run.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// checkTolerances are multiplicative regression bands: current may be
+// at most base × tol.
+type checkTolerances struct {
+	wall   float64
+	allocs float64
+	wire   float64
+}
+
+// minCheckWallMS is the wall floor below which wall-clock comparisons
+// are pure scheduler noise and are skipped. Alloc counts stay gated —
+// they are deterministic at any size.
+const minCheckWallMS = 1.0
+
+// loadBenchReport reads one BENCH_*.json.
+func loadBenchReport(path string) (*benchReport, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep benchReport
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Configs) == 0 {
+		return nil, fmt.Errorf("%s: no configs", path)
+	}
+	return &rep, nil
+}
+
+func findBenchConfig(rep *benchReport, name string) *benchConfig {
+	for i := range rep.Configs {
+		if rep.Configs[i].Name == name {
+			return &rep.Configs[i]
+		}
+	}
+	return nil
+}
+
+func findBenchExecutor(cfg *benchConfig, name string) *benchExecutor {
+	for i := range cfg.Executors {
+		if cfg.Executors[i].Executor == name {
+			return &cfg.Executors[i]
+		}
+	}
+	return nil
+}
+
+// compareBenchReports returns one violation string per regression of
+// cur beyond base × tolerance. An empty slice means the gate passes.
+func compareBenchReports(base, cur *benchReport, tol checkTolerances) []string {
+	var violations []string
+	compared := 0
+	for i := range cur.Configs {
+		cc := &cur.Configs[i]
+		bc := findBenchConfig(base, cc.Name)
+		if bc == nil {
+			continue // new config: nothing to gate against
+		}
+		for j := range cc.Executors {
+			ce := &cc.Executors[j]
+			be := findBenchExecutor(bc, ce.Executor)
+			if be == nil {
+				continue
+			}
+			compared++
+			id := cc.Name + "/" + ce.Executor
+			if be.WallMS >= minCheckWallMS && ce.WallMS > be.WallMS*tol.wall {
+				violations = append(violations, fmt.Sprintf(
+					"%s: wall %.2fms exceeds %.2fms (base %.2fms × %.2f)",
+					id, ce.WallMS, be.WallMS*tol.wall, be.WallMS, tol.wall))
+			}
+			if be.Allocs > 0 && float64(ce.Allocs) > float64(be.Allocs)*tol.allocs {
+				violations = append(violations, fmt.Sprintf(
+					"%s: allocs %d exceed %.0f (base %d × %.2f)",
+					id, ce.Allocs, float64(be.Allocs)*tol.allocs, be.Allocs, tol.allocs))
+			}
+			if be.WireSentBytes > 0 && float64(ce.WireSentBytes) > float64(be.WireSentBytes)*tol.wire {
+				violations = append(violations, fmt.Sprintf(
+					"%s: wire sent %dB exceeds %.0fB (base %dB × %.2f)",
+					id, ce.WireSentBytes, float64(be.WireSentBytes)*tol.wire, be.WireSentBytes, tol.wire))
+			}
+			if be.WireRecvBytes > 0 && float64(ce.WireRecvBytes) > float64(be.WireRecvBytes)*tol.wire {
+				violations = append(violations, fmt.Sprintf(
+					"%s: wire recv %dB exceeds %.0fB (base %dB × %.2f)",
+					id, ce.WireRecvBytes, float64(be.WireRecvBytes)*tol.wire, be.WireRecvBytes, tol.wire))
+			}
+		}
+		// The map-path allocs/op ratio is the flat-block data plane's
+		// contract; allocs/op is deterministic, so it gates tightly.
+		if bc.MapPath.AllocsPerOpBlock > 0 &&
+			cc.MapPath.AllocsPerOpBlock > bc.MapPath.AllocsPerOpBlock*tol.allocs {
+			violations = append(violations, fmt.Sprintf(
+				"%s: map-path block allocs/op %.1f exceeds %.1f (base %.1f × %.2f)",
+				cc.Name, cc.MapPath.AllocsPerOpBlock,
+				bc.MapPath.AllocsPerOpBlock*tol.allocs,
+				bc.MapPath.AllocsPerOpBlock, tol.allocs))
+		}
+	}
+	if compared == 0 {
+		violations = append(violations,
+			fmt.Sprintf("no overlapping (config, executor) pairs between baseline %q and current %q",
+				base.Tag, cur.Tag))
+	}
+	return violations
+}
+
+// runCheck compares cur against the baseline at basePath, reporting
+// violations to stderr. It returns true when the gate passes.
+func runCheck(basePath string, cur *benchReport, tol checkTolerances) (bool, error) {
+	base, err := loadBenchReport(basePath)
+	if err != nil {
+		return false, err
+	}
+	violations := compareBenchReports(base, cur, tol)
+	if len(violations) == 0 {
+		fmt.Fprintf(os.Stderr, "skybench: check passed against %s (wall ×%.2f, allocs ×%.2f, wire ×%.2f)\n",
+			basePath, tol.wall, tol.allocs, tol.wire)
+		return true, nil
+	}
+	fmt.Fprintf(os.Stderr, "skybench: %d regression(s) against %s:\n", len(violations), basePath)
+	for _, v := range violations {
+		fmt.Fprintf(os.Stderr, "  REGRESSION %s\n", v)
+	}
+	return false, nil
+}

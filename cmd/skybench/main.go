@@ -43,6 +43,11 @@ func main() {
 		metrics_  = flag.String("metrics-addr", "", "serve GET /metrics and /debug/pprof/ on this address during the run")
 		benchTag  = flag.String("bench-tag", "", "run the pinned cross-executor benchmark suite and write BENCH_<tag>.json to -outdir (default: current directory)")
 		benchCfgs = flag.String("bench-configs", "", "comma-separated named bench configs (small|medium|large; default all three)")
+		checkBase = flag.String("check-against", "", "compare the fresh -bench-tag run (or -check-file) against this baseline BENCH_*.json; any regression beyond the tolerance bands exits non-zero")
+		checkFile = flag.String("check-file", "", "compare this existing BENCH_*.json against -check-against instead of running the suite")
+		wallTol   = flag.Float64("check-wall-tol", 1.5, "wall-clock regression band: current may be at most base × this (bases under 1ms are skipped as noise)")
+		allocTol  = flag.Float64("check-alloc-tol", 1.4, "allocation-count regression band")
+		wireTol   = flag.Float64("check-wire-tol", 1.3, "wire-byte regression band")
 	)
 	flag.Parse()
 
@@ -53,12 +58,49 @@ func main() {
 		return
 	}
 
-	if *benchTag != "" {
-		if err := runBenchSuite(*benchTag, *benchCfgs, *workers, *seed, *outdir); err != nil {
+	tol := checkTolerances{wall: *wallTol, allocs: *allocTol, wire: *wireTol}
+	if *checkFile != "" {
+		if *checkBase == "" {
+			fmt.Fprintln(os.Stderr, "skybench: -check-file requires -check-against")
+			os.Exit(2)
+		}
+		cur, err := loadBenchReport(*checkFile)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "skybench: %v\n", err)
 			os.Exit(1)
 		}
+		ok, err := runCheck(*checkBase, cur, tol)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skybench: %v\n", err)
+			os.Exit(1)
+		}
+		if !ok {
+			os.Exit(1)
+		}
 		return
+	}
+
+	if *benchTag != "" {
+		rep, err := runBenchSuite(*benchTag, *benchCfgs, *workers, *seed, *outdir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skybench: %v\n", err)
+			os.Exit(1)
+		}
+		if *checkBase != "" {
+			ok, err := runCheck(*checkBase, rep, tol)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "skybench: %v\n", err)
+				os.Exit(1)
+			}
+			if !ok {
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	if *checkBase != "" {
+		fmt.Fprintln(os.Stderr, "skybench: -check-against requires -bench-tag or -check-file")
+		os.Exit(2)
 	}
 
 	var selected []exp.Experiment

@@ -45,6 +45,7 @@ func main() {
 		retries   = flag.Int("retries", 0, "retries after a failed RPC attempt (0 = default 3, negative = none)")
 		hedge     = flag.Duration("hedge", 0, "duplicate straggling reduce/merge RPCs on a second worker after this delay (0 = off)")
 		redial    = flag.Duration("redial-interval", 0, "interval between redials of suspect/dead workers (0 = default 500ms, negative = off)")
+		eventsOut = flag.String("events-out", "", "write the run's event log (query + per-RPC records) as NDJSON to this file ('-' for stderr)")
 	)
 	flag.Parse()
 
@@ -140,6 +141,22 @@ func main() {
 		os.Exit(1)
 	}
 	tr.Finish()
+	if *eventsOut != "" {
+		out := os.Stderr
+		if *eventsOut != "-" {
+			f, ferr := os.Create(*eventsOut)
+			if ferr != nil {
+				fmt.Fprintf(os.Stderr, "skydist: %v\n", ferr)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := coord.Events().WriteNDJSON(out); err != nil {
+			fmt.Fprintf(os.Stderr, "skydist: events: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	for _, ws := range rep.Wire {
 		w := obs.L("worker", ws.Addr)
 		reg.Counter("zsky_rpc_wire_bytes_total", w, obs.L("dir", "sent")).Add(ws.Sent)

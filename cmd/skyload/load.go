@@ -1,0 +1,309 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"zskyline/internal/obs"
+)
+
+// LoadConfig parameterizes one load run.
+type LoadConfig struct {
+	// Addr is the target skyserve base URL (http://host:port).
+	Addr string
+	// Clients is the number of concurrent requesters.
+	Clients int
+	// N is the total number of queries to issue.
+	N int
+	// Rate, when positive, is the offered load in queries per second
+	// across all clients, generated open-loop: every arrival is
+	// scheduled up front and latency is measured from the scheduled
+	// arrival, so a slow server queues requests instead of slowing the
+	// arrival clock (no coordinated omission). Rate 0 runs closed-loop:
+	// each client fires its next query as soon as the previous returns.
+	Rate float64
+	// Mix selects the routes exercised: "skyline", "query", or "mixed"
+	// (alternating between the two).
+	Mix string
+	// Seed drives query-shape randomization.
+	Seed int64
+	// Timeout bounds each request.
+	Timeout time.Duration
+}
+
+// RouteStats is one route's summary after a run.
+type RouteStats struct {
+	Route  string
+	Count  int64
+	Errors int64
+	Lat    obs.LatencySnapshot
+}
+
+// LoadResult is a finished run.
+type LoadResult struct {
+	Total  int64
+	Errors int64
+	Wall   time.Duration
+	QPS    float64
+	Routes []RouteStats
+}
+
+// job is one scheduled request.
+type job struct {
+	route   string
+	body    []byte
+	arrival time.Time // zero in closed-loop mode
+}
+
+// routeTally accumulates one route's outcomes across clients.
+type routeTally struct {
+	hist         *obs.LatencyHistogram
+	count, errrs int64
+	mu           sync.Mutex
+}
+
+func (t *routeTally) observe(d time.Duration, failed bool) {
+	t.hist.Observe(d)
+	t.mu.Lock()
+	t.count++
+	if failed {
+		t.errrs++
+	}
+	t.mu.Unlock()
+}
+
+// fetchAttrs asks the target's /healthz for the dataset's attribute
+// names, which seed the randomized /query bodies.
+func fetchAttrs(client *http.Client, addr string) ([]string, error) {
+	resp, err := client.Get(addr + "/healthz")
+	if err != nil {
+		return nil, fmt.Errorf("healthz: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("healthz: status %d", resp.StatusCode)
+	}
+	var health struct {
+		Attrs []string `json:"attrs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		return nil, fmt.Errorf("healthz: %w", err)
+	}
+	if len(health.Attrs) == 0 {
+		return nil, fmt.Errorf("healthz: no attrs")
+	}
+	return health.Attrs, nil
+}
+
+// queryBody builds a random preference list: a non-empty attr subset,
+// each with a random direction.
+func queryBody(rng *rand.Rand, attrs []string) []byte {
+	k := 1 + rng.Intn(len(attrs))
+	idx := rng.Perm(len(attrs))[:k]
+	sort.Ints(idx)
+	prefer := make([]map[string]string, 0, k)
+	for _, i := range idx {
+		dir := "min"
+		if rng.Intn(2) == 1 {
+			dir = "max"
+		}
+		prefer = append(prefer, map[string]string{"attr": attrs[i], "dir": dir})
+	}
+	blob, _ := json.Marshal(map[string]any{"prefer": prefer})
+	return blob
+}
+
+// buildJobs materializes the run's full request schedule.
+func buildJobs(cfg LoadConfig, attrs []string, start time.Time) ([]job, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	jobs := make([]job, cfg.N)
+	for i := range jobs {
+		var j job
+		switch cfg.Mix {
+		case "skyline":
+			j.route = "/skyline"
+		case "query":
+			j.route, j.body = "/query", queryBody(rng, attrs)
+		case "mixed":
+			if i%2 == 0 {
+				j.route = "/skyline"
+			} else {
+				j.route, j.body = "/query", queryBody(rng, attrs)
+			}
+		default:
+			return nil, fmt.Errorf("unknown mix %q (want skyline, query, or mixed)", cfg.Mix)
+		}
+		if cfg.Rate > 0 {
+			j.arrival = start.Add(time.Duration(float64(i) / cfg.Rate * float64(time.Second)))
+		}
+		jobs[i] = j
+	}
+	return jobs, nil
+}
+
+// runLoad executes the configured load and summarizes per-route
+// latency quantiles.
+func runLoad(cfg LoadConfig) (*LoadResult, error) {
+	if cfg.Clients < 1 {
+		cfg.Clients = 1
+	}
+	if cfg.N < 1 {
+		return nil, fmt.Errorf("need n >= 1")
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 10 * time.Second
+	}
+	client := &http.Client{
+		Timeout: cfg.Timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        cfg.Clients * 2,
+			MaxIdleConnsPerHost: cfg.Clients * 2,
+		},
+	}
+	attrs, err := fetchAttrs(client, cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	// A short lead keeps the first scheduled arrivals from landing in
+	// the past while the workers spin up.
+	start := time.Now().Add(50 * time.Millisecond)
+	jobs, err := buildJobs(cfg, attrs, start)
+	if err != nil {
+		return nil, err
+	}
+	tallies := map[string]*routeTally{
+		"/skyline": {hist: obs.NewLatencyHistogram()},
+		"/query":   {hist: obs.NewLatencyHistogram()},
+	}
+
+	jobCh := make(chan job, len(jobs))
+	for _, j := range jobs {
+		jobCh <- j
+	}
+	close(jobCh)
+
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobCh {
+				t0 := j.arrival
+				if t0.IsZero() {
+					t0 = time.Now() // closed loop: measure from send
+				} else if d := time.Until(t0); d > 0 {
+					time.Sleep(d)
+				}
+				failed := doRequest(client, cfg.Addr, j)
+				tallies[j.route].observe(time.Since(t0), failed)
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if wall <= 0 {
+		wall = time.Nanosecond
+	}
+
+	res := &LoadResult{Wall: wall}
+	for _, route := range []string{"/skyline", "/query"} {
+		t := tallies[route]
+		if t.count == 0 {
+			continue
+		}
+		res.Total += t.count
+		res.Errors += t.errrs
+		res.Routes = append(res.Routes, RouteStats{
+			Route: route, Count: t.count, Errors: t.errrs, Lat: t.hist.Snapshot(),
+		})
+	}
+	res.QPS = float64(res.Total) / wall.Seconds()
+	return res, nil
+}
+
+// doRequest issues one request, draining the body so connections are
+// reused; it reports whether the request failed.
+func doRequest(client *http.Client, addr string, j job) bool {
+	var (
+		resp *http.Response
+		err  error
+	)
+	if j.body == nil {
+		resp, err = client.Get(addr + j.route)
+	} else {
+		resp, err = client.Post(addr+j.route, "application/json", bytes.NewReader(j.body))
+	}
+	if err != nil {
+		return true
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode != http.StatusOK
+}
+
+// ---- reporting ----
+
+// loadRouteReport is one route's row in LOAD_<tag>.json.
+type loadRouteReport struct {
+	Route  string  `json:"route"`
+	Count  int64   `json:"count"`
+	Errors int64   `json:"errors"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P90MS  float64 `json:"p90_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+// loadReport is the persisted run summary.
+type loadReport struct {
+	Tag     string            `json:"tag"`
+	Addr    string            `json:"addr"`
+	Mix     string            `json:"mix"`
+	Clients int               `json:"clients"`
+	N       int               `json:"n"`
+	RateQPS float64           `json:"rate_qps"`
+	WallMS  float64           `json:"wall_ms"`
+	QPS     float64           `json:"qps"`
+	Errors  int64             `json:"errors"`
+	Routes  []loadRouteReport `json:"routes"`
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+func buildReport(cfg LoadConfig, tag string, res *LoadResult) loadReport {
+	rep := loadReport{
+		Tag: tag, Addr: cfg.Addr, Mix: cfg.Mix,
+		Clients: cfg.Clients, N: cfg.N, RateQPS: cfg.Rate,
+		WallMS: ms(res.Wall), QPS: res.QPS, Errors: res.Errors,
+	}
+	for _, rs := range res.Routes {
+		rep.Routes = append(rep.Routes, loadRouteReport{
+			Route: rs.Route, Count: rs.Count, Errors: rs.Errors,
+			MeanMS: ms(rs.Lat.Mean), P50MS: ms(rs.Lat.P50),
+			P90MS: ms(rs.Lat.P90), P99MS: ms(rs.Lat.P99), MaxMS: ms(rs.Lat.Max),
+		})
+	}
+	return rep
+}
+
+// writeTable renders the human-readable quantile table.
+func writeTable(w io.Writer, res *LoadResult) {
+	fmt.Fprintf(w, "%-10s %8s %6s %10s %10s %10s %10s\n",
+		"route", "count", "err", "p50", "p90", "p99", "max")
+	for _, rs := range res.Routes {
+		fmt.Fprintf(w, "%-10s %8d %6d %10v %10v %10v %10v\n",
+			rs.Route, rs.Count, rs.Errors,
+			rs.Lat.P50.Round(time.Microsecond), rs.Lat.P90.Round(time.Microsecond),
+			rs.Lat.P99.Round(time.Microsecond), rs.Lat.Max.Round(time.Microsecond))
+	}
+	fmt.Fprintf(w, "total: %d queries in %v (%.1f qps), %d errors\n",
+		res.Total, res.Wall.Round(time.Millisecond), res.QPS, res.Errors)
+}

@@ -1,0 +1,75 @@
+// Command skyload drives load against a running skyserve and reports
+// per-route latency quantiles (p50/p90/p99/max) from the client's side
+// of the wire.
+//
+// Usage:
+//
+//	skyserve -in hotels.csv -listen :8080 &
+//	skyload -addr http://127.0.0.1:8080 -n 5000 -clients 16
+//	skyload -addr http://127.0.0.1:8080 -n 5000 -rate 500 -tag nightly
+//
+// With -rate the load is generated open-loop: arrivals are scheduled
+// at the target rate regardless of how fast the server answers, and
+// each latency is measured from its scheduled arrival — so server
+// stalls surface as tail latency instead of silently thinning the
+// load (no coordinated omission). Without -rate each client runs
+// closed-loop, firing its next query when the previous one returns.
+//
+// With -tag the summary is also written to LOAD_<tag>.json for
+// machine consumption alongside skybench's BENCH_<tag>.json.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "", "target skyserve base URL, e.g. http://127.0.0.1:8080 (required)")
+		clients = flag.Int("clients", 8, "concurrent client connections")
+		n       = flag.Int("n", 1000, "total queries to issue")
+		rate    = flag.Float64("rate", 0, "offered load in queries/sec, open-loop (0 = closed-loop)")
+		mix     = flag.String("mix", "mixed", "route mix: skyline | query | mixed")
+		seed    = flag.Int64("seed", 42, "query-shape randomization seed")
+		timeout = flag.Duration("timeout", 10*time.Second, "per-request timeout")
+		tag     = flag.String("tag", "", "also write the summary to LOAD_<tag>.json")
+	)
+	flag.Parse()
+	if *addr == "" {
+		fmt.Fprintln(os.Stderr, "skyload: -addr is required")
+		os.Exit(2)
+	}
+
+	cfg := LoadConfig{
+		Addr: *addr, Clients: *clients, N: *n, Rate: *rate,
+		Mix: *mix, Seed: *seed, Timeout: *timeout,
+	}
+	res, err := runLoad(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skyload: %v\n", err)
+		os.Exit(1)
+	}
+	writeTable(os.Stdout, res)
+
+	if *tag != "" {
+		rep := buildReport(cfg, *tag, res)
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skyload: %v\n", err)
+			os.Exit(1)
+		}
+		path := "LOAD_" + *tag + ".json"
+		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "skyload: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	if res.Errors > 0 {
+		os.Exit(1)
+	}
+}

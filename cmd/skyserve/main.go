@@ -15,10 +15,15 @@
 // The CSV's first line may name the attributes; otherwise columns are
 // c0, c1, ...
 //
-// GET /metrics serves request counters, latency histograms, and
-// pipeline work counters in Prometheus text format; -pprof adds the
-// /debug/pprof/ endpoints. On SIGINT/SIGTERM the server stops
-// accepting connections and drains in-flight queries before exiting.
+// GET /metrics serves request counters, latency quantiles, and
+// pipeline work counters in Prometheus text format; GET /debug/events
+// serves the per-query event log (ring capacity -events, sampling
+// -event-sample, NDJSON sink -events-out); -pprof adds the
+// /debug/pprof/ endpoints. Every response carries an X-Request-Id
+// header, each request is logged as one structured line (-access-log),
+// and requests slower than -slow carry their full trace on the event
+// record. On SIGINT/SIGTERM the server stops accepting connections and
+// drains in-flight queries before exiting.
 package main
 
 import (
@@ -40,10 +45,15 @@ import (
 
 func main() {
 	var (
-		in     = flag.String("in", "", "input CSV (required; first line may be a header)")
-		listen = flag.String("listen", "127.0.0.1:8080", "address to serve on")
-		bits   = flag.Int("bits", 16, "Z-order grid resolution")
-		pprofF = flag.Bool("pprof", false, "expose /debug/pprof/ endpoints")
+		in        = flag.String("in", "", "input CSV (required; first line may be a header)")
+		listen    = flag.String("listen", "127.0.0.1:8080", "address to serve on")
+		bits      = flag.Int("bits", 16, "Z-order grid resolution")
+		pprofF    = flag.Bool("pprof", false, "expose /debug/pprof/ endpoints")
+		slow      = flag.Duration("slow", 250*time.Millisecond, "promote the trace of requests slower than this onto their event record (0 disables)")
+		eventCap  = flag.Int("events", 1024, "per-query event ring capacity served at /debug/events")
+		sample    = flag.Int("event-sample", 1, "keep 1 in N query events (errors and slow queries always kept)")
+		eventsOut = flag.String("events-out", "", "also append every event as NDJSON to this file")
+		accessLog = flag.String("access-log", "stderr", "structured per-request log: stderr, off, or a file path")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -74,6 +84,35 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "skyserve: %v\n", err)
 		os.Exit(1)
+	}
+	srv.SetSlowThreshold(*slow)
+	if *eventCap > 0 {
+		srv.SetEventCapacity(*eventCap)
+	}
+	if *sample > 1 {
+		srv.SetEventSampling(*sample)
+	}
+	if *eventsOut != "" {
+		f, err := os.OpenFile(*eventsOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skyserve: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		srv.Events().SetSink(f)
+	}
+	switch *accessLog {
+	case "off":
+	case "stderr":
+		srv.SetAccessLog(os.Stderr)
+	default:
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skyserve: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		srv.SetAccessLog(f)
 	}
 
 	handler := srv.Handler()

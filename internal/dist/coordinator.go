@@ -79,6 +79,11 @@ type CoordinatorConfig struct {
 	// RPC error classes) and per-state worker gauges. Nil creates a
 	// private registry, readable via Coordinator.Metrics.
 	Metrics *obs.Registry
+	// Events, when non-nil, receives one structured record per query
+	// and per RPC issued on a query's behalf (joined on the query's
+	// request ID). Nil creates a private ring, readable via
+	// Coordinator.Events.
+	Events *obs.EventLog
 }
 
 // spec lowers the config to the backend-agnostic plan parameters.
@@ -231,13 +236,14 @@ var stateNames = [...]string{"live", "suspect", "dead", "resurrecting"}
 // ping, and rule re-broadcast succeed. A query fails with
 // ErrClusterDown only when every worker is confirmed dead.
 type Coordinator struct {
-	cfg   CoordinatorConfig
-	pol   policy
-	addrs []string
-	wire  []*wireCounter
-	salt  uint64
-	reg   *obs.Registry
-	bo    *backoff
+	cfg    CoordinatorConfig
+	pol    policy
+	addrs  []string
+	wire   []*wireCounter
+	salt   uint64
+	reg    *obs.Registry
+	events *obs.EventLog
+	bo     *backoff
 
 	mu       sync.Mutex
 	clients  []*rpc.Client
@@ -274,8 +280,12 @@ func NewCoordinator(cfg CoordinatorConfig, workerAddrs []string) (*Coordinator, 
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	events := cfg.Events
+	if events == nil {
+		events = obs.NewEventLog(0)
+	}
 	c := &Coordinator{cfg: cfg, pol: cfg.policy(), addrs: workerAddrs,
-		salt: salt, reg: reg, bo: newBackoff(cfg.Seed + int64(salt)),
+		salt: salt, reg: reg, events: events, bo: newBackoff(cfg.Seed + int64(salt)),
 		state:    make([]workerState, len(workerAddrs)),
 		inflight: make([]int, len(workerAddrs)),
 		changed:  make(chan struct{}),
@@ -313,6 +323,10 @@ func NewCoordinator(cfg CoordinatorConfig, workerAddrs []string) (*Coordinator, 
 // Metrics returns the registry holding the coordinator's
 // fault-tolerance counters and per-state worker gauges.
 func (c *Coordinator) Metrics() *obs.Registry { return c.reg }
+
+// Events returns the event log holding one record per query and per
+// RPC issued on a query's behalf.
+func (c *Coordinator) Events() *obs.EventLog { return c.events }
 
 // WireStats returns per-worker TCP byte totals since connection
 // (cumulative across reconnects).
@@ -358,14 +372,33 @@ func (c *Coordinator) Close() error {
 }
 
 // Skyline runs the full distributed pipeline and returns the exact
-// skyline of ds.
+// skyline of ds. Each run records one "query" event (joined by request
+// ID to the "rpc" events it caused); a ctx without a request ID gets a
+// fresh one, so standalone coordinator runs are observable too.
 func (c *Coordinator) Skyline(ctx context.Context, ds *point.Dataset) ([]point.Point, *Report, error) {
 	rep := &Report{Workers: len(c.addrs)}
 	if ds == nil || ds.Len() == 0 {
 		return nil, rep, nil
 	}
+	id := obs.RequestIDFrom(ctx)
+	if id == "" {
+		id = obs.NewRequestID()
+		ctx = obs.ContextWithRequestID(ctx, id)
+	}
+	ev := &obs.Event{
+		ID:        id,
+		Kind:      "query",
+		Route:     "dist/skyline",
+		Query:     fmt.Sprintf("skyline:n=%d,dims=%d", ds.Len(), ds.Dims),
+		Dominance: c.cfg.Dominance.String(),
+	}
+	wireBefore := c.WireStats()
+	start := time.Now()
 	sky, prep, err := plan.Run(ctx, c.cfg.spec(), ds, &rpcExec{c: c}, nil)
+	ev.DurationMS = float64(time.Since(start).Microseconds()) / 1000
 	if err != nil {
+		ev.SetError(className(classify(err)), err.Error())
+		c.events.RecordForced(*ev)
 		return nil, nil, err
 	}
 	rep.Groups = prep.Groups
@@ -377,6 +410,17 @@ func (c *Coordinator) Skyline(ctx context.Context, ds *point.Dataset) ([]point.P
 	rep.Phase3 = prep.Phase3
 	rep.Total = prep.Total
 	rep.Wire = c.WireStats()
+	ev.SetPhase("preprocess", rep.Preprocess)
+	ev.SetPhase("phase2", rep.Phase2)
+	ev.SetPhase("phase3", rep.Phase3)
+	// Wire totals are cumulative per connection; the event carries this
+	// query's delta.
+	for i, ws := range rep.Wire {
+		ev.WireSentBytes += ws.Sent - wireBefore[i].Sent
+		ev.WireRecvBytes += ws.Recv - wireBefore[i].Recv
+	}
+	ev.SetResults(len(sky))
+	c.events.Record(*ev)
 	if sp := obs.SpanFrom(ctx); sp != nil {
 		sp.SetAttr("workers", len(c.addrs))
 		for _, ws := range rep.Wire {
@@ -406,23 +450,40 @@ func groupBytes(gs []plan.Group) int64 {
 	return n
 }
 
-// startRPC opens one per-RPC child span under ctx's current span,
-// annotated with the request payload size. The returned closure
-// records the serving worker (post-failover), and response size, then
-// ends the span; the span itself is handed to the call layer so retry
-// and hedge attempts show up as attributes.
-func (c *Coordinator) startRPC(ctx context.Context, method string, reqBytes int64) (*obs.Span, func(worker int, respBytes int64)) {
+// startRPC opens one per-RPC child span under ctx's current span and
+// one "rpc" event joined to the owning query via ctx's request ID,
+// both annotated with the request payload size. The returned closure
+// records the serving worker (post-failover), response size, and
+// outcome, ends the span, and commits the event (errors bypass
+// sampling); span and event are handed to the call layer so retry and
+// hedge attempts show up on both. Events record even with tracing off
+// — the span is simply nil then, and every span method tolerates that.
+func (c *Coordinator) startRPC(ctx context.Context, method string, reqBytes int64) (*obs.Span, *obs.Event, func(worker int, respBytes int64, err error)) {
 	sp := obs.SpanFrom(ctx).Child("rpc/" + method)
-	if sp == nil {
-		return nil, func(int, int64) {}
-	}
 	sp.SetAttr("req_bytes", reqBytes)
-	return sp, func(worker int, respBytes int64) {
+	ev := &obs.Event{
+		ID:            obs.NewRequestID(),
+		Parent:        obs.RequestIDFrom(ctx),
+		Kind:          "rpc",
+		Route:         method,
+		WireSentBytes: reqBytes,
+	}
+	start := time.Now()
+	return sp, ev, func(worker int, respBytes int64, err error) {
 		if worker >= 0 && worker < len(c.addrs) {
 			sp.SetAttr("worker", c.addrs[worker])
+			ev.Worker = c.addrs[worker]
 		}
 		sp.SetAttr("resp_bytes", respBytes)
 		sp.End()
+		ev.WireRecvBytes = respBytes
+		ev.DurationMS = float64(time.Since(start).Microseconds()) / 1000
+		if err != nil {
+			ev.SetError(className(classify(err)), err.Error())
+			c.events.RecordForced(*ev)
+			return
+		}
+		c.events.Record(*ev)
 	}
 }
 
@@ -709,6 +770,9 @@ type callOpts struct {
 	hedge bool
 	// sp, when non-nil, collects attempt/hedge attributes.
 	sp *obs.Span
+	// ev, when non-nil, collects attempt/hedge detail on the RPC's
+	// event record.
+	ev *obs.Event
 }
 
 // call invokes one worker method under the full policy: per-attempt
@@ -734,6 +798,7 @@ func (c *Coordinator) call(ctx context.Context, method string, args, reply any, 
 			return -1, err
 		}
 		served, err := c.attempt(ctx, method, args, reply, w, opt)
+		opt.ev.SetAttempts(attempt + 1)
 		if err == nil {
 			if attempt > 0 {
 				opt.sp.SetAttr("attempts", attempt+1)
@@ -845,6 +910,7 @@ func (c *Coordinator) attempt(ctx context.Context, method string, args, reply an
 			if w2, ok := c.pickLiveExcept(primary); ok {
 				c.reg.Counter("zsky_dist_hedges_total", obs.L("method", method)).Add(1)
 				opt.sp.SetAttr("hedged", c.addrs[w2])
+				opt.ev.SetHedged()
 				go leg(w2)
 				legs++
 			}
@@ -902,16 +968,16 @@ func (ex *rpcExec) Broadcast(ctx context.Context, r *plan.Rule) error {
 func (ex *rpcExec) RunMaps(ctx context.Context, _ *plan.Rule, chunks []point.Block, _ *metrics.Tally) ([]plan.MapOutput, error) {
 	outs := make([]plan.MapOutput, len(chunks))
 	err := ex.c.forEach(ctx, len(chunks), func(i, worker int) error {
-		sp, done := ex.c.startRPC(ctx, "Worker.MapChunk", int64(chunks[i].Bytes()))
+		sp, ev, done := ex.c.startRPC(ctx, "Worker.MapChunk", int64(chunks[i].Bytes()))
 		var reply MapReply
 		served, err := ex.c.call(ctx, "Worker.MapChunk",
 			MapArgs{RuleID: ex.ruleID, Block: chunks[i]}, &reply,
-			callOpts{preferred: worker, sp: sp})
+			callOpts{preferred: worker, sp: sp, ev: ev})
 		if err != nil {
-			done(served, 0)
+			done(served, 0, err)
 			return err
 		}
-		done(served, groupBytes(reply.Groups))
+		done(served, groupBytes(reply.Groups), nil)
 		outs[i] = plan.MapOutput{Groups: reply.Groups, Filtered: reply.Filtered}
 		return nil
 	})
@@ -922,16 +988,16 @@ func (ex *rpcExec) RunMaps(ctx context.Context, _ *plan.Rule, chunks []point.Blo
 func (ex *rpcExec) RunReduces(ctx context.Context, _ *plan.Rule, groups []plan.Group, _ *metrics.Tally) ([]plan.Group, error) {
 	outs := make([]plan.Group, len(groups))
 	err := ex.c.forEach(ctx, len(groups), func(i, worker int) error {
-		sp, done := ex.c.startRPC(ctx, "Worker.ReduceGroup", int64(groups[i].Block.Bytes()))
+		sp, ev, done := ex.c.startRPC(ctx, "Worker.ReduceGroup", int64(groups[i].Block.Bytes()))
 		var reply ReduceReply
 		served, err := ex.c.call(ctx, "Worker.ReduceGroup",
 			ReduceArgs{RuleID: ex.ruleID, Group: groups[i]}, &reply,
-			callOpts{preferred: worker, hedge: true, sp: sp})
+			callOpts{preferred: worker, hedge: true, sp: sp, ev: ev})
 		if err != nil {
-			done(served, 0)
+			done(served, 0, err)
 			return err
 		}
-		done(served, groupBytes([]plan.Group{reply.Candidates}))
+		done(served, groupBytes([]plan.Group{reply.Candidates}), nil)
 		outs[i] = reply.Candidates
 		outs[i].Gid = groups[i].Gid
 		return nil
@@ -947,16 +1013,16 @@ func (ex *rpcExec) RunReduces(ctx context.Context, _ *plan.Rule, groups []plan.G
 func (ex *rpcExec) RunMerges(ctx context.Context, _ *plan.Rule, tasks [][]plan.Group, _ *metrics.Tally) ([]plan.Group, error) {
 	outs := make([]plan.Group, len(tasks))
 	mergeOne := func(i, worker int) error {
-		sp, done := ex.c.startRPC(ctx, "Worker.MergeGroups", groupBytes(tasks[i]))
+		sp, ev, done := ex.c.startRPC(ctx, "Worker.MergeGroups", groupBytes(tasks[i]))
 		var merged MergeReply
 		served, err := ex.c.call(ctx, "Worker.MergeGroups",
 			MergeArgs{RuleID: ex.ruleID, Groups: tasks[i]}, &merged,
-			callOpts{preferred: worker, hedge: true, sp: sp})
+			callOpts{preferred: worker, hedge: true, sp: sp, ev: ev})
 		if err != nil {
-			done(served, 0)
+			done(served, 0, err)
 			return err
 		}
-		done(served, groupBytes([]plan.Group{merged.Skyline}))
+		done(served, groupBytes([]plan.Group{merged.Skyline}), nil)
 		outs[i] = merged.Skyline
 		return nil
 	}
@@ -984,10 +1050,10 @@ func (c *Coordinator) broadcast(ctx context.Context, blob RuleBlob) error {
 	c.mu.Lock()
 	c.lastRule = &blob
 	c.mu.Unlock()
-	// Measure the serialized rule once so every LoadRule span carries
-	// the real broadcast payload size.
+	// Measure the serialized rule once so every LoadRule span and event
+	// carries the real broadcast payload size.
 	var blobBytes int64
-	if obs.SpanFrom(ctx) != nil {
+	{
 		var cw countWriter
 		if err := gob.NewEncoder(&cw).Encode(&blob); err == nil {
 			blobBytes = cw.n
@@ -1012,13 +1078,16 @@ func (c *Coordinator) broadcast(ctx context.Context, blob RuleBlob) error {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				sp, done := c.startRPC(ctx, "Worker.LoadRule", blobBytes)
+				sp, ev, done := c.startRPC(ctx, "Worker.LoadRule", blobBytes)
+				// Broadcast offers are single attempts (a worker that
+				// misses the rule gets it on resurrection instead).
+				ev.SetAttempts(1)
 				var ack LoadRuleReply
 				served, err := c.attempt(ctx, "Worker.LoadRule",
-					LoadRuleArgs{Rule: blob}, &ack, w, callOpts{sp: sp})
+					LoadRuleArgs{Rule: blob}, &ack, w, callOpts{sp: sp, ev: ev})
 				// LoadRule replies carry no payload; 0 keeps resp_bytes
 				// honest alongside the measured RPC spans.
-				done(served, 0)
+				done(served, 0, err)
 				mu.Lock()
 				defer mu.Unlock()
 				if err == nil {

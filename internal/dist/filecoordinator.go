@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"zskyline/internal/codec"
+	"zskyline/internal/obs"
 	"zskyline/internal/plan"
 	"zskyline/internal/point"
 	"zskyline/internal/sample"
@@ -20,9 +21,43 @@ import (
 // pass 2 streams chunks straight to the workers' MapChunk RPCs. This
 // is the deployment shape for datasets larger than the coordinator —
 // the same regime the paper's HDFS-resident inputs live in.
-func (c *Coordinator) SkylineFile(ctx context.Context, path string) ([]point.Point, *Report, error) {
+func (c *Coordinator) SkylineFile(ctx context.Context, path string) (_ []point.Point, _ *Report, retErr error) {
 	rep := &Report{Workers: len(c.addrs)}
 	start := time.Now()
+
+	// One "query" event per run, joined by request ID to the "rpc"
+	// events the streamed map calls record (same shape as Skyline).
+	id := obs.RequestIDFrom(ctx)
+	if id == "" {
+		id = obs.NewRequestID()
+		ctx = obs.ContextWithRequestID(ctx, id)
+	}
+	ev := &obs.Event{
+		ID:        id,
+		Kind:      "query",
+		Route:     "dist/skyline-file",
+		Query:     "file:" + path,
+		Dominance: c.cfg.Dominance.String(),
+	}
+	wireBefore := c.WireStats()
+	results := 0
+	defer func() {
+		ev.DurationMS = float64(time.Since(start).Microseconds()) / 1000
+		ev.SetPhase("preprocess", rep.Preprocess)
+		ev.SetPhase("phase2", rep.Phase2)
+		ev.SetPhase("phase3", rep.Phase3)
+		for i, ws := range c.WireStats() {
+			ev.WireSentBytes += ws.Sent - wireBefore[i].Sent
+			ev.WireRecvBytes += ws.Recv - wireBefore[i].Recv
+		}
+		ev.SetResults(results)
+		if retErr != nil {
+			ev.SetError(className(classify(retErr)), retErr.Error())
+			c.events.RecordForced(*ev)
+			return
+		}
+		c.events.Record(*ev)
+	}()
 
 	// ---- Pass 1: bounds + reservoir sample + count ----
 	t0 := time.Now()
@@ -73,6 +108,7 @@ func (c *Coordinator) SkylineFile(ctx context.Context, path string) ([]point.Poi
 	rep.Phase3 = time.Since(t2)
 	rep.Total = time.Since(start)
 	rep.Wire = c.WireStats()
+	results = len(sky)
 	return sky, rep, nil
 }
 
@@ -161,13 +197,13 @@ func (c *Coordinator) streamMap(ctx context.Context, path string, ruleID uint64)
 		go func(batch point.Block, worker int) {
 			defer wg.Done()
 			defer c.release(worker)
-			sp, done := c.startRPC(ctx, "Worker.MapChunk", int64(batch.Bytes()))
+			sp, ev, done := c.startRPC(ctx, "Worker.MapChunk", int64(batch.Bytes()))
 			var reply MapReply
 			served, err := c.call(ctx, "Worker.MapChunk",
 				MapArgs{RuleID: ruleID, Block: batch}, &reply,
-				callOpts{preferred: worker, sp: sp})
+				callOpts{preferred: worker, sp: sp, ev: ev})
 			if err != nil {
-				done(served, 0)
+				done(served, 0, err)
 				mu.Lock()
 				if firstErr == nil {
 					firstErr = err
@@ -175,7 +211,7 @@ func (c *Coordinator) streamMap(ctx context.Context, path string, ruleID uint64)
 				mu.Unlock()
 				return
 			}
-			done(served, groupBytes(reply.Groups))
+			done(served, groupBytes(reply.Groups), nil)
 			mu.Lock()
 			outs = append(outs, plan.MapOutput{Groups: reply.Groups, Filtered: reply.Filtered})
 			mu.Unlock()

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"zskyline/internal/mapreduce"
 	"zskyline/internal/metrics"
@@ -117,6 +118,7 @@ type series struct {
 	c      *Counter
 	g      *Gauge
 	h      *Histogram
+	l      *LatencyHistogram
 }
 
 // family groups all series of one metric name under one TYPE.
@@ -154,14 +156,27 @@ func renderLabels(labels []Label) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", l.Key, escapeLabel(l.Value))
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
 	}
 	return b.String()
 }
 
-// escapeLabel escapes a label value per the exposition format. %q in
-// renderLabels handles quotes and backslashes; newlines need \n.
-func escapeLabel(v string) string { return strings.ReplaceAll(v, "\n", `\n`) }
+// escapeLabel escapes a label value per the exposition format: exactly
+// backslash, double quote, and newline — nothing else. (Go's %q is not
+// equivalent: it escapes tabs and non-printables into sequences the
+// Prometheus parser rejects, and combined with a pre-pass it
+// double-escaped newlines into a literal backslash-n.)
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
 
 // lookup finds or creates the series for (name, labels), checking the
 // family kind.
@@ -232,6 +247,24 @@ func (r *Registry) Histogram(name string, buckets []float64, labels ...Label) *H
 		s.h = &Histogram{bounds: buckets, counts: make([]int64, len(buckets)+1)}
 	}
 	return s.h
+}
+
+// Latency returns the log-scale latency histogram for (name, labels),
+// creating it on first use. It renders as a Prometheus summary —
+// quantile series (0.5, 0.9, 0.99) plus _sum and _count — and the
+// trace report prints its p50/p90/p99/max snapshot. A nil registry
+// returns a nil (no-op) histogram.
+func (r *Registry) Latency(name string, labels ...Label) *LatencyHistogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.lookup(name, "summary", labels)
+	if s.l == nil {
+		s.l = NewLatencyHistogram()
+	}
+	return s.l
 }
 
 // AbsorbTally adds a metrics.Tally snapshot into the pipeline
@@ -373,6 +406,22 @@ func writeSeries(w io.Writer, f famView, s *series) error {
 			return err
 		}
 		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, suffix(""), n)
+		return err
+	case "summary":
+		snap := s.l.Snapshot()
+		for _, q := range [...]struct {
+			q string
+			v time.Duration
+		}{{"0.5", snap.P50}, {"0.9", snap.P90}, {"0.99", snap.P99}} {
+			qs := fmt.Sprintf("quantile=%q", q.q)
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name, suffix(qs), formatFloat(q.v.Seconds())); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, suffix(""), formatFloat(s.l.sumSeconds())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, suffix(""), snap.Count)
 		return err
 	}
 	return nil

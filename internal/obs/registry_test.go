@@ -101,8 +101,9 @@ func TestAbsorbTallyAndJobStats(t *testing.T) {
 }
 
 // TestPrometheusGolden pins the full exposition output for a small
-// registry: family TYPE lines, label rendering, and histogram
-// bucket/sum/count series.
+// registry: family TYPE lines, label rendering (including a value
+// needing every escape the format defines — backslash, quote, and
+// newline), and histogram bucket/sum/count series.
 func TestPrometheusGolden(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("zsky_http_requests_total", L("route", "/query"), L("code", "200")).Add(3)
@@ -112,12 +113,17 @@ func TestPrometheusGolden(t *testing.T) {
 	h.Observe(0.005)
 	h.Observe(0.05)
 	h.Observe(0.5)
+	// One label value exercising all three escapes at once: a
+	// backslash, a double quote, and a real newline.
+	r.Counter("zsky_errors_total", L("msg", "path\\to \"file\"\nline2")).Add(1)
 
 	var b strings.Builder
 	if err := r.WritePrometheus(&b); err != nil {
 		t.Fatal(err)
 	}
-	want := `# TYPE zsky_http_request_seconds histogram
+	want := `# TYPE zsky_errors_total counter
+zsky_errors_total{msg="path\\to \"file\"\nline2"} 1
+# TYPE zsky_http_request_seconds histogram
 zsky_http_request_seconds_bucket{route="/query",le="0.01"} 1
 zsky_http_request_seconds_bucket{route="/query",le="0.1"} 2
 zsky_http_request_seconds_bucket{route="/query",le="+Inf"} 3
@@ -131,6 +137,24 @@ zsky_skyline_size 42
 `
 	if got := b.String(); got != want {
 		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestEscapeLabel pins the three exposition escapes and that nothing
+// else is touched (tabs and unicode pass through raw — Go-style %q
+// escaping of them is a Prometheus parse error).
+func TestEscapeLabel(t *testing.T) {
+	for in, want := range map[string]string{
+		`plain`:    `plain`,
+		`a\b`:      `a\\b`,
+		`a"b`:      `a\"b`,
+		"a\nb":     `a\nb`,
+		"\\\"\n":   `\\\"\n`,
+		"tab\tüñî": "tab\tüñî",
+	} {
+		if got := escapeLabel(in); got != want {
+			t.Errorf("escapeLabel(%q) = %q, want %q", in, got, want)
+		}
 	}
 }
 

@@ -125,6 +125,10 @@ func writeRegistry(w io.Writer, r *Registry) error {
 					mean = s.h.Sum() / float64(n)
 				}
 				val = fmt.Sprintf("count=%d mean=%s", n, formatFloat(mean))
+			case "summary":
+				snap := s.l.Snapshot()
+				val = fmt.Sprintf("count=%d p50=%v p90=%v p99=%v max=%v",
+					snap.Count, round(snap.P50), round(snap.P90), round(snap.P99), round(snap.Max))
 			}
 			if _, err := fmt.Fprintf(w, "  %-48s %s\n", name, val); err != nil {
 				return err

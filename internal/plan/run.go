@@ -145,6 +145,9 @@ func RunSource(ctx context.Context, spec *Spec, src point.Source, ex Executor, t
 	rep.SkylineSize = len(sky)
 	rep.Total = time.Since(total)
 	if sp := obs.SpanFrom(ctx); sp != nil {
+		if id := obs.RequestIDFrom(ctx); id != "" {
+			sp.SetAttr("request_id", id)
+		}
 		sp.SetAttr("points", n)
 		sp.SetAttr("skyline", rep.SkylineSize)
 		sp.SetAttr("candidates", rep.Candidates)

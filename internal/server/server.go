@@ -15,11 +15,15 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
+	"io"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
+	"zskyline/internal/dominance"
 	"zskyline/internal/metrics"
 	"zskyline/internal/obs"
 	"zskyline/internal/point"
@@ -31,13 +35,23 @@ import (
 
 // Server answers skyline queries over one relation.
 type Server struct {
-	attrs []string
-	index map[string]int
-	ds    *point.Dataset
-	enc   *zorder.Encoder
-	tree  *zbtree.Tree
-	tally *metrics.Tally
-	reg   *obs.Registry
+	attrs   []string
+	index   map[string]int
+	ds      *point.Dataset
+	enc     *zorder.Encoder
+	tree    *zbtree.Tree
+	tally   *metrics.Tally
+	reg     *obs.Registry
+	events  *obs.EventLog
+	version string
+
+	// slow is the latency threshold past which a request's sampled
+	// trace is promoted onto its event record.
+	slow time.Duration
+	// accessLog, when non-nil, receives one structured JSON line per
+	// request.
+	accessLog   io.Writer
+	accessLogMu sync.Mutex
 
 	once sync.Once
 	sky  []point.Point
@@ -79,14 +93,29 @@ func New(attrs []string, ds *point.Dataset, bits int) (*Server, error) {
 	reg.Gauge("zsky_index_build_seconds").Set(time.Since(buildStart).Seconds())
 	reg.Gauge("zsky_dataset_points").Set(float64(ds.Len()))
 	return &Server{
-		attrs: attrs,
-		index: idx,
-		ds:    ds,
-		enc:   enc,
-		tree:  tree,
-		tally: tally,
-		reg:   reg,
+		attrs:   attrs,
+		index:   idx,
+		ds:      ds,
+		enc:     enc,
+		tree:    tree,
+		tally:   tally,
+		reg:     reg,
+		events:  obs.NewEventLog(0),
+		version: datasetVersion(ds, mins, maxs),
+		slow:    250 * time.Millisecond,
 	}, nil
+}
+
+// datasetVersion fingerprints the loaded relation (size, shape, and
+// bounds) so event records from different datasets — or a future
+// reloaded one — are distinguishable.
+func datasetVersion(ds *point.Dataset, mins, maxs []float64) string {
+	h := fnv.New32a()
+	fmt.Fprintf(h, "%d:%d", ds.Len(), ds.Dims)
+	for i := range mins {
+		fmt.Fprintf(h, ":%g:%g", mins[i], maxs[i])
+	}
+	return fmt.Sprintf("v-%08x", h.Sum32())
 }
 
 // Metrics returns the server's observability registry (request
@@ -94,13 +123,34 @@ func New(attrs []string, ds *point.Dataset, bits int) (*Server, error) {
 // absorbed pipeline tally).
 func (s *Server) Metrics() *obs.Registry { return s.reg }
 
+// Events returns the server's per-query event log (also served at
+// GET /debug/events).
+func (s *Server) Events() *obs.EventLog { return s.events }
+
+// SetSlowThreshold sets the latency past which a request's trace is
+// promoted onto its event record; 0 disables promotion.
+func (s *Server) SetSlowThreshold(d time.Duration) { s.slow = d }
+
+// SetEventSampling keeps one in every n query events (errors and slow
+// queries are always kept).
+func (s *Server) SetEventSampling(n int) { s.events.SetSampleEvery(n) }
+
+// SetEventCapacity replaces the event ring with one holding the last
+// n events. Call before Handler — the routes capture the ring.
+func (s *Server) SetEventCapacity(n int) { s.events = obs.NewEventLog(n) }
+
+// SetAccessLog directs one structured JSON line per request (request
+// ID, route, status, duration) to w; nil disables access logging.
+func (s *Server) SetAccessLog(w io.Writer) { s.accessLog = w }
+
 // Handler returns the HTTP routes, each instrumented with request
-// counters and latency histograms, plus GET /metrics serving the
-// registry in Prometheus text format.
+// counters, latency quantiles, per-request tracing, and event-log
+// records, plus GET /metrics (Prometheus text) and GET /debug/events
+// (the per-query event log).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	route := func(pattern, name string, h http.HandlerFunc) {
-		mux.Handle(pattern, s.reg.InstrumentHandler(name, h))
+		mux.Handle(pattern, s.reg.InstrumentHandler(name, s.observe(name, h)))
 	}
 	route("GET /healthz", "/healthz", s.handleHealth)
 	route("GET /skyline", "/skyline", s.handleSkyline)
@@ -108,7 +158,108 @@ func (s *Server) Handler() http.Handler {
 	route("POST /explain", "/explain", s.handleExplain)
 	route("POST /topk", "/topk", s.handleTopK)
 	mux.Handle("GET /metrics", s.reg.PrometheusHandler())
+	mux.Handle("GET /debug/events", s.events.Handler())
 	return mux
+}
+
+// respRecorder captures the response status for the event record and
+// the access log (obs.InstrumentHandler keeps its own; this one feeds
+// the layers it cannot see).
+type respRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *respRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *respRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (r *respRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
+// observe wraps a route with the query-level observability layer:
+//
+//   - a request ID (client-supplied X-Request-Id or generated),
+//     returned in the X-Request-Id response header and propagated via
+//     context so plan spans and downstream RPCs join the query;
+//   - a per-request trace whose top-level child spans become the
+//     event's phase walls, promoted in full onto the event when the
+//     request is slower than the slow threshold;
+//   - a structured Event in the ring (errors and slow queries are
+//     recorded unsampled);
+//   - a per-route latency quantile family and one access-log line.
+func (s *Server) observe(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := r.Header.Get("X-Request-Id")
+		if id == "" {
+			id = obs.NewRequestID()
+		}
+		w.Header().Set("X-Request-Id", id)
+		ev := &obs.Event{
+			ID:        id,
+			Kind:      "query",
+			Route:     route,
+			Dominance: dominance.Descriptor{}.String(),
+			Dataset:   s.version,
+		}
+		tr := obs.NewTrace(route)
+		tr.Root().SetAttr("request_id", id)
+		ctx := obs.ContextWithRequestID(r.Context(), id)
+		ctx = obs.ContextWithTrace(ctx, tr)
+		ctx = obs.ContextWithEvent(ctx, ev)
+		rec := &respRecorder{ResponseWriter: w, status: http.StatusOK}
+
+		h(rec, r.WithContext(ctx))
+
+		dur := time.Since(start)
+		tr.Finish()
+		ev.Status = rec.status
+		ev.DurationMS = float64(dur.Microseconds()) / 1000
+		for _, phase := range tr.Root().Children() {
+			ev.SetPhase(phase.Name(), phase.Duration())
+		}
+		if rec.status >= 500 && ev.Error == "" {
+			ev.SetError("internal", http.StatusText(rec.status))
+		}
+		slow := s.slow > 0 && dur >= s.slow
+		if slow {
+			ev.Trace = obs.Report(tr, nil)
+		}
+		if slow || ev.Error != "" {
+			s.events.RecordForced(*ev)
+		} else {
+			s.events.Record(*ev)
+		}
+		s.reg.Latency("zsky_query_seconds", obs.L("route", route)).Observe(dur)
+		s.logAccess(id, route, rec.status, dur)
+	}
+}
+
+// logAccess emits one structured line per request.
+func (s *Server) logAccess(id, route string, status int, dur time.Duration) {
+	if s.accessLog == nil {
+		return
+	}
+	line, err := json.Marshal(map[string]any{
+		"time":        time.Now().Format(time.RFC3339Nano),
+		"id":          id,
+		"route":       route,
+		"status":      status,
+		"duration_ms": float64(dur.Microseconds()) / 1000,
+	})
+	if err != nil {
+		return
+	}
+	s.accessLogMu.Lock()
+	s.accessLog.Write(append(line, '\n'))
+	s.accessLogMu.Unlock()
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -117,7 +268,14 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, status int, err error) {
+// writeErr reports an error to the client and classifies it on the
+// request's event record.
+func writeErr(w http.ResponseWriter, r *http.Request, status int, err error) {
+	class := "internal"
+	if status < 500 {
+		class = "bad-request"
+	}
+	obs.EventFrom(r.Context()).SetError(class, err.Error())
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
@@ -148,8 +306,13 @@ func (s *Server) fullSkyline() []point.Point {
 	return s.sky
 }
 
-func (s *Server) handleSkyline(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleSkyline(w http.ResponseWriter, r *http.Request) {
+	sp, _ := obs.StartSpan(r.Context(), "solve")
 	sky := s.fullSkyline()
+	sp.End()
+	ev := obs.EventFrom(r.Context())
+	ev.SetQuery("skyline")
+	ev.SetResults(len(sky))
 	writeJSON(w, http.StatusOK, map[string]any{"count": len(sky), "points": sky})
 }
 
@@ -164,11 +327,11 @@ type queryRequest struct {
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req queryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, r, http.StatusBadRequest, err)
 		return
 	}
 	if len(req.Prefer) == 0 {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("no preferences"))
+		writeErr(w, r, http.StatusBadRequest, fmt.Errorf("no preferences"))
 		return
 	}
 	type col struct {
@@ -176,10 +339,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		negate bool
 	}
 	var cols []col
+	var shape strings.Builder
 	for _, p := range req.Prefer {
 		i, ok := s.index[p.Attr]
 		if !ok {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown attribute %q", p.Attr))
+			writeErr(w, r, http.StatusBadRequest, fmt.Errorf("unknown attribute %q", p.Attr))
 			return
 		}
 		switch p.Dir {
@@ -188,16 +352,23 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		case "max":
 			cols = append(cols, col{i, true})
 		case "ignore":
+			continue
 		default:
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("direction %q (want min|max|ignore)", p.Dir))
+			writeErr(w, r, http.StatusBadRequest, fmt.Errorf("direction %q (want min|max|ignore)", p.Dir))
 			return
 		}
+		if shape.Len() > 0 {
+			shape.WriteByte(',')
+		}
+		shape.WriteString(p.Attr + ":" + p.Dir)
 	}
 	if len(cols) == 0 {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("every attribute ignored"))
+		writeErr(w, r, http.StatusBadRequest, fmt.Errorf("every attribute ignored"))
 		return
 	}
+	obs.EventFrom(r.Context()).SetQuery(shape.String())
 	// Project and solve.
+	projSpan, _ := obs.StartSpan(r.Context(), "project")
 	proj := make([]point.Point, s.ds.Len())
 	for r0, row := range s.ds.Points {
 		p := make(point.Point, len(cols))
@@ -210,7 +381,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		proj[r0] = p
 	}
+	projSpan.End()
+	solveSpan, _ := obs.StartSpan(r.Context(), "solve")
 	sky := seq.SB(proj, s.tally)
+	solveSpan.End()
 	// Map back to rows (duplicates consume matching rows).
 	byKey := map[string][]int{}
 	for i, p := range proj {
@@ -226,6 +400,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	sort.Ints(rows)
+	obs.EventFrom(r.Context()).SetResults(len(rows))
 	writeJSON(w, http.StatusOK, map[string]any{"count": len(rows), "rows": rows})
 }
 
@@ -237,15 +412,20 @@ type explainRequest struct {
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	var req explainRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, r, http.StatusBadRequest, err)
 		return
 	}
 	if len(req.Point) != s.ds.Dims {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("point has %d dims, want %d", len(req.Point), s.ds.Dims))
+		writeErr(w, r, http.StatusBadRequest, fmt.Errorf("point has %d dims, want %d", len(req.Point), s.ds.Dims))
 		return
 	}
+	sp, _ := obs.StartSpan(r.Context(), "solve")
 	e := zbtree.NewEntry(s.enc, point.Point(req.Point))
 	doms := s.tree.DominatorsOf(e.G, e.P)
+	sp.End()
+	ev := obs.EventFrom(r.Context())
+	ev.SetQuery("explain")
+	ev.SetResults(len(doms))
 	writeJSON(w, http.StatusOK, map[string]any{
 		"dominated":  len(doms) > 0,
 		"dominators": doms,
@@ -261,22 +441,27 @@ type topkRequest struct {
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	var req topkRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, r, http.StatusBadRequest, err)
 		return
 	}
 	if req.K < 1 {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("k must be positive"))
+		writeErr(w, r, http.StatusBadRequest, fmt.Errorf("k must be positive"))
 		return
 	}
 	if len(req.Weights) != s.ds.Dims {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("weights have %d dims, want %d", len(req.Weights), s.ds.Dims))
+		writeErr(w, r, http.StatusBadRequest, fmt.Errorf("weights have %d dims, want %d", len(req.Weights), s.ds.Dims))
 		return
 	}
 	score, err := rank.WeightedSum(req.Weights)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, r, http.StatusBadRequest, err)
 		return
 	}
+	sp, _ := obs.StartSpan(r.Context(), "solve")
 	top := rank.TopKByScore(s.fullSkyline(), req.K, score)
+	sp.End()
+	ev := obs.EventFrom(r.Context())
+	ev.SetQuery(fmt.Sprintf("topk:k=%d", req.K))
+	ev.SetResults(len(top))
 	writeJSON(w, http.StatusOK, map[string]any{"results": top})
 }

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"zskyline/internal/gen"
+	"zskyline/internal/obs"
 	"zskyline/internal/point"
 	"zskyline/internal/seq"
 )
@@ -219,6 +220,190 @@ func TestExplainEndpoint(t *testing.T) {
 	resp, _ = postJSON(t, ts.URL+"/explain", map[string]any{"point": []float64{1}})
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("dim mismatch accepted: %d", resp.StatusCode)
+	}
+}
+
+func TestRequestIDHeader(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	id := resp.Header.Get("X-Request-Id")
+	if id == "" {
+		t.Fatal("no X-Request-Id header")
+	}
+
+	// A client-supplied ID is echoed back and stamped on the event.
+	req, _ := http.NewRequest("GET", ts.URL+"/healthz", nil)
+	req.Header.Set("X-Request-Id", "client-chosen-1")
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	io.Copy(io.Discard, resp2.Body)
+	if got := resp2.Header.Get("X-Request-Id"); got != "client-chosen-1" {
+		t.Fatalf("X-Request-Id = %q, want client-chosen-1", got)
+	}
+}
+
+func TestEventsEndpoint(t *testing.T) {
+	s, ts, _ := newTestServer(t)
+	resp, out := postJSON(t, ts.URL+"/query", map[string]any{
+		"prefer": []map[string]string{
+			{"attr": "price", "dir": "min"},
+			{"attr": "rating", "dir": "max"},
+		},
+	})
+	_ = out
+	if resp.StatusCode != http.StatusBadRequest { // rating is not an attr of this dataset
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	resp2, out2 := postJSON(t, ts.URL+"/query", map[string]any{
+		"prefer": []map[string]string{
+			{"attr": "price", "dir": "min"},
+			{"attr": "distance", "dir": "min"},
+		},
+	})
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %v", resp2.StatusCode, out2)
+	}
+	id := resp2.Header.Get("X-Request-Id")
+
+	// The event log holds both requests, queryable by request ID.
+	respEv, err := http.Get(ts.URL + "/debug/events?id=" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer respEv.Body.Close()
+	var evOut struct {
+		Events []map[string]any `json:"events"`
+	}
+	if err := json.NewDecoder(respEv.Body).Decode(&evOut); err != nil {
+		t.Fatal(err)
+	}
+	if len(evOut.Events) != 1 {
+		t.Fatalf("events for %s = %d, want 1", id, len(evOut.Events))
+	}
+	ev := evOut.Events[0]
+	if ev["route"] != "/query" || ev["query"] != "price:min,distance:min" {
+		t.Errorf("event = %v", ev)
+	}
+	if ev["dominance"] != "pareto" || ev["dataset"] == "" {
+		t.Errorf("event missing dominance/dataset: %v", ev)
+	}
+	if int(ev["results"].(float64)) != int(out2["count"].(float64)) {
+		t.Errorf("event results %v != response count %v", ev["results"], out2["count"])
+	}
+	if _, ok := ev["phases"].(map[string]any)["solve"]; !ok {
+		t.Errorf("event phases missing solve: %v", ev["phases"])
+	}
+
+	// The bad-request event is classified and carries the message.
+	var bad *map[string]any
+	for _, e := range snapshotEvents(t, s) {
+		if e["status"].(float64) == http.StatusBadRequest {
+			bad = &e
+			break
+		}
+	}
+	if bad == nil {
+		t.Fatal("no bad-request event recorded")
+	}
+	if (*bad)["error"] != "bad-request" || (*bad)["message"] == "" {
+		t.Errorf("bad-request event = %v", *bad)
+	}
+}
+
+func snapshotEvents(t *testing.T, s *Server) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	for _, ev := range s.Events().Snapshot() {
+		blob, err := json.Marshal(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m map[string]any
+		json.Unmarshal(blob, &m)
+		out = append(out, m)
+	}
+	return out
+}
+
+func TestSlowQueryTracePromotion(t *testing.T) {
+	s, ts, _ := newTestServer(t)
+	// Threshold 1ns: every request is "slow" and carries its trace.
+	s.SetSlowThreshold(1)
+	resp, err := http.Get(ts.URL + "/skyline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	events := s.Events().Snapshot()
+	if len(events) == 0 {
+		t.Fatal("no events")
+	}
+	last := events[len(events)-1]
+	if last.Trace == "" || !strings.Contains(last.Trace, "solve") {
+		t.Fatalf("slow event trace = %q, want span tree with solve", last.Trace)
+	}
+	if !strings.Contains(last.Trace, "request_id="+last.ID) {
+		t.Fatalf("trace not joined to request id:\n%s", last.Trace)
+	}
+}
+
+func TestAccessLogLine(t *testing.T) {
+	s, ts, _ := newTestServer(t)
+	var buf bytes.Buffer
+	s.SetAccessLog(&buf)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	var line map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &line); err != nil {
+		t.Fatalf("access log not one JSON line: %q", buf.String())
+	}
+	if line["route"] != "/healthz" || line["status"].(float64) != 200 {
+		t.Errorf("access line = %v", line)
+	}
+	if line["id"] != resp.Header.Get("X-Request-Id") {
+		t.Errorf("access line id %v != header %q", line["id"], resp.Header.Get("X-Request-Id"))
+	}
+	if line["duration_ms"].(float64) < 0 {
+		t.Errorf("bad duration: %v", line)
+	}
+}
+
+func TestQueryLatencyQuantiles(t *testing.T) {
+	s, ts, _ := newTestServer(t)
+	for i := 0; i < 5; i++ {
+		resp, err := http.Get(ts.URL + "/skyline")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	snap := s.Metrics().Latency("zsky_query_seconds", obs.L("route", "/skyline")).Snapshot()
+	if snap.Count != 5 || snap.P50 <= 0 || snap.P99 < snap.P50 {
+		t.Fatalf("latency snapshot = %+v", snap)
+	}
+	// And the summary renders in the exposition.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), `zsky_query_seconds{route="/skyline",quantile="0.99"}`) {
+		t.Fatalf("exposition missing query latency summary:\n%s", body)
 	}
 }
 
