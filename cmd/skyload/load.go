@@ -18,9 +18,13 @@ import (
 type LoadConfig struct {
 	// Addr is the target skyserve base URL (http://host:port).
 	Addr string
+	// Dataset, when non-empty, targets the named dataset's routes
+	// (/datasets/<name>/...) instead of the legacy single-dataset
+	// surface.
+	Dataset string
 	// Clients is the number of concurrent requesters.
 	Clients int
-	// N is the total number of queries to issue.
+	// N is the total number of operations to issue.
 	N int
 	// Rate, when positive, is the offered load in queries per second
 	// across all clients, generated open-loop: every arrival is
@@ -29,13 +33,28 @@ type LoadConfig struct {
 	// arrival clock (no coordinated omission). Rate 0 runs closed-loop:
 	// each client fires its next query as soon as the previous returns.
 	Rate float64
-	// Mix selects the routes exercised: "skyline", "query", or "mixed"
-	// (alternating between the two).
+	// Mix selects the routes exercised: "skyline", "query", "mixed"
+	// (alternating between the two), or "churn" (mixed, with every
+	// IngestEvery-th operation an ingest of IngestBatch random points —
+	// the cache-invalidation workload).
 	Mix string
+	// IngestEvery makes every k-th operation an ingest under the churn
+	// mix (default 10).
+	IngestEvery int
+	// IngestBatch is the points per churn ingest (default 16).
+	IngestBatch int
 	// Seed drives query-shape randomization.
 	Seed int64
 	// Timeout bounds each request.
 	Timeout time.Duration
+}
+
+// basePath is the route prefix the run targets.
+func (c LoadConfig) basePath() string {
+	if c.Dataset == "" {
+		return ""
+	}
+	return "/datasets/" + c.Dataset
 }
 
 // RouteStats is one route's summary after a run.
@@ -43,16 +62,20 @@ type RouteStats struct {
 	Route  string
 	Count  int64
 	Errors int64
-	Lat    obs.LatencySnapshot
+	// Rejected counts 429 admission rejections — offered load the
+	// server declined by design, tracked apart from errors.
+	Rejected int64
+	Lat      obs.LatencySnapshot
 }
 
 // LoadResult is a finished run.
 type LoadResult struct {
-	Total  int64
-	Errors int64
-	Wall   time.Duration
-	QPS    float64
-	Routes []RouteStats
+	Total    int64
+	Errors   int64
+	Rejected int64
+	Wall     time.Duration
+	QPS      float64
+	Routes   []RouteStats
 }
 
 // job is one scheduled request.
@@ -64,25 +87,28 @@ type job struct {
 
 // routeTally accumulates one route's outcomes across clients.
 type routeTally struct {
-	hist         *obs.LatencyHistogram
-	count, errrs int64
-	mu           sync.Mutex
+	hist                   *obs.LatencyHistogram
+	count, errrs, rejected int64
+	mu                     sync.Mutex
 }
 
-func (t *routeTally) observe(d time.Duration, failed bool) {
+func (t *routeTally) observe(d time.Duration, failed, rejected bool) {
 	t.hist.Observe(d)
 	t.mu.Lock()
 	t.count++
 	if failed {
 		t.errrs++
 	}
+	if rejected {
+		t.rejected++
+	}
 	t.mu.Unlock()
 }
 
-// fetchAttrs asks the target's /healthz for the dataset's attribute
-// names, which seed the randomized /query bodies.
-func fetchAttrs(client *http.Client, addr string) ([]string, error) {
-	resp, err := client.Get(addr + "/healthz")
+// fetchAttrs asks the target's healthz for the dataset's attribute
+// names, which seed the randomized /query bodies and churn ingests.
+func fetchAttrs(client *http.Client, cfg LoadConfig) ([]string, error) {
+	resp, err := client.Get(cfg.Addr + cfg.basePath() + "/healthz")
 	if err != nil {
 		return nil, fmt.Errorf("healthz: %w", err)
 	}
@@ -120,9 +146,31 @@ func queryBody(rng *rand.Rand, attrs []string) []byte {
 	return blob
 }
 
+// ingestBody builds a batch of random unit-box points.
+func ingestBody(rng *rand.Rand, dims, n int) []byte {
+	pts := make([][]float64, n)
+	for i := range pts {
+		row := make([]float64, dims)
+		for d := range row {
+			row[d] = rng.Float64()
+		}
+		pts[i] = row
+	}
+	blob, _ := json.Marshal(map[string]any{"points": pts})
+	return blob
+}
+
 // buildJobs materializes the run's full request schedule.
 func buildJobs(cfg LoadConfig, attrs []string, start time.Time) ([]job, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	ingestEvery := cfg.IngestEvery
+	if ingestEvery < 1 {
+		ingestEvery = 10
+	}
+	ingestBatch := cfg.IngestBatch
+	if ingestBatch < 1 {
+		ingestBatch = 16
+	}
 	jobs := make([]job, cfg.N)
 	for i := range jobs {
 		var j job
@@ -131,14 +179,16 @@ func buildJobs(cfg LoadConfig, attrs []string, start time.Time) ([]job, error) {
 			j.route = "/skyline"
 		case "query":
 			j.route, j.body = "/query", queryBody(rng, attrs)
-		case "mixed":
-			if i%2 == 0 {
+		case "mixed", "churn":
+			if cfg.Mix == "churn" && i%ingestEvery == ingestEvery-1 {
+				j.route, j.body = "/ingest", ingestBody(rng, len(attrs), ingestBatch)
+			} else if i%2 == 0 {
 				j.route = "/skyline"
 			} else {
 				j.route, j.body = "/query", queryBody(rng, attrs)
 			}
 		default:
-			return nil, fmt.Errorf("unknown mix %q (want skyline, query, or mixed)", cfg.Mix)
+			return nil, fmt.Errorf("unknown mix %q (want skyline, query, mixed, or churn)", cfg.Mix)
 		}
 		if cfg.Rate > 0 {
 			j.arrival = start.Add(time.Duration(float64(i) / cfg.Rate * float64(time.Second)))
@@ -147,6 +197,9 @@ func buildJobs(cfg LoadConfig, attrs []string, start time.Time) ([]job, error) {
 	}
 	return jobs, nil
 }
+
+// loadRoutes is the fixed tally/report route order.
+var loadRoutes = []string{"/skyline", "/query", "/ingest"}
 
 // runLoad executes the configured load and summarizes per-route
 // latency quantiles.
@@ -160,6 +213,9 @@ func runLoad(cfg LoadConfig) (*LoadResult, error) {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 10 * time.Second
 	}
+	if cfg.Mix == "churn" && cfg.Dataset == "" {
+		return nil, fmt.Errorf("churn mix needs -dataset (the legacy surface has no ingest route)")
+	}
 	client := &http.Client{
 		Timeout: cfg.Timeout,
 		Transport: &http.Transport{
@@ -167,7 +223,7 @@ func runLoad(cfg LoadConfig) (*LoadResult, error) {
 			MaxIdleConnsPerHost: cfg.Clients * 2,
 		},
 	}
-	attrs, err := fetchAttrs(client, cfg.Addr)
+	attrs, err := fetchAttrs(client, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -178,9 +234,9 @@ func runLoad(cfg LoadConfig) (*LoadResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	tallies := map[string]*routeTally{
-		"/skyline": {hist: obs.NewLatencyHistogram()},
-		"/query":   {hist: obs.NewLatencyHistogram()},
+	tallies := map[string]*routeTally{}
+	for _, route := range loadRoutes {
+		tallies[route] = &routeTally{hist: obs.NewLatencyHistogram()}
 	}
 
 	jobCh := make(chan job, len(jobs))
@@ -189,6 +245,7 @@ func runLoad(cfg LoadConfig) (*LoadResult, error) {
 	}
 	close(jobCh)
 
+	base := cfg.basePath()
 	var wg sync.WaitGroup
 	for c := 0; c < cfg.Clients; c++ {
 		wg.Add(1)
@@ -201,8 +258,8 @@ func runLoad(cfg LoadConfig) (*LoadResult, error) {
 				} else if d := time.Until(t0); d > 0 {
 					time.Sleep(d)
 				}
-				failed := doRequest(client, cfg.Addr, j)
-				tallies[j.route].observe(time.Since(t0), failed)
+				failed, rejected := doRequest(client, cfg.Addr+base, j)
+				tallies[j.route].observe(time.Since(t0), failed, rejected)
 			}
 		}()
 	}
@@ -213,15 +270,17 @@ func runLoad(cfg LoadConfig) (*LoadResult, error) {
 	}
 
 	res := &LoadResult{Wall: wall}
-	for _, route := range []string{"/skyline", "/query"} {
+	for _, route := range loadRoutes {
 		t := tallies[route]
 		if t.count == 0 {
 			continue
 		}
 		res.Total += t.count
 		res.Errors += t.errrs
+		res.Rejected += t.rejected
 		res.Routes = append(res.Routes, RouteStats{
-			Route: route, Count: t.count, Errors: t.errrs, Lat: t.hist.Snapshot(),
+			Route: route, Count: t.count, Errors: t.errrs, Rejected: t.rejected,
+			Lat: t.hist.Snapshot(),
 		})
 	}
 	res.QPS = float64(res.Total) / wall.Seconds()
@@ -229,64 +288,71 @@ func runLoad(cfg LoadConfig) (*LoadResult, error) {
 }
 
 // doRequest issues one request, draining the body so connections are
-// reused; it reports whether the request failed.
-func doRequest(client *http.Client, addr string, j job) bool {
+// reused; it reports whether the request failed and whether the
+// failure was an admission rejection (429).
+func doRequest(client *http.Client, base string, j job) (failed, rejected bool) {
 	var (
 		resp *http.Response
 		err  error
 	)
 	if j.body == nil {
-		resp, err = client.Get(addr + j.route)
+		resp, err = client.Get(base + j.route)
 	} else {
-		resp, err = client.Post(addr+j.route, "application/json", bytes.NewReader(j.body))
+		resp, err = client.Post(base+j.route, "application/json", bytes.NewReader(j.body))
 	}
 	if err != nil {
-		return true
+		return true, false
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	return resp.StatusCode != http.StatusOK
+	if resp.StatusCode == http.StatusTooManyRequests {
+		return false, true
+	}
+	return resp.StatusCode != http.StatusOK, false
 }
 
 // ---- reporting ----
 
 // loadRouteReport is one route's row in LOAD_<tag>.json.
 type loadRouteReport struct {
-	Route  string  `json:"route"`
-	Count  int64   `json:"count"`
-	Errors int64   `json:"errors"`
-	MeanMS float64 `json:"mean_ms"`
-	P50MS  float64 `json:"p50_ms"`
-	P90MS  float64 `json:"p90_ms"`
-	P99MS  float64 `json:"p99_ms"`
-	MaxMS  float64 `json:"max_ms"`
+	Route    string  `json:"route"`
+	Count    int64   `json:"count"`
+	Errors   int64   `json:"errors"`
+	Rejected int64   `json:"rejected,omitempty"`
+	MeanMS   float64 `json:"mean_ms"`
+	P50MS    float64 `json:"p50_ms"`
+	P90MS    float64 `json:"p90_ms"`
+	P99MS    float64 `json:"p99_ms"`
+	MaxMS    float64 `json:"max_ms"`
 }
 
 // loadReport is the persisted run summary.
 type loadReport struct {
-	Tag     string            `json:"tag"`
-	Addr    string            `json:"addr"`
-	Mix     string            `json:"mix"`
-	Clients int               `json:"clients"`
-	N       int               `json:"n"`
-	RateQPS float64           `json:"rate_qps"`
-	WallMS  float64           `json:"wall_ms"`
-	QPS     float64           `json:"qps"`
-	Errors  int64             `json:"errors"`
-	Routes  []loadRouteReport `json:"routes"`
+	Tag      string            `json:"tag"`
+	Addr     string            `json:"addr"`
+	Dataset  string            `json:"dataset,omitempty"`
+	Mix      string            `json:"mix"`
+	Clients  int               `json:"clients"`
+	N        int               `json:"n"`
+	RateQPS  float64           `json:"rate_qps"`
+	WallMS   float64           `json:"wall_ms"`
+	QPS      float64           `json:"qps"`
+	Errors   int64             `json:"errors"`
+	Rejected int64             `json:"rejected,omitempty"`
+	Routes   []loadRouteReport `json:"routes"`
 }
 
 func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 
 func buildReport(cfg LoadConfig, tag string, res *LoadResult) loadReport {
 	rep := loadReport{
-		Tag: tag, Addr: cfg.Addr, Mix: cfg.Mix,
+		Tag: tag, Addr: cfg.Addr, Dataset: cfg.Dataset, Mix: cfg.Mix,
 		Clients: cfg.Clients, N: cfg.N, RateQPS: cfg.Rate,
-		WallMS: ms(res.Wall), QPS: res.QPS, Errors: res.Errors,
+		WallMS: ms(res.Wall), QPS: res.QPS, Errors: res.Errors, Rejected: res.Rejected,
 	}
 	for _, rs := range res.Routes {
 		rep.Routes = append(rep.Routes, loadRouteReport{
-			Route: rs.Route, Count: rs.Count, Errors: rs.Errors,
+			Route: rs.Route, Count: rs.Count, Errors: rs.Errors, Rejected: rs.Rejected,
 			MeanMS: ms(rs.Lat.Mean), P50MS: ms(rs.Lat.P50),
 			P90MS: ms(rs.Lat.P90), P99MS: ms(rs.Lat.P99), MaxMS: ms(rs.Lat.Max),
 		})
@@ -296,14 +362,14 @@ func buildReport(cfg LoadConfig, tag string, res *LoadResult) loadReport {
 
 // writeTable renders the human-readable quantile table.
 func writeTable(w io.Writer, res *LoadResult) {
-	fmt.Fprintf(w, "%-10s %8s %6s %10s %10s %10s %10s\n",
-		"route", "count", "err", "p50", "p90", "p99", "max")
+	fmt.Fprintf(w, "%-10s %8s %6s %6s %10s %10s %10s %10s\n",
+		"route", "count", "err", "rej", "p50", "p90", "p99", "max")
 	for _, rs := range res.Routes {
-		fmt.Fprintf(w, "%-10s %8d %6d %10v %10v %10v %10v\n",
-			rs.Route, rs.Count, rs.Errors,
+		fmt.Fprintf(w, "%-10s %8d %6d %6d %10v %10v %10v %10v\n",
+			rs.Route, rs.Count, rs.Errors, rs.Rejected,
 			rs.Lat.P50.Round(time.Microsecond), rs.Lat.P90.Round(time.Microsecond),
 			rs.Lat.P99.Round(time.Microsecond), rs.Lat.Max.Round(time.Microsecond))
 	}
-	fmt.Fprintf(w, "total: %d queries in %v (%.1f qps), %d errors\n",
-		res.Total, res.Wall.Round(time.Millisecond), res.QPS, res.Errors)
+	fmt.Fprintf(w, "total: %d queries in %v (%.1f qps), %d errors, %d rejected\n",
+		res.Total, res.Wall.Round(time.Millisecond), res.QPS, res.Errors, res.Rejected)
 }

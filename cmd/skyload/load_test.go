@@ -86,6 +86,51 @@ func TestOpenLoopMeasuresFromArrival(t *testing.T) {
 	}
 }
 
+// TestChurnMixAgainstNamedDataset drives the ingest+query workload at
+// a named dataset: ingests land (version moves), queries keep
+// answering, and the run distinguishes rejections from errors.
+func TestChurnMixAgainstNamedDataset(t *testing.T) {
+	svc := server.NewService(server.Config{Bits: 10})
+	e, err := svc.CreateDataset(server.DatasetSpec{Name: "hot", Attrs: []string{"x", "y"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	cfg := LoadConfig{
+		Addr: ts.URL, Dataset: "hot", Clients: 4, N: 120, Mix: "churn",
+		IngestEvery: 6, IngestBatch: 4, Seed: 2, Timeout: 5 * time.Second,
+	}
+	res, err := runLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != 120 || res.Errors != 0 {
+		t.Fatalf("total=%d errors=%d, want 120/0", res.Total, res.Errors)
+	}
+	var sawIngest bool
+	for _, rs := range res.Routes {
+		if rs.Route == "/ingest" {
+			sawIngest = true
+			if rs.Count != 20 {
+				t.Errorf("ingest count = %d, want 120/6", rs.Count)
+			}
+		}
+	}
+	if !sawIngest {
+		t.Fatal("churn mix issued no ingests")
+	}
+	if e.Version() != 20 {
+		t.Errorf("dataset version = %d after 20 ingests", e.Version())
+	}
+
+	// churn needs a named dataset.
+	if _, err := runLoad(LoadConfig{Addr: ts.URL, N: 1, Mix: "churn"}); err == nil {
+		t.Error("churn without -dataset accepted")
+	}
+}
+
 func TestBuildJobsMixAndSchedule(t *testing.T) {
 	start := time.Now()
 	jobs, err := buildJobs(LoadConfig{N: 10, Mix: "mixed", Rate: 100, Seed: 7}, []string{"x", "y"}, start)

@@ -7,6 +7,13 @@
 //	skyserve -in hotels.csv -listen :8080 &
 //	skyload -addr http://127.0.0.1:8080 -n 5000 -clients 16
 //	skyload -addr http://127.0.0.1:8080 -n 5000 -rate 500 -tag nightly
+//	skyload -addr http://127.0.0.1:8080 -dataset hotels -mix churn -n 5000
+//
+// -dataset targets a named dataset's routes; the churn mix
+// interleaves ingest batches with queries (every -ingest-every-th
+// operation posts -ingest-batch random points), exercising version
+// bumps and cache invalidation under load. 429 admission rejections
+// are reported separately from errors and do not fail the run.
 //
 // With -rate the load is generated open-loop: arrivals are scheduled
 // at the target rate regardless of how fast the server answers, and
@@ -29,14 +36,17 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", "", "target skyserve base URL, e.g. http://127.0.0.1:8080 (required)")
-		clients = flag.Int("clients", 8, "concurrent client connections")
-		n       = flag.Int("n", 1000, "total queries to issue")
-		rate    = flag.Float64("rate", 0, "offered load in queries/sec, open-loop (0 = closed-loop)")
-		mix     = flag.String("mix", "mixed", "route mix: skyline | query | mixed")
-		seed    = flag.Int64("seed", 42, "query-shape randomization seed")
-		timeout = flag.Duration("timeout", 10*time.Second, "per-request timeout")
-		tag     = flag.String("tag", "", "also write the summary to LOAD_<tag>.json")
+		addr        = flag.String("addr", "", "target skyserve base URL, e.g. http://127.0.0.1:8080 (required)")
+		dataset     = flag.String("dataset", "", "target a named dataset's routes (/datasets/<name>/...) instead of the legacy surface")
+		clients     = flag.Int("clients", 8, "concurrent client connections")
+		n           = flag.Int("n", 1000, "total operations to issue")
+		rate        = flag.Float64("rate", 0, "offered load in queries/sec, open-loop (0 = closed-loop)")
+		mix         = flag.String("mix", "mixed", "route mix: skyline | query | mixed | churn (mixed + ingest; needs -dataset)")
+		ingestEvery = flag.Int("ingest-every", 10, "churn mix: every k-th operation is an ingest")
+		ingestBatch = flag.Int("ingest-batch", 16, "churn mix: points per ingest")
+		seed        = flag.Int64("seed", 42, "query-shape randomization seed")
+		timeout     = flag.Duration("timeout", 10*time.Second, "per-request timeout")
+		tag         = flag.String("tag", "", "also write the summary to LOAD_<tag>.json")
 	)
 	flag.Parse()
 	if *addr == "" {
@@ -45,8 +55,9 @@ func main() {
 	}
 
 	cfg := LoadConfig{
-		Addr: *addr, Clients: *clients, N: *n, Rate: *rate,
-		Mix: *mix, Seed: *seed, Timeout: *timeout,
+		Addr: *addr, Dataset: *dataset, Clients: *clients, N: *n, Rate: *rate,
+		Mix: *mix, IngestEvery: *ingestEvery, IngestBatch: *ingestBatch,
+		Seed: *seed, Timeout: *timeout,
 	}
 	res, err := runLoad(cfg)
 	if err != nil {

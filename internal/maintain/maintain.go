@@ -37,6 +37,12 @@ type Maintainer struct {
 	sky   *zbtree.Tree
 	tally *metrics.Tally
 	seen  int64
+	// version counts successful non-empty inserts: it identifies the
+	// data state monotonically, so serving layers can key caches by it.
+	version uint64
+	// view caches the skyline snapshot handed out by View; nil when
+	// stale (invalidated on every insert).
+	view []point.Point
 }
 
 // New creates a Maintainer for dims-dimensional points over the value
@@ -112,6 +118,8 @@ func (m *Maintainer) InsertBlock(b point.Block) (int, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.seen += int64(b.Len())
+	m.version++
+	m.view = nil
 	if !dominance.IsPareto(m.prov) {
 		skyB := zbtree.ZSearchBlockUnder(m.prov, m.enc, 0, b, m.tally)
 		if skyB.Len() > 0 {
@@ -154,6 +162,39 @@ func (m *Maintainer) Skyline() []point.Point {
 	return m.sky.Points()
 }
 
+// View returns the current skyline (in Z-order) and the data version,
+// without copying on repeat calls: the snapshot is cached until the
+// next insert, so read-heavy serving layers share one immutable slice.
+// Callers must not mutate the returned points.
+func (m *Maintainer) View() ([]point.Point, uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.view == nil {
+		m.view = m.sky.Points()
+	}
+	return m.view, m.version
+}
+
+// Version returns the number of successful non-empty inserts so far —
+// a monotonic identifier of the maintained data state.
+func (m *Maintainer) Version() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.version
+}
+
+// Dims returns the dimensionality of maintained points.
+func (m *Maintainer) Dims() int { return m.enc.Dims() }
+
+// Bits returns the Z-order grid resolution.
+func (m *Maintainer) Bits() int { return m.enc.Bits() }
+
+// Descriptor returns the wire form of the maintained dominance
+// relation.
+func (m *Maintainer) Descriptor() dominance.Descriptor {
+	return m.prov.Descriptor()
+}
+
 // Size returns the current skyline cardinality.
 func (m *Maintainer) Size() int {
 	m.mu.Lock()
@@ -177,30 +218,61 @@ func (m *Maintainer) Dominated(p point.Point) bool {
 	return m.sky.DominatesPointUnder(m.prov, e.G, e.P)
 }
 
+// Dominators returns the skyline points that dominate p under the
+// maintained relation. Because maintained relations are transitive,
+// the list is non-empty exactly when p is dominated by *any* inserted
+// point — the skyline members are the canonical witnesses.
+func (m *Maintainer) Dominators(p point.Point) []point.Point {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []point.Point
+	for _, q := range m.sky.Points() {
+		if m.prov.Dominates(q, p) {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
 // Stats exposes the accumulated dominance/region test counters.
 func (m *Maintainer) Stats() metrics.Snapshot {
 	return m.tally.Snapshot()
 }
 
-// Save serializes the maintainer's state: a small header (bits,
-// encoder box, points seen) followed by the skyline in ZSKY binary
-// form. The full input stream is NOT retained — only the skyline —
-// which is exactly the information needed to continue inserting.
+// snapMagic opens the versioned snapshot format: a header carrying the
+// dominance descriptor and data version alongside the legacy fields
+// (bits, box, points seen), followed by the skyline in ZSKY binary
+// form. The magic byte 'Z' (0x5A) cannot collide with the legacy
+// header, whose first field was bits <= 32.
+var snapMagic = [4]byte{'Z', 'M', 'T', '2'}
+
+// Save serializes the maintainer's state: a header (magic, bits, data
+// version, points seen, dominance descriptor, encoder box) followed by
+// the skyline in ZSKY binary form. The full input stream is NOT
+// retained — only the skyline — which is exactly the information
+// needed to continue inserting. Any maintainable (transitive) relation
+// round-trips: the descriptor travels in the header and Load
+// reconstructs the provider from it.
 func (m *Maintainer) Save(w io.Writer) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if !dominance.IsPareto(m.prov) {
-		return fmt.Errorf("maintain: Save supports only the Pareto relation (have %q)", m.prov.Name())
+	desc := []byte(m.prov.Descriptor().String())
+	if len(desc) > math.MaxUint16 {
+		return fmt.Errorf("maintain: descriptor too long (%d bytes)", len(desc))
 	}
 	dims := m.enc.Dims()
-	hdr := make([]byte, 4+4+8+16*dims)
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(m.enc.Bits()))
-	binary.LittleEndian.PutUint32(hdr[4:8], uint32(dims))
-	binary.LittleEndian.PutUint64(hdr[8:16], uint64(m.seen))
+	hdr := make([]byte, 0, 4+4+4+8+8+2+len(desc)+16*dims)
+	hdr = append(hdr, snapMagic[:]...)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(m.enc.Bits()))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(dims))
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(m.seen))
+	hdr = binary.LittleEndian.AppendUint64(hdr, m.version)
+	hdr = binary.LittleEndian.AppendUint16(hdr, uint16(len(desc)))
+	hdr = append(hdr, desc...)
 	mins, maxs := m.bounds()
 	for k := 0; k < dims; k++ {
-		binary.LittleEndian.PutUint64(hdr[16+16*k:], math.Float64bits(mins[k]))
-		binary.LittleEndian.PutUint64(hdr[24+16*k:], math.Float64bits(maxs[k]))
+		hdr = binary.LittleEndian.AppendUint64(hdr, math.Float64bits(mins[k]))
+		hdr = binary.LittleEndian.AppendUint64(hdr, math.Float64bits(maxs[k]))
 	}
 	if _, err := w.Write(hdr); err != nil {
 		return err
@@ -220,15 +292,53 @@ func (m *Maintainer) bounds() (mins, maxs []float64) {
 	return m.enc.CellMin(zero), m.enc.CellMax(top)
 }
 
-// Load restores a maintainer previously written by Save.
+// Load restores a maintainer previously written by Save. Both the
+// current descriptor-carrying format and the legacy Pareto-only header
+// are accepted.
 func Load(r io.Reader) (*Maintainer, error) {
-	head := make([]byte, 16)
+	head := make([]byte, 4)
 	if _, err := io.ReadFull(r, head); err != nil {
 		return nil, fmt.Errorf("maintain: reading header: %w", err)
 	}
-	bits := int(binary.LittleEndian.Uint32(head[0:4]))
-	dims := int(binary.LittleEndian.Uint32(head[4:8]))
-	seen := int64(binary.LittleEndian.Uint64(head[8:16]))
+	var (
+		bits, dims int
+		seen       int64
+		version    uint64
+		prov       dominance.Provider
+	)
+	if [4]byte(head) == snapMagic {
+		rest := make([]byte, 4+4+8+8+2)
+		if _, err := io.ReadFull(r, rest); err != nil {
+			return nil, fmt.Errorf("maintain: reading header: %w", err)
+		}
+		bits = int(binary.LittleEndian.Uint32(rest[0:4]))
+		dims = int(binary.LittleEndian.Uint32(rest[4:8]))
+		seen = int64(binary.LittleEndian.Uint64(rest[8:16]))
+		version = binary.LittleEndian.Uint64(rest[16:24])
+		descLen := int(binary.LittleEndian.Uint16(rest[24:26]))
+		descBuf := make([]byte, descLen)
+		if _, err := io.ReadFull(r, descBuf); err != nil {
+			return nil, fmt.Errorf("maintain: reading descriptor: %w", err)
+		}
+		var err error
+		prov, err = dominance.Parse(string(descBuf))
+		if err != nil {
+			return nil, fmt.Errorf("maintain: snapshot descriptor: %w", err)
+		}
+	} else {
+		// Legacy header: bits, dims, seen — always Pareto, version
+		// unknown (restored as seen inserts collapsed to one state).
+		rest := make([]byte, 12)
+		if _, err := io.ReadFull(r, rest); err != nil {
+			return nil, fmt.Errorf("maintain: reading header: %w", err)
+		}
+		bits = int(binary.LittleEndian.Uint32(head))
+		dims = int(binary.LittleEndian.Uint32(rest[0:4]))
+		seen = int64(binary.LittleEndian.Uint64(rest[4:12]))
+		if seen > 0 {
+			version = 1
+		}
+	}
 	if dims <= 0 || dims > 1<<20 || bits <= 0 || bits > 32 {
 		return nil, fmt.Errorf("maintain: implausible header dims=%d bits=%d", dims, bits)
 	}
@@ -242,7 +352,7 @@ func Load(r io.Reader) (*Maintainer, error) {
 		mins[k] = math.Float64frombits(binary.LittleEndian.Uint64(box[16*k:]))
 		maxs[k] = math.Float64frombits(binary.LittleEndian.Uint64(box[8+16*k:]))
 	}
-	m, err := New(dims, bits, mins, maxs)
+	m, err := NewUnder(prov, dims, bits, mins, maxs)
 	if err != nil {
 		return nil, err
 	}
@@ -255,5 +365,6 @@ func Load(r io.Reader) (*Maintainer, error) {
 	}
 	m.sky = zbtree.BuildFromPoints(m.enc, 0, ds.Points, m.tally)
 	m.seen = seen
+	m.version = version
 	return m, nil
 }

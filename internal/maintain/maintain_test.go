@@ -180,6 +180,38 @@ func TestSaveLoadRoundtrip(t *testing.T) {
 	sameSet(t, restored.Skyline(), seq.BruteForce(all), "after more inserts")
 }
 
+func TestViewAndVersion(t *testing.T) {
+	m, _ := NewUnit(2, 8)
+	if v, version := m.View(); len(v) != 0 || version != 0 {
+		t.Fatalf("fresh view = %d points @ v%d", len(v), version)
+	}
+	m.Insert([]point.Point{{0.5, 0.5}, {0.2, 0.8}})
+	v1, ver1 := m.View()
+	if ver1 != 1 || len(v1) != 2 {
+		t.Fatalf("view after insert = %d points @ v%d, want 2 @ v1", len(v1), ver1)
+	}
+	// Repeat reads share the cached snapshot — no copy per call.
+	v1b, _ := m.View()
+	if &v1[0] != &v1b[0] {
+		t.Error("View copied despite no intervening insert")
+	}
+	// An insert bumps the version and invalidates the view; the old
+	// snapshot stays intact for readers still holding it.
+	m.Insert([]point.Point{{0.1, 0.1}})
+	v2, ver2 := m.View()
+	if ver2 != 2 || len(v2) != 1 {
+		t.Fatalf("view after dominating insert = %d points @ v%d, want 1 @ v2", len(v2), ver2)
+	}
+	if len(v1) != 2 {
+		t.Error("earlier snapshot mutated by insert")
+	}
+	// Empty inserts do not bump the version.
+	m.Insert(nil)
+	if m.Version() != 2 {
+		t.Errorf("empty insert bumped version to %d", m.Version())
+	}
+}
+
 func TestLoadCorruption(t *testing.T) {
 	m, _ := NewUnit(2, 8)
 	m.Insert([]point.Point{{0.5, 0.5}})

@@ -108,15 +108,63 @@ func TestDominatedUnder(t *testing.T) {
 	}
 }
 
-// TestSaveRejectsNonPareto pins that the fixed binary header has no
-// provider field, so persistence stays Pareto-only.
-func TestSaveRejectsNonPareto(t *testing.T) {
-	robust, err := dominance.NewRobust(0.1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	m := newUnitUnder(t, robust, 2, 8)
-	if err := m.Save(&bytes.Buffer{}); err == nil {
-		t.Fatal("Save accepted a non-Pareto maintainer")
+// TestSaveLoadUnderRoundtrip pins that persistence carries the
+// dominance descriptor: a non-Pareto maintainer round-trips through
+// Save/Load with an identical skyline, version, and relation — and the
+// restored maintainer keeps maintaining under that relation.
+func TestSaveLoadUnderRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	const d = 3
+	for _, prov := range transitiveProviders(t, d) {
+		m := newUnitUnder(t, prov, d, 8)
+		var all []point.Point
+		for batch := 0; batch < 3; batch++ {
+			pts := make([]point.Point, 40)
+			for i := range pts {
+				p := make(point.Point, d)
+				for k := range p {
+					p[k] = float64(rng.Intn(10)) / 10
+				}
+				pts[i] = p
+			}
+			all = append(all, pts...)
+			if _, err := m.Insert(pts); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var buf bytes.Buffer
+		if err := m.Save(&buf); err != nil {
+			t.Fatalf("%s: Save: %v", prov.Name(), err)
+		}
+		restored, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("%s: Load: %v", prov.Name(), err)
+		}
+		if got, want := restored.Descriptor().String(), prov.Descriptor().String(); got != want {
+			t.Fatalf("restored descriptor %q, want %q", got, want)
+		}
+		if restored.Version() != m.Version() || restored.Seen() != m.Seen() {
+			t.Fatalf("%s: restored version=%d seen=%d, want %d/%d",
+				prov.Name(), restored.Version(), restored.Seen(), m.Version(), m.Seen())
+		}
+		sameSet(t, restored.Skyline(), m.Skyline(), prov.Name()+" restored skyline")
+		// The restored maintainer continues exactly under the restored
+		// relation.
+		more := make([]point.Point, 40)
+		for i := range more {
+			p := make(point.Point, d)
+			for k := range p {
+				p[k] = float64(rng.Intn(10)) / 10
+			}
+			more[i] = p
+		}
+		all = append(all, more...)
+		if _, err := restored.Insert(more); err != nil {
+			t.Fatal(err)
+		}
+		sameSet(t, restored.Skyline(), dominance.BruteForce(prov, all), prov.Name()+" after restore+insert")
+		if restored.Version() != m.Version()+1 {
+			t.Fatalf("version after restore+insert = %d, want %d", restored.Version(), m.Version()+1)
+		}
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -34,8 +35,12 @@ type Event struct {
 	Query string `json:"query,omitempty"`
 	// Dominance is the dominance descriptor in text form.
 	Dominance string `json:"dominance,omitempty"`
-	// Dataset identifies the dataset version the query ran against.
+	// Dataset identifies the dataset (and its version, as
+	// "name@vN") the query ran against.
 	Dataset string `json:"dataset,omitempty"`
+	// Cache is "hit" or "miss" on routes served through the result
+	// cache; empty elsewhere.
+	Cache string `json:"cache,omitempty"`
 	// Status is the HTTP status code (query events from the server).
 	Status int `json:"status,omitempty"`
 	// Error is the error class ("bad-request", "internal", "retryable",
@@ -83,6 +88,32 @@ func (e *Event) SetError(class, msg string) {
 		e.Error = class
 		e.Message = msg
 	}
+}
+
+// SetCache records whether the result cache served the query. Nil-safe.
+func (e *Event) SetCache(outcome string) {
+	if e != nil {
+		e.Cache = outcome
+	}
+}
+
+// SetDataset records the dataset identity ("name@vN"). Nil-safe.
+func (e *Event) SetDataset(ds string) {
+	if e != nil {
+		e.Dataset = ds
+	}
+}
+
+// DatasetName returns the name part of the event's dataset identity,
+// stripping the "@vN" version suffix.
+func (e *Event) DatasetName() string {
+	if e == nil {
+		return ""
+	}
+	if i := strings.IndexByte(e.Dataset, '@'); i >= 0 {
+		return e.Dataset[:i]
+	}
+	return e.Dataset
 }
 
 // SetPhase records one phase's wall clock. Nil-safe.
@@ -265,7 +296,9 @@ func (l *EventLog) WriteNDJSON(w io.Writer) error {
 // Handler serves the event log as JSON — mount it at GET /debug/events.
 // Query parameters: ?n=K returns only the most recent K events; ?id=X
 // returns events whose ID or Parent equals X (the per-query join);
-// ?kind=query|rpc filters by kind.
+// ?kind=query|rpc filters by kind; ?dataset=name filters by dataset
+// (matching either the exact identity or its name part, so "hotels"
+// finds "hotels@v3").
 func (l *EventLog) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		events := l.Snapshot()
@@ -282,6 +315,15 @@ func (l *EventLog) Handler() http.Handler {
 			filtered := events[:0]
 			for _, ev := range events {
 				if ev.Kind == kind {
+					filtered = append(filtered, ev)
+				}
+			}
+			events = filtered
+		}
+		if ds := r.URL.Query().Get("dataset"); ds != "" {
+			filtered := events[:0]
+			for _, ev := range events {
+				if ev.Dataset == ds || ev.DatasetName() == ds {
 					filtered = append(filtered, ev)
 				}
 			}

@@ -166,6 +166,37 @@ func TestEventLogHandler(t *testing.T) {
 	}
 }
 
+func TestEventLogHandlerDatasetFilter(t *testing.T) {
+	l := NewEventLog(16)
+	l.Record(Event{Kind: "query", ID: "q1", Dataset: "hotels@v3", Cache: "hit"})
+	l.Record(Event{Kind: "query", ID: "q2", Dataset: "hotels@v4"})
+	l.Record(Event{Kind: "query", ID: "q3", Dataset: "cars@v1"})
+
+	rec := httptest.NewRecorder()
+	l.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/events?dataset=hotels", nil))
+	var out struct {
+		Events []Event `json:"events"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Events) != 2 {
+		t.Fatalf("dataset=hotels events = %d, want 2", len(out.Events))
+	}
+	if out.Events[0].DatasetName() != "hotels" || out.Events[0].Cache != "hit" {
+		t.Errorf("event = %+v", out.Events[0])
+	}
+
+	// Exact identity (name@version) also matches.
+	rec = httptest.NewRecorder()
+	l.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/events?dataset=hotels@v4", nil))
+	out.Events = nil
+	json.Unmarshal(rec.Body.Bytes(), &out)
+	if len(out.Events) != 1 || out.Events[0].ID != "q2" {
+		t.Fatalf("dataset=hotels@v4 events = %+v", out.Events)
+	}
+}
+
 func TestRequestIDContext(t *testing.T) {
 	ctx := context.Background()
 	if RequestIDFrom(ctx) != "" {

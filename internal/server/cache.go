@@ -1,0 +1,99 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is a bounded LRU of marshaled JSON response bodies, one
+// per dataset. Keys embed the dataset version (plus route, canonical
+// query shape, and dominance descriptor — see cacheKey), so an entry
+// can never be served against newer data: an ingest bumps the version
+// and every subsequent lookup misses. Purge on ingest only reclaims
+// memory early; correctness comes from the versioned key.
+type resultCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key  string
+	blob []byte
+	// results is the response's result count, replayed onto the event
+	// record on a hit.
+	results int
+}
+
+// newResultCache builds a cache holding up to max entries; max <= 0
+// disables caching (every Get misses, Put is a no-op).
+func newResultCache(max int) *resultCache {
+	c := &resultCache{max: max}
+	if max > 0 {
+		c.ll = list.New()
+		c.items = make(map[string]*list.Element)
+	}
+	return c
+}
+
+// Get returns the cached body and result count for key, marking it
+// most recently used.
+func (c *resultCache) Get(key string) (body []byte, results int, ok bool) {
+	if c.max <= 0 {
+		return nil, 0, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, found := c.items[key]
+	if !found {
+		return nil, 0, false
+	}
+	c.ll.MoveToFront(el)
+	ent := el.Value.(*cacheEntry)
+	return ent.blob, ent.results, true
+}
+
+// Put stores body under key, evicting the least recently used entry
+// when full. Callers must not mutate body afterwards.
+func (c *resultCache) Put(key string, body []byte, results int) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		ent.blob, ent.results = body, results
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, blob: body, results: results})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Purge drops every entry (called on ingest, scoped to one dataset's
+// cache).
+func (c *resultCache) Purge() {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	clear(c.items)
+}
+
+// Len returns the number of live entries.
+func (c *resultCache) Len() int {
+	if c.max <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,388 @@
+// handlers.go: the route bodies. Query routes run against one engine
+// snapshot through the versioned result cache and behind per-dataset
+// admission control; management routes (create/delete/ingest/
+// snapshot/restore/subscribe) bypass both.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"zskyline/internal/obs"
+	"zskyline/internal/point"
+)
+
+// preferTerm is one element of the /query preference list.
+type preferTerm struct {
+	Attr string `json:"attr"`
+	Dir  string `json:"dir"`
+}
+
+// queryRequest is the /query body.
+type queryRequest struct {
+	Prefer []preferTerm `json:"prefer"`
+}
+
+// explainRequest is the /explain body.
+type explainRequest struct {
+	Point []float64 `json:"point"`
+}
+
+// topkRequest is the /topk body.
+type topkRequest struct {
+	K       int       `json:"k"`
+	Weights []float64 `json:"weights"`
+}
+
+// ingestRequest is the /ingest body.
+type ingestRequest struct {
+	Points [][]float64 `json:"points"`
+}
+
+// cachedJSON serves one query route through e's versioned result
+// cache: on a hit the marshaled body is replayed verbatim (X-Cache:
+// hit); on a miss compute runs against snap, and its 200 body is
+// stored under a key no future version can collide with.
+func (s *Service) cachedJSON(w http.ResponseWriter, r *http.Request, e *Engine, snap engineSnap, shape string, compute func() (v any, results int, err error)) {
+	ev := tagEvent(r, e, snap.version)
+	ev.SetQuery(shape)
+	key := shape + "|" + e.desc.String() + "|v" + strconv.FormatUint(snap.version, 10)
+	if blob, results, ok := e.cache.Get(key); ok {
+		s.reg.Counter("zsky_cache_hits_total", obs.L("dataset", e.name)).Add(1)
+		ev.SetCache("hit")
+		ev.SetResults(results)
+		w.Header().Set("X-Cache", "hit")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(blob)
+		return
+	}
+	s.reg.Counter("zsky_cache_misses_total", obs.L("dataset", e.name)).Add(1)
+	ev.SetCache("miss")
+	v, results, err := compute()
+	if err != nil {
+		writeErr(w, r, http.StatusBadRequest, err)
+		return
+	}
+	blob, err := json.Marshal(v)
+	if err != nil {
+		writeErr(w, r, http.StatusInternalServerError, err)
+		return
+	}
+	blob = append(blob, '\n')
+	ev.SetResults(results)
+	e.cache.Put(key, blob, results)
+	w.Header().Set("X-Cache", "miss")
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(blob)
+}
+
+// ---- dataset management ----
+
+func (s *Service) handleListDatasets(w http.ResponseWriter, r *http.Request) {
+	engines := s.datasets.List()
+	infos := make([]DatasetInfo, len(engines))
+	for i, e := range engines {
+		infos[i] = e.Info()
+	}
+	obs.EventFrom(r.Context()).SetResults(len(infos))
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(infos), "datasets": infos})
+}
+
+func (s *Service) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
+	var spec DatasetSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeErr(w, r, http.StatusBadRequest, err)
+		return
+	}
+	e, err := s.CreateDataset(spec)
+	if err != nil {
+		status := http.StatusBadRequest
+		if s.datasets.Get(spec.Name) != nil {
+			status = http.StatusConflict
+		}
+		writeErr(w, r, status, err)
+		return
+	}
+	tagEvent(r, e, 0)
+	writeJSON(w, http.StatusCreated, e.Info())
+}
+
+func (s *Service) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.DropDataset(name) {
+		writeErr(w, r, http.StatusNotFound, fmt.Errorf("unknown dataset %q", name))
+		return
+	}
+	obs.EventFrom(r.Context()).SetDataset(name)
+	writeJSON(w, http.StatusOK, map[string]any{"deleted": name})
+}
+
+func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request, e *Engine) {
+	var req ingestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, r, http.StatusBadRequest, err)
+		return
+	}
+	pts := make([]point.Point, len(req.Points))
+	for i, row := range req.Points {
+		if len(row) != e.dims {
+			writeErr(w, r, http.StatusBadRequest,
+				fmt.Errorf("point %d has %d dims, dataset %q has %d", i, len(row), e.name, e.dims))
+			return
+		}
+		pts[i] = point.Point(row)
+	}
+	added, err := s.ingest(r, e, point.BlockOf(e.dims, pts))
+	if err != nil {
+		writeErr(w, r, http.StatusBadRequest, err)
+		return
+	}
+	snap := e.snapshot()
+	ev := tagEvent(r, e, snap.version)
+	ev.SetQuery(fmt.Sprintf("ingest:n=%d", len(pts)))
+	ev.SetResults(added)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ingested":    len(pts),
+		"on_skyline":  added,
+		"version":     snap.version,
+		"sky_version": snap.skyVersion,
+		"points":      snap.seen,
+		"skyline":     len(snap.sky),
+	})
+}
+
+// ---- health ----
+
+func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request, e *Engine) {
+	snap := e.snapshot()
+	tagEvent(r, e, snap.version)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"dataset":     e.name,
+		"points":      snap.seen,
+		"dims":        e.dims,
+		"attrs":       e.attrs,
+		"dominance":   e.desc.String(),
+		"version":     snap.version,
+		"sky_version": snap.skyVersion,
+	})
+}
+
+// ---- queries ----
+
+func (s *Service) handleSkyline(w http.ResponseWriter, r *http.Request, e *Engine) {
+	release, ok := s.admit(w, r, e)
+	if !ok {
+		return
+	}
+	defer release()
+	snap := e.snapshot()
+	s.cachedJSON(w, r, e, snap, "skyline", func() (any, int, error) {
+		sp, _ := obs.StartSpan(r.Context(), "solve")
+		defer sp.End()
+		return map[string]any{"count": len(snap.sky), "points": snap.sky}, len(snap.sky), nil
+	})
+}
+
+func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request, e *Engine) {
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, r, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Prefer) == 0 {
+		writeErr(w, r, http.StatusBadRequest, fmt.Errorf("no preferences"))
+		return
+	}
+	cols, shape, err := e.resolvePrefs(req.Prefer)
+	if err != nil {
+		writeErr(w, r, http.StatusBadRequest, err)
+		return
+	}
+	release, ok := s.admit(w, r, e)
+	if !ok {
+		return
+	}
+	defer release()
+	snap := e.snapshot()
+	s.cachedJSON(w, r, e, snap, "query:"+shape, func() (any, int, error) {
+		sp, _ := obs.StartSpan(r.Context(), "solve")
+		rows := queryRows(snap.data, cols)
+		sp.End()
+		return map[string]any{"count": len(rows), "rows": rows}, len(rows), nil
+	})
+}
+
+func (s *Service) handleExplain(w http.ResponseWriter, r *http.Request, e *Engine) {
+	var req explainRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, r, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Point) != e.dims {
+		writeErr(w, r, http.StatusBadRequest,
+			fmt.Errorf("point has %d dims, want %d", len(req.Point), e.dims))
+		return
+	}
+	release, ok := s.admit(w, r, e)
+	if !ok {
+		return
+	}
+	defer release()
+	snap := e.snapshot()
+	shape := "explain:" + point.Point(req.Point).String()
+	s.cachedJSON(w, r, e, snap, shape, func() (any, int, error) {
+		sp, _ := obs.StartSpan(r.Context(), "solve")
+		doms := e.dominatorsOf(snap, point.Point(req.Point))
+		sp.End()
+		return map[string]any{
+			"dominated":  len(doms) > 0,
+			"dominators": doms,
+		}, len(doms), nil
+	})
+}
+
+func (s *Service) handleTopK(w http.ResponseWriter, r *http.Request, e *Engine) {
+	var req topkRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, r, http.StatusBadRequest, err)
+		return
+	}
+	if req.K < 1 {
+		writeErr(w, r, http.StatusBadRequest, fmt.Errorf("k must be positive"))
+		return
+	}
+	if len(req.Weights) != e.dims {
+		writeErr(w, r, http.StatusBadRequest,
+			fmt.Errorf("weights have %d dims, want %d", len(req.Weights), e.dims))
+		return
+	}
+	release, ok := s.admit(w, r, e)
+	if !ok {
+		return
+	}
+	defer release()
+	snap := e.snapshot()
+	shape := fmt.Sprintf("topk:k=%d:w=%v", req.K, req.Weights)
+	s.cachedJSON(w, r, e, snap, shape, func() (any, int, error) {
+		sp, _ := obs.StartSpan(r.Context(), "solve")
+		top, err := e.topK(snap, req.K, req.Weights)
+		sp.End()
+		if err != nil {
+			return nil, 0, err
+		}
+		return map[string]any{"results": top}, len(top), nil
+	})
+}
+
+// ---- snapshot / restore ----
+
+func (s *Service) handleSnapshot(w http.ResponseWriter, r *http.Request, e *Engine) {
+	snap := e.snapshot()
+	tagEvent(r, e, snap.version)
+	if e.m == nil {
+		writeErr(w, r, http.StatusBadRequest,
+			fmt.Errorf("dataset %q is windowed; snapshots are unsupported", e.name))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", `attachment; filename="`+e.name+`.zsnap"`)
+	if err := e.Save(w); err != nil {
+		// Headers are gone; the truncated stream is the best signal left.
+		obs.EventFrom(r.Context()).SetError("internal", err.Error())
+	}
+}
+
+func (s *Service) handleRestore(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if s.datasets.Get(name) != nil {
+		writeErr(w, r, http.StatusConflict, fmt.Errorf("dataset %q already exists", name))
+		return
+	}
+	e, err := restoreEngine(name, r.Body, s.cfg.Bits, s.cfg.CacheSize, s.cfg.MaxInFlight)
+	if err != nil {
+		writeErr(w, r, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.datasets.Add(e); err != nil {
+		writeErr(w, r, http.StatusConflict, err)
+		return
+	}
+	s.reg.Gauge("zsky_datasets").Set(float64(s.datasets.Len()))
+	snap := e.snapshot()
+	ds := obs.L("dataset", e.name)
+	s.reg.Gauge("zsky_dataset_points", ds).Set(float64(snap.seen))
+	s.reg.Gauge("zsky_skyline_size", ds).Set(float64(len(snap.sky)))
+	tagEvent(r, e, snap.version)
+	writeJSON(w, http.StatusCreated, e.Info())
+}
+
+// ---- subscribe ----
+
+// handleSubscribe long-polls for skyline changes: ?since=N returns
+// immediately when the engine's skyline version already exceeds N,
+// otherwise blocks until a change, ?wait= (default 25s), or client
+// disconnect, then reports the current state.
+func (s *Service) handleSubscribe(w http.ResponseWriter, r *http.Request, e *Engine) {
+	since := uint64(0)
+	if v := r.URL.Query().Get("since"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeErr(w, r, http.StatusBadRequest, fmt.Errorf("bad since: %v", err))
+			return
+		}
+		since = n
+	}
+	wait := 25 * time.Second
+	if v := r.URL.Query().Get("wait"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			writeErr(w, r, http.StatusBadRequest, fmt.Errorf("bad wait %q", v))
+			return
+		}
+		wait = d
+	}
+	deadline := time.NewTimer(wait)
+	defer deadline.Stop()
+	for {
+		ch := e.waitChan() // grab the channel BEFORE reading the version
+		snap := e.snapshot()
+		if snap.skyVersion > since {
+			ev := tagEvent(r, e, snap.version)
+			ev.SetQuery(fmt.Sprintf("subscribe:since=%d", since))
+			ev.SetResults(len(snap.sky))
+			writeJSON(w, http.StatusOK, map[string]any{
+				"dataset":     e.name,
+				"version":     snap.version,
+				"sky_version": snap.skyVersion,
+				"changed":     true,
+				"count":       len(snap.sky),
+				"points":      snap.sky,
+			})
+			return
+		}
+		select {
+		case <-ch:
+			// Skyline changed; loop to re-read.
+		case <-deadline.C:
+			ev := tagEvent(r, e, snap.version)
+			ev.SetQuery(fmt.Sprintf("subscribe:since=%d", since))
+			writeJSON(w, http.StatusOK, map[string]any{
+				"dataset":     e.name,
+				"version":     snap.version,
+				"sky_version": snap.skyVersion,
+				"changed":     false,
+				"count":       len(snap.sky),
+				"points":      []point.Point{},
+			})
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

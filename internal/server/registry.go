@@ -1,0 +1,69 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Registry is the concurrency-safe set of served datasets. Engines are
+// added fully built (never half-initialised), and deletion is
+// immediate: in-flight queries holding the engine pointer finish
+// against their snapshot, new lookups miss.
+type Registry struct {
+	mu      sync.RWMutex
+	engines map[string]*Engine
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{engines: make(map[string]*Engine)}
+}
+
+// Add registers e under its name; an existing name is an error (delete
+// first — silently replacing a live dataset would reset versions out
+// from under cached clients).
+func (r *Registry) Add(e *Engine) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.engines[e.Name()]; ok {
+		return fmt.Errorf("server: dataset %q already exists", e.Name())
+	}
+	r.engines[e.Name()] = e
+	return nil
+}
+
+// Get returns the named engine, or nil.
+func (r *Registry) Get(name string) *Engine {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.engines[name]
+}
+
+// Delete removes the named engine, reporting whether it existed.
+func (r *Registry) Delete(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.engines[name]
+	delete(r.engines, name)
+	return ok
+}
+
+// List returns the engines sorted by name.
+func (r *Registry) List() []*Engine {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Engine, 0, len(r.engines))
+	for _, e := range r.engines {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// Len returns the number of registered datasets.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.engines)
+}

@@ -1,49 +1,90 @@
-// Package server exposes a loaded dataset over HTTP as a small JSON
-// query service — the shape in which a skyline engine is typically
-// consumed by applications:
+// Package server exposes skyline engines over HTTP as a multi-tenant
+// JSON query service. A Service hosts any number of named datasets,
+// each an independently versioned Engine (incrementally maintained
+// skyline, or a sliding window) with its own dominance relation,
+// result cache, and admission limit:
 //
-//	GET  /healthz            liveness + dataset shape
-//	GET  /skyline            the full skyline
-//	POST /query              {"prefer":[{"attr":"price","dir":"min"},...]}
-//	POST /explain            {"point":[...]} -> dominators of the point
-//	POST /topk               {"k":5,"weights":[...]} -> ranked skyline
+//	GET    /datasets                      list datasets
+//	POST   /datasets                      create a dataset (DatasetSpec)
+//	DELETE /datasets/{name}               drop a dataset
+//	GET    /datasets/{name}/healthz       liveness + shape + version
+//	POST   /datasets/{name}/ingest        {"points":[[...],...]} merge a batch
+//	GET    /datasets/{name}/skyline       the full skyline
+//	POST   /datasets/{name}/query         {"prefer":[{"attr":"price","dir":"min"},...]}
+//	POST   /datasets/{name}/explain       {"point":[...]} -> dominators
+//	POST   /datasets/{name}/topk          {"k":5,"weights":[...]} -> ranked skyline
+//	GET    /datasets/{name}/snapshot      binary state snapshot
+//	POST   /datasets/{name}/restore       recreate a dataset from a snapshot
+//	GET    /datasets/{name}/subscribe     long-poll for skyline changes
 //
-// The handler set is stateless over an immutable dataset + index, so
-// it is safe under concurrent requests.
+// The pre-multi-tenant routes (GET /healthz, GET /skyline, POST
+// /query, POST /explain, POST /topk) stay mounted and serve the
+// dataset named "default", with their JSON contracts unchanged.
+//
+// Query responses are cached per dataset under a key embedding the
+// dataset version, the canonical query shape, and the dominance
+// descriptor, so ingest can never cause a stale read; saturated
+// datasets reject queries with 429 + Retry-After instead of queueing.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
-	"hash/fnv"
 	"io"
 	"net/http"
-	"sort"
-	"strings"
+	"strconv"
 	"sync"
 	"time"
 
-	"zskyline/internal/dominance"
-	"zskyline/internal/metrics"
 	"zskyline/internal/obs"
 	"zskyline/internal/point"
-	"zskyline/internal/rank"
-	"zskyline/internal/seq"
-	"zskyline/internal/zbtree"
-	"zskyline/internal/zorder"
 )
 
-// Server answers skyline queries over one relation.
-type Server struct {
-	attrs   []string
-	index   map[string]int
-	ds      *point.Dataset
-	enc     *zorder.Encoder
-	tree    *zbtree.Tree
-	tally   *metrics.Tally
-	reg     *obs.Registry
-	events  *obs.EventLog
-	version string
+// DefaultDataset is the dataset name the legacy single-dataset routes
+// resolve to.
+const DefaultDataset = "default"
+
+// Config tunes a Service.
+type Config struct {
+	// Bits is the default Z-order resolution for new datasets (16 when
+	// zero).
+	Bits int
+	// CacheSize bounds each dataset's result cache in entries; 0 means
+	// the default (256), negative disables caching.
+	CacheSize int
+	// MaxInFlight bounds concurrently executing queries per dataset; 0
+	// means the default (64), negative means unlimited.
+	MaxInFlight int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Bits <= 0 {
+		c.Bits = 16
+	}
+	switch {
+	case c.CacheSize == 0:
+		c.CacheSize = 256
+	case c.CacheSize < 0:
+		c.CacheSize = 0
+	}
+	switch {
+	case c.MaxInFlight == 0:
+		c.MaxInFlight = 64
+	case c.MaxInFlight < 0:
+		c.MaxInFlight = 0
+	}
+	return c
+}
+
+// Service hosts the dataset registry and the shared observability
+// surface (one metrics registry and one event log across datasets;
+// series carry a dataset label).
+type Service struct {
+	cfg      Config
+	datasets *Registry
+	reg      *obs.Registry
+	events   *obs.EventLog
 
 	// slow is the latency threshold past which a request's sampled
 	// trace is promoted onto its event record.
@@ -52,114 +93,195 @@ type Server struct {
 	// request.
 	accessLog   io.Writer
 	accessLogMu sync.Mutex
-
-	once sync.Once
-	sky  []point.Point
 }
 
-// New builds a server over a named-attribute dataset.
-func New(attrs []string, ds *point.Dataset, bits int) (*Server, error) {
+// Server is the Service's historical name; the alias keeps existing
+// call sites (server.New + methods) compiling unchanged.
+type Server = Service
+
+// NewService builds an empty multi-dataset service.
+func NewService(cfg Config) *Service {
+	return &Service{
+		cfg:      cfg.withDefaults(),
+		datasets: NewRegistry(),
+		reg:      obs.NewRegistry(),
+		events:   obs.NewEventLog(0),
+		slow:     250 * time.Millisecond,
+	}
+}
+
+// New builds a service hosting ds as the "default" dataset — the
+// legacy single-dataset constructor. The skyline is built eagerly
+// here, at load time, so the first query pays no build cliff.
+func New(attrs []string, ds *point.Dataset, bits int) (*Service, error) {
 	if ds == nil || ds.Len() == 0 {
 		return nil, fmt.Errorf("server: empty dataset")
 	}
 	if len(attrs) != ds.Dims {
 		return nil, fmt.Errorf("server: %d attrs for %d dims", len(attrs), ds.Dims)
 	}
-	idx := map[string]int{}
-	for i, a := range attrs {
-		if a == "" {
-			return nil, fmt.Errorf("server: empty attribute name at %d", i)
-		}
-		if _, dup := idx[a]; dup {
-			return nil, fmt.Errorf("server: duplicate attribute %q", a)
-		}
-		idx[a] = i
-	}
-	if bits <= 0 {
-		bits = 16
-	}
 	mins, maxs, err := ds.Bounds()
 	if err != nil {
 		return nil, err
 	}
-	enc, err := zorder.NewEncoder(ds.Dims, bits, mins, maxs)
+	s := NewService(Config{Bits: bits})
+	e, err := s.CreateDataset(DatasetSpec{
+		Name:  DefaultDataset,
+		Attrs: attrs,
+		Bits:  bits,
+		Mins:  mins,
+		Maxs:  maxs,
+	})
 	if err != nil {
 		return nil, err
 	}
-	tally := &metrics.Tally{}
-	reg := obs.NewRegistry()
-	buildStart := time.Now()
-	tree := zbtree.BuildFromPoints(enc, 0, ds.Points, tally)
-	reg.Gauge("zsky_index_build_seconds").Set(time.Since(buildStart).Seconds())
-	reg.Gauge("zsky_dataset_points").Set(float64(ds.Len()))
-	return &Server{
-		attrs:   attrs,
-		index:   idx,
-		ds:      ds,
-		enc:     enc,
-		tree:    tree,
-		tally:   tally,
-		reg:     reg,
-		events:  obs.NewEventLog(0),
-		version: datasetVersion(ds, mins, maxs),
-		slow:    250 * time.Millisecond,
-	}, nil
-}
-
-// datasetVersion fingerprints the loaded relation (size, shape, and
-// bounds) so event records from different datasets — or a future
-// reloaded one — are distinguishable.
-func datasetVersion(ds *point.Dataset, mins, maxs []float64) string {
-	h := fnv.New32a()
-	fmt.Fprintf(h, "%d:%d", ds.Len(), ds.Dims)
-	for i := range mins {
-		fmt.Fprintf(h, ":%g:%g", mins[i], maxs[i])
+	if _, err := s.Ingest(e, point.BlockOf(ds.Dims, ds.Points)); err != nil {
+		return nil, err
 	}
-	return fmt.Sprintf("v-%08x", h.Sum32())
+	return s, nil
 }
 
-// Metrics returns the server's observability registry (request
-// counters, latency histograms, index/skyline build stats, and the
-// absorbed pipeline tally).
-func (s *Server) Metrics() *obs.Registry { return s.reg }
+// CreateDataset validates spec, builds its engine, and registers it.
+func (s *Service) CreateDataset(spec DatasetSpec) (*Engine, error) {
+	e, err := newEngine(spec, s.cfg.Bits, s.cfg.CacheSize, s.cfg.MaxInFlight)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.datasets.Add(e); err != nil {
+		return nil, err
+	}
+	s.reg.Gauge("zsky_datasets").Set(float64(s.datasets.Len()))
+	return e, nil
+}
 
-// Events returns the server's per-query event log (also served at
-// GET /debug/events).
-func (s *Server) Events() *obs.EventLog { return s.events }
+// DropDataset removes the named dataset, reporting whether it existed.
+func (s *Service) DropDataset(name string) bool {
+	ok := s.datasets.Delete(name)
+	if ok {
+		s.reg.Gauge("zsky_datasets").Set(float64(s.datasets.Len()))
+	}
+	return ok
+}
+
+// Dataset returns the named engine, or nil.
+func (s *Service) Dataset(name string) *Engine { return s.datasets.Get(name) }
+
+// Ingest merges a block into e, eagerly rebuilding its skyline, and
+// refreshes the dataset's gauges (points, skyline size, build time)
+// and the absorbed dominance-work counters.
+func (s *Service) Ingest(e *Engine, b point.Block) (added int, err error) {
+	return s.ingest(nil, e, b)
+}
+
+func (s *Service) ingest(r *http.Request, e *Engine, b point.Block) (added int, err error) {
+	ctx := contextOf(r)
+	start := time.Now()
+	added, _, err = e.IngestBlock(ctx, b)
+	dur := time.Since(start)
+	if err != nil {
+		return added, err
+	}
+	snap := e.snapshot()
+	ds := obs.L("dataset", e.name)
+	s.reg.Counter("zsky_ingest_rows_total", ds).Add(int64(b.Len()))
+	s.reg.Gauge("zsky_dataset_points", ds).Set(float64(snap.seen))
+	s.reg.Gauge("zsky_skyline_size", ds).Set(float64(len(snap.sky)))
+	s.reg.Gauge("zsky_skyline_build_seconds", ds).Set(dur.Seconds())
+	s.reg.AbsorbTally(e.tallyDelta())
+	return added, nil
+}
+
+// contextOf tolerates the request-free ingest path.
+func contextOf(r *http.Request) context.Context {
+	if r != nil {
+		return r.Context()
+	}
+	return context.Background()
+}
+
+// Metrics returns the service's observability registry (request
+// counters, latency histograms, per-dataset gauges, cache and
+// admission counters, and the absorbed dominance-work tally).
+func (s *Service) Metrics() *obs.Registry { return s.reg }
+
+// Events returns the per-query event log (also served at GET
+// /debug/events, filterable by ?dataset=).
+func (s *Service) Events() *obs.EventLog { return s.events }
 
 // SetSlowThreshold sets the latency past which a request's trace is
 // promoted onto its event record; 0 disables promotion.
-func (s *Server) SetSlowThreshold(d time.Duration) { s.slow = d }
+func (s *Service) SetSlowThreshold(d time.Duration) { s.slow = d }
 
 // SetEventSampling keeps one in every n query events (errors and slow
 // queries are always kept).
-func (s *Server) SetEventSampling(n int) { s.events.SetSampleEvery(n) }
+func (s *Service) SetEventSampling(n int) { s.events.SetSampleEvery(n) }
 
 // SetEventCapacity replaces the event ring with one holding the last
 // n events. Call before Handler — the routes capture the ring.
-func (s *Server) SetEventCapacity(n int) { s.events = obs.NewEventLog(n) }
+func (s *Service) SetEventCapacity(n int) { s.events = obs.NewEventLog(n) }
 
 // SetAccessLog directs one structured JSON line per request (request
 // ID, route, status, duration) to w; nil disables access logging.
-func (s *Server) SetAccessLog(w io.Writer) { s.accessLog = w }
+func (s *Service) SetAccessLog(w io.Writer) { s.accessLog = w }
 
 // Handler returns the HTTP routes, each instrumented with request
 // counters, latency quantiles, per-request tracing, and event-log
-// records, plus GET /metrics (Prometheus text) and GET /debug/events
-// (the per-query event log).
-func (s *Server) Handler() http.Handler {
+// records, plus GET /metrics (Prometheus text) and GET /debug/events.
+func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	route := func(pattern, name string, h http.HandlerFunc) {
 		mux.Handle(pattern, s.reg.InstrumentHandler(name, s.observe(name, h)))
 	}
-	route("GET /healthz", "/healthz", s.handleHealth)
-	route("GET /skyline", "/skyline", s.handleSkyline)
-	route("POST /query", "/query", s.handleQuery)
-	route("POST /explain", "/explain", s.handleExplain)
-	route("POST /topk", "/topk", s.handleTopK)
+	// Legacy single-dataset surface -> the "default" dataset.
+	route("GET /healthz", "/healthz", s.forDefault(s.handleHealth))
+	route("GET /skyline", "/skyline", s.forDefault(s.handleSkyline))
+	route("POST /query", "/query", s.forDefault(s.handleQuery))
+	route("POST /explain", "/explain", s.forDefault(s.handleExplain))
+	route("POST /topk", "/topk", s.forDefault(s.handleTopK))
+	// Multi-tenant surface.
+	route("GET /datasets", "/datasets", s.handleListDatasets)
+	route("POST /datasets", "/datasets", s.handleCreateDataset)
+	route("DELETE /datasets/{name}", "/datasets/{name}", s.handleDeleteDataset)
+	route("GET /datasets/{name}/healthz", "/datasets/{name}/healthz", s.forNamed(s.handleHealth))
+	route("POST /datasets/{name}/ingest", "/datasets/{name}/ingest", s.forNamed(s.handleIngest))
+	route("GET /datasets/{name}/skyline", "/datasets/{name}/skyline", s.forNamed(s.handleSkyline))
+	route("POST /datasets/{name}/query", "/datasets/{name}/query", s.forNamed(s.handleQuery))
+	route("POST /datasets/{name}/explain", "/datasets/{name}/explain", s.forNamed(s.handleExplain))
+	route("POST /datasets/{name}/topk", "/datasets/{name}/topk", s.forNamed(s.handleTopK))
+	route("GET /datasets/{name}/snapshot", "/datasets/{name}/snapshot", s.forNamed(s.handleSnapshot))
+	route("POST /datasets/{name}/restore", "/datasets/{name}/restore", s.handleRestore)
+	route("GET /datasets/{name}/subscribe", "/datasets/{name}/subscribe", s.forNamed(s.handleSubscribe))
 	mux.Handle("GET /metrics", s.reg.PrometheusHandler())
 	mux.Handle("GET /debug/events", s.events.Handler())
 	return mux
+}
+
+// engineHandler is a route handler bound to one resolved dataset.
+type engineHandler func(w http.ResponseWriter, r *http.Request, e *Engine)
+
+// forDefault resolves the legacy routes to the "default" dataset.
+func (s *Service) forDefault(h engineHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		e := s.datasets.Get(DefaultDataset)
+		if e == nil {
+			writeErr(w, r, http.StatusNotFound, fmt.Errorf("no %q dataset", DefaultDataset))
+			return
+		}
+		h(w, r, e)
+	}
+}
+
+// forNamed resolves {name} from the path.
+func (s *Service) forNamed(h engineHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		e := s.datasets.Get(name)
+		if e == nil {
+			writeErr(w, r, http.StatusNotFound, fmt.Errorf("unknown dataset %q", name))
+			return
+		}
+		h(w, r, e)
+	}
 }
 
 // respRecorder captures the response status for the event record and
@@ -192,9 +314,11 @@ func (r *respRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
 //     event's phase walls, promoted in full onto the event when the
 //     request is slower than the slow threshold;
 //   - a structured Event in the ring (errors and slow queries are
-//     recorded unsampled);
-//   - a per-route latency quantile family and one access-log line.
-func (s *Server) observe(route string, h http.HandlerFunc) http.HandlerFunc {
+//     recorded unsampled), carrying the dataset identity ("name@vN"),
+//     dominance descriptor, and cache outcome set by the handler;
+//   - a per-(route, dataset) latency quantile family and one
+//     access-log line.
+func (s *Service) observe(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		id := r.Header.Get("X-Request-Id")
@@ -203,11 +327,9 @@ func (s *Server) observe(route string, h http.HandlerFunc) http.HandlerFunc {
 		}
 		w.Header().Set("X-Request-Id", id)
 		ev := &obs.Event{
-			ID:        id,
-			Kind:      "query",
-			Route:     route,
-			Dominance: dominance.Descriptor{}.String(),
-			Dataset:   s.version,
+			ID:    id,
+			Kind:  "query",
+			Route: route,
 		}
 		tr := obs.NewTrace(route)
 		tr.Root().SetAttr("request_id", id)
@@ -237,13 +359,17 @@ func (s *Server) observe(route string, h http.HandlerFunc) http.HandlerFunc {
 		} else {
 			s.events.Record(*ev)
 		}
-		s.reg.Latency("zsky_query_seconds", obs.L("route", route)).Observe(dur)
+		labels := []obs.Label{obs.L("route", route)}
+		if ds := ev.DatasetName(); ds != "" {
+			labels = append(labels, obs.L("dataset", ds))
+		}
+		s.reg.Latency("zsky_query_seconds", labels...).Observe(dur)
 		s.logAccess(id, route, rec.status, dur)
 	}
 }
 
 // logAccess emits one structured line per request.
-func (s *Server) logAccess(id, route string, status int, dur time.Duration) {
+func (s *Service) logAccess(id, route string, status int, dur time.Duration) {
 	if s.accessLog == nil {
 		return
 	}
@@ -272,196 +398,44 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // request's event record.
 func writeErr(w http.ResponseWriter, r *http.Request, status int, err error) {
 	class := "internal"
-	if status < 500 {
+	switch {
+	case status == http.StatusTooManyRequests:
+		class = "saturated"
+	case status == http.StatusNotFound:
+		class = "not-found"
+	case status < 500:
 		class = "bad-request"
 	}
 	obs.EventFrom(r.Context()).SetError(class, err.Error())
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
-func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status": "ok",
-		"points": s.ds.Len(),
-		"dims":   s.ds.Dims,
-		"attrs":  s.attrs,
-	})
+// admit reserves an in-flight slot on e, rejecting with 429 +
+// Retry-After when the dataset is saturated. Callers must invoke the
+// returned release func (when ok) once the query completes.
+func (s *Service) admit(w http.ResponseWriter, r *http.Request, e *Engine) (release func(), ok bool) {
+	release, ok = e.tryAcquire()
+	if !ok {
+		s.reg.Counter("zsky_admission_rejects_total", obs.L("dataset", e.name)).Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, r, http.StatusTooManyRequests,
+			fmt.Errorf("dataset %q is saturated; retry shortly", e.name))
+		return nil, false
+	}
+	return release, true
 }
 
-// fullSkyline computes (once) and caches the all-min skyline,
-// recording the build duration and the tally work it cost into the
-// metrics registry.
-func (s *Server) fullSkyline() []point.Point {
-	s.once.Do(func() {
-		before := s.tally.Snapshot()
-		start := time.Now()
-		s.sky = s.tree.Skyline()
-		s.reg.Gauge("zsky_skyline_build_seconds").Set(time.Since(start).Seconds())
-		s.reg.Gauge("zsky_skyline_size").Set(float64(len(s.sky)))
-		// The delta is the Z-search work; concurrent /query traffic on
-		// the shared tally can bleed in, which we accept for a one-shot
-		// recording.
-		s.reg.AbsorbTally(s.tally.Snapshot().Sub(before))
-	})
-	return s.sky
-}
-
-func (s *Server) handleSkyline(w http.ResponseWriter, r *http.Request) {
-	sp, _ := obs.StartSpan(r.Context(), "solve")
-	sky := s.fullSkyline()
-	sp.End()
+// tagEvent stamps the request's event with the dataset identity and
+// dominance descriptor at the served version.
+func tagEvent(r *http.Request, e *Engine, version uint64) *obs.Event {
 	ev := obs.EventFrom(r.Context())
-	ev.SetQuery("skyline")
-	ev.SetResults(len(sky))
-	writeJSON(w, http.StatusOK, map[string]any{"count": len(sky), "points": sky})
+	ev.SetDataset(e.name + "@v" + strconv.FormatUint(version, 10))
+	if ev != nil {
+		ev.Dominance = e.desc.String()
+	}
+	return ev
 }
 
-// queryRequest is the /query body.
-type queryRequest struct {
-	Prefer []struct {
-		Attr string `json:"attr"`
-		Dir  string `json:"dir"`
-	} `json:"prefer"`
-}
-
-func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	var req queryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, r, http.StatusBadRequest, err)
-		return
-	}
-	if len(req.Prefer) == 0 {
-		writeErr(w, r, http.StatusBadRequest, fmt.Errorf("no preferences"))
-		return
-	}
-	type col struct {
-		idx    int
-		negate bool
-	}
-	var cols []col
-	var shape strings.Builder
-	for _, p := range req.Prefer {
-		i, ok := s.index[p.Attr]
-		if !ok {
-			writeErr(w, r, http.StatusBadRequest, fmt.Errorf("unknown attribute %q", p.Attr))
-			return
-		}
-		switch p.Dir {
-		case "min":
-			cols = append(cols, col{i, false})
-		case "max":
-			cols = append(cols, col{i, true})
-		case "ignore":
-			continue
-		default:
-			writeErr(w, r, http.StatusBadRequest, fmt.Errorf("direction %q (want min|max|ignore)", p.Dir))
-			return
-		}
-		if shape.Len() > 0 {
-			shape.WriteByte(',')
-		}
-		shape.WriteString(p.Attr + ":" + p.Dir)
-	}
-	if len(cols) == 0 {
-		writeErr(w, r, http.StatusBadRequest, fmt.Errorf("every attribute ignored"))
-		return
-	}
-	obs.EventFrom(r.Context()).SetQuery(shape.String())
-	// Project and solve.
-	projSpan, _ := obs.StartSpan(r.Context(), "project")
-	proj := make([]point.Point, s.ds.Len())
-	for r0, row := range s.ds.Points {
-		p := make(point.Point, len(cols))
-		for k, c := range cols {
-			v := row[c.idx]
-			if c.negate {
-				v = -v
-			}
-			p[k] = v
-		}
-		proj[r0] = p
-	}
-	projSpan.End()
-	solveSpan, _ := obs.StartSpan(r.Context(), "solve")
-	sky := seq.SB(proj, s.tally)
-	solveSpan.End()
-	// Map back to rows (duplicates consume matching rows).
-	byKey := map[string][]int{}
-	for i, p := range proj {
-		byKey[p.String()] = append(byKey[p.String()], i)
-	}
-	var rows []int
-	for _, p := range sky {
-		k := p.String()
-		ids := byKey[k]
-		if len(ids) > 0 {
-			rows = append(rows, ids[0])
-			byKey[k] = ids[1:]
-		}
-	}
-	sort.Ints(rows)
-	obs.EventFrom(r.Context()).SetResults(len(rows))
-	writeJSON(w, http.StatusOK, map[string]any{"count": len(rows), "rows": rows})
-}
-
-// explainRequest is the /explain body.
-type explainRequest struct {
-	Point []float64 `json:"point"`
-}
-
-func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
-	var req explainRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, r, http.StatusBadRequest, err)
-		return
-	}
-	if len(req.Point) != s.ds.Dims {
-		writeErr(w, r, http.StatusBadRequest, fmt.Errorf("point has %d dims, want %d", len(req.Point), s.ds.Dims))
-		return
-	}
-	sp, _ := obs.StartSpan(r.Context(), "solve")
-	e := zbtree.NewEntry(s.enc, point.Point(req.Point))
-	doms := s.tree.DominatorsOf(e.G, e.P)
-	sp.End()
-	ev := obs.EventFrom(r.Context())
-	ev.SetQuery("explain")
-	ev.SetResults(len(doms))
-	writeJSON(w, http.StatusOK, map[string]any{
-		"dominated":  len(doms) > 0,
-		"dominators": doms,
-	})
-}
-
-// topkRequest is the /topk body.
-type topkRequest struct {
-	K       int       `json:"k"`
-	Weights []float64 `json:"weights"`
-}
-
-func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
-	var req topkRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, r, http.StatusBadRequest, err)
-		return
-	}
-	if req.K < 1 {
-		writeErr(w, r, http.StatusBadRequest, fmt.Errorf("k must be positive"))
-		return
-	}
-	if len(req.Weights) != s.ds.Dims {
-		writeErr(w, r, http.StatusBadRequest, fmt.Errorf("weights have %d dims, want %d", len(req.Weights), s.ds.Dims))
-		return
-	}
-	score, err := rank.WeightedSum(req.Weights)
-	if err != nil {
-		writeErr(w, r, http.StatusBadRequest, err)
-		return
-	}
-	sp, _ := obs.StartSpan(r.Context(), "solve")
-	top := rank.TopKByScore(s.fullSkyline(), req.K, score)
-	sp.End()
-	ev := obs.EventFrom(r.Context())
-	ev.SetQuery(fmt.Sprintf("topk:k=%d", req.K))
-	ev.SetResults(len(top))
-	writeJSON(w, http.StatusOK, map[string]any{"results": top})
+// Engines returns the registered engines sorted by name.
+func (s *Service) Engines() []*Engine { return s.datasets.List()
 }

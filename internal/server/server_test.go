@@ -159,11 +159,15 @@ func TestMetricsEndpoint(t *testing.T) {
 	for _, want := range []string{
 		`zsky_http_requests_total{code="200",route="/skyline"} 3`,
 		"# TYPE zsky_http_request_seconds histogram",
-		"zsky_skyline_build_seconds",
-		"zsky_skyline_size",
-		"zsky_index_build_seconds",
-		"zsky_dataset_points 1000",
+		`zsky_skyline_build_seconds{dataset="default"}`,
+		`zsky_skyline_size{dataset="default"}`,
+		`zsky_dataset_points{dataset="default"} 1000`,
+		// Three identical /skyline requests: one computed, two replayed
+		// from the versioned result cache.
+		`zsky_cache_misses_total{dataset="default"} 1`,
+		`zsky_cache_hits_total{dataset="default"} 2`,
 		"zsky_dominance_tests_total",
+		"zsky_datasets 1",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("exposition missing %q", want)
@@ -289,11 +293,14 @@ func TestEventsEndpoint(t *testing.T) {
 		t.Fatalf("events for %s = %d, want 1", id, len(evOut.Events))
 	}
 	ev := evOut.Events[0]
-	if ev["route"] != "/query" || ev["query"] != "price:min,distance:min" {
+	if ev["route"] != "/query" || ev["query"] != "query:price:min,distance:min" {
 		t.Errorf("event = %v", ev)
 	}
-	if ev["dominance"] != "pareto" || ev["dataset"] == "" {
+	if ev["dominance"] != "pareto" || ev["dataset"] != "default@v1" {
 		t.Errorf("event missing dominance/dataset: %v", ev)
+	}
+	if ev["cache"] != "miss" {
+		t.Errorf("first query not a recorded cache miss: %v", ev)
 	}
 	if int(ev["results"].(float64)) != int(out2["count"].(float64)) {
 		t.Errorf("event results %v != response count %v", ev["results"], out2["count"])
@@ -391,7 +398,8 @@ func TestQueryLatencyQuantiles(t *testing.T) {
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 	}
-	snap := s.Metrics().Latency("zsky_query_seconds", obs.L("route", "/skyline")).Snapshot()
+	snap := s.Metrics().Latency("zsky_query_seconds",
+		obs.L("route", "/skyline"), obs.L("dataset", "default")).Snapshot()
 	if snap.Count != 5 || snap.P50 <= 0 || snap.P99 < snap.P50 {
 		t.Fatalf("latency snapshot = %+v", snap)
 	}
@@ -402,7 +410,7 @@ func TestQueryLatencyQuantiles(t *testing.T) {
 	}
 	defer resp.Body.Close()
 	body, _ := io.ReadAll(resp.Body)
-	if !strings.Contains(string(body), `zsky_query_seconds{route="/skyline",quantile="0.99"}`) {
+	if !strings.Contains(string(body), `zsky_query_seconds{dataset="default",route="/skyline",quantile="0.99"}`) {
 		t.Fatalf("exposition missing query latency summary:\n%s", body)
 	}
 }

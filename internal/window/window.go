@@ -180,12 +180,20 @@ func (w *Skyline) contains(p point.Point) bool {
 	return false
 }
 
-// rebuild recomputes the skyline from the live window.
-func (w *Skyline) rebuild() {
+// Live returns the window's live points, oldest first. The serving
+// tier queries it directly (subspace preference queries need the full
+// live set, not just the skyline).
+func (w *Skyline) Live() []point.Point {
 	live := make([]point.Point, 0, w.size)
 	for i := 0; i < w.size; i++ {
 		live = append(live, w.ring[(w.head+i)%w.capacity])
 	}
+	return live
+}
+
+// rebuild recomputes the skyline from the live window.
+func (w *Skyline) rebuild() {
+	live := w.Live()
 	if dominance.IsPareto(w.prov) {
 		w.sky = zbtree.BuildFromPoints(w.enc, 0, live, w.tally).SkylineTree()
 	} else {

@@ -38,6 +38,28 @@ func TestValidation(t *testing.T) {
 	}
 }
 
+func TestLiveTracksWindowContents(t *testing.T) {
+	w, err := NewUnit(3, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := []point.Point{{0.1, 0.9}, {0.9, 0.1}, {0.5, 0.5}, {0.2, 0.2}}
+	for _, p := range stream {
+		if _, err := w.Push(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Capacity 3: the first push has expired; live = last three, oldest
+	// first.
+	live := w.Live()
+	sameSet(t, live, stream[1:], "live set")
+	if !live[0].Equal(stream[1]) || !live[2].Equal(stream[3]) {
+		t.Errorf("live order = %v, want oldest-first %v", live, stream[1:])
+	}
+	// And the live set is exactly what the skyline is computed over.
+	sameSet(t, w.Current(), seq.BruteForce(w.Live()), "skyline of live set")
+}
+
 // Property: at every step the window skyline equals the brute-force
 // skyline of the last capacity points.
 func TestSlidingMatchesOracle(t *testing.T) {
