@@ -8,6 +8,17 @@
 //	skyworker -listen :7071 & skyworker -listen :7072 &
 //	skygen -dist anti -n 200000 -d 5 > anti.csv
 //	skydist -workers localhost:7071,localhost:7072 -in anti.csv -report
+//
+// With -shard-groups, skydist instead runs the sharded cluster tier:
+// worker groups own contiguous Z-ranges of the dataset, the input is
+// inserted (routed + replicated) rather than streamed per query, and
+// -handoff moves a shard between groups while the query loop runs —
+// a rolling rebalance. See docs/CLUSTER.md.
+//
+//	skyworker -listen :7071 & skyworker -listen :7072 &
+//	skyworker -listen :7073 & skyworker -listen :7074 &
+//	skydist -shard-groups 'localhost:7071,localhost:7072;localhost:7073,localhost:7074' \
+//	        -in anti.csv -handoff 0:1 -queries 4 -shard-report
 package main
 
 import (
@@ -18,6 +29,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"zskyline/internal/codec"
 	"zskyline/internal/dist"
@@ -46,6 +58,12 @@ func main() {
 		hedge     = flag.Duration("hedge", 0, "duplicate straggling reduce/merge RPCs on a second worker after this delay (0 = off)")
 		redial    = flag.Duration("redial-interval", 0, "interval between redials of suspect/dead workers (0 = default 500ms, negative = off)")
 		eventsOut = flag.String("events-out", "", "write the run's event log (query + per-RPC records) as NDJSON to this file ('-' for stderr)")
+
+		shardGroups = flag.String("shard-groups", "", "sharded cluster mode: worker groups as 'a,b;c,d' (comma inside a group, semicolon between groups)")
+		shards      = flag.Int("shards", 0, "shard count in cluster mode (0 = one per group)")
+		handoff     = flag.String("handoff", "", "run a rolling handoff 'shardID:toGroup' concurrently with the query loop (cluster mode)")
+		queries     = flag.Int("queries", 1, "number of skyline queries to run in cluster mode")
+		shardReport = flag.Bool("shard-report", false, "print the shard map and per-worker residency to stderr (cluster mode)")
 	)
 	flag.Parse()
 
@@ -60,8 +78,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "skydist: metrics on http://%s/metrics\n", addr)
 	}
 
+	desc0, err := dominancepkg.ParseDescriptor(*dominance)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skydist: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *shardGroups != "" {
+		runCluster(clusterRun{
+			groups: *shardGroups, shards: *shards, handoff: *handoff,
+			queries: *queries, shardReport: *shardReport,
+			in: *in, format: *format, useSB: *useSB, seed: *seed,
+			dominance: desc0, rpcTO: *rpcTO, retries: *retries,
+			hedge: *hedge, redial: *redial,
+			report: *report, eventsOut: *eventsOut, reg: reg,
+		})
+		return
+	}
+
 	if *workers == "" {
-		fmt.Fprintln(os.Stderr, "skydist: -workers is required")
+		fmt.Fprintln(os.Stderr, "skydist: -workers or -shard-groups is required")
 		os.Exit(2)
 	}
 	addrs := strings.Split(*workers, ",")
@@ -184,5 +220,192 @@ func main() {
 			rep.Workers, rep.Groups, rep.Partitions,
 			inputSize, len(sky), rep.Candidates, rep.Filtered,
 			rep.Preprocess.Round(1000), rep.Phase2.Round(1000), rep.Phase3.Round(1000), rep.Total.Round(1000))
+	}
+}
+
+// clusterRun carries the flag values the sharded mode consumes.
+type clusterRun struct {
+	groups      string
+	shards      int
+	handoff     string
+	queries     int
+	shardReport bool
+	in, format  string
+	useSB       bool
+	seed        int64
+	dominance   dominancepkg.Descriptor
+	rpcTO       time.Duration
+	retries     int
+	hedge       time.Duration
+	redial      time.Duration
+	report      bool
+	eventsOut   string
+	reg         *obs.Registry
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "skydist: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// runCluster drives the sharded tier: build the cluster, insert the
+// dataset, run the query loop (with an optional concurrent rolling
+// handoff), and print the final skyline to stdout.
+func runCluster(rc clusterRun) {
+	var groups [][]string
+	for _, g := range strings.Split(rc.groups, ";") {
+		var members []string
+		for _, a := range strings.Split(g, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				members = append(members, a)
+			}
+		}
+		if len(members) > 0 {
+			groups = append(groups, members)
+		}
+	}
+
+	r := os.Stdin
+	if rc.in != "-" {
+		f, err := os.Open(rc.in)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		r = f
+	}
+	var ds *point.Dataset
+	var err error
+	switch rc.format {
+	case "csv":
+		ds, err = codec.ReadCSV(r)
+	case "binary":
+		ds, err = codec.ReadBinary(r)
+	default:
+		err = fmt.Errorf("unknown format %q", rc.format)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+	mins, maxs, err := ds.Bounds()
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	cfg := dist.ClusterConfig{
+		Mins: mins, Maxs: maxs,
+		UseZS: !rc.useSB, Dominance: rc.dominance,
+		Shards:  rc.shards,
+		RPCTimeout: rc.rpcTO, Retries: rc.retries, Hedge: rc.hedge,
+		RedialInterval: rc.redial,
+		Metrics:        rc.reg, Seed: rc.seed,
+	}
+	ctx := context.Background()
+	c, err := dist.NewCluster(ctx, cfg, groups)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer c.Close()
+
+	const batch = 4096
+	for lo := 0; lo < ds.Len(); lo += batch {
+		hi := lo + batch
+		if hi > ds.Len() {
+			hi = ds.Len()
+		}
+		if err := c.Insert(ctx, ds.Points[lo:hi]); err != nil {
+			fatalf("insert: %v", err)
+		}
+	}
+
+	// Optional rolling handoff, concurrent with the query loop.
+	handoffDone := make(chan error, 1)
+	if rc.handoff != "" {
+		var sid, to int
+		if _, err := fmt.Sscanf(rc.handoff, "%d:%d", &sid, &to); err != nil {
+			fatalf("bad -handoff %q (want shardID:toGroup): %v", rc.handoff, err)
+		}
+		go func() {
+			rep, err := c.Handoff(ctx, sid, to)
+			if err == nil {
+				fmt.Fprintf(os.Stderr, "skydist: handoff shard=%d %d->%d rows=%d replicas=%d v=%d\n",
+					rep.Shard, rep.FromGroup, rep.ToGroup, rep.Rows, rep.Replicas, rep.MapVersion)
+			}
+			handoffDone <- err
+		}()
+	} else {
+		handoffDone <- nil
+	}
+
+	var sky []point.Point
+	var rep *dist.ClusterReport
+	n := rc.queries
+	if n < 1 {
+		n = 1
+	}
+	for q := 0; q < n; q++ {
+		sky, rep, err = c.Skyline(ctx)
+		if err != nil {
+			fatalf("query %d: %v", q, err)
+		}
+	}
+	if err := <-handoffDone; err != nil {
+		fatalf("handoff: %v", err)
+	}
+	// One more query after the handoff settles, so stdout reflects the
+	// post-rebalance map.
+	if rc.handoff != "" {
+		sky, rep, err = c.Skyline(ctx)
+		if err != nil {
+			fatalf("final query: %v", err)
+		}
+	}
+
+	if rc.eventsOut != "" {
+		out := os.Stderr
+		if rc.eventsOut != "-" {
+			f, err := os.Create(rc.eventsOut)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := c.Events().WriteNDJSON(out); err != nil {
+			fatalf("events: %v", err)
+		}
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	for _, p := range sky {
+		for i, v := range p {
+			if i > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		w.WriteByte('\n')
+	}
+
+	if rc.shardReport {
+		m := c.Map()
+		fmt.Fprintf(os.Stderr, "shard map v%d: %d shards over %d groups\n",
+			m.Version, m.NumShards(), c.Groups())
+		rows := c.ShardRows()
+		for _, s := range m.Shards {
+			fmt.Fprintf(os.Stderr, "  shard %d -> group %d (%d rows)\n", s.ID, s.Group, rows[s.ID])
+		}
+		for addr, st := range c.ShardStats(ctx) {
+			fmt.Fprintf(os.Stderr, "  worker %s v%d:", addr, st.MapVersion)
+			for id, n := range st.Rows {
+				fmt.Fprintf(os.Stderr, " shard%d=%d", id, n)
+			}
+			fmt.Fprintln(os.Stderr)
+		}
+	}
+	if rc.report {
+		fmt.Fprintf(os.Stderr, "groups=%d shards=%d routed=%d mapversion=%d\npoints=%d skyline=%d queries=%d\n",
+			c.Groups(), rep.Shards, rep.Routed, rep.MapVersion, ds.Len(), len(sky), n)
 	}
 }

@@ -36,6 +36,7 @@ func main() {
 		trace    = flag.Bool("trace", false, "print the worker's RPC counter report to stderr on shutdown")
 		metrics_ = flag.String("metrics-addr", "", "serve GET /metrics and /debug/pprof/ on this address")
 		fault    = flag.String("fault", "", "deterministic fault plan for chaos drills, e.g. 'Worker.MergeGroups:1:delay:2s,Worker.MapChunk:2x3:sever,Worker.ReduceGroup:1:drop'")
+		maxRes   = flag.Int("max-resident", 0, "cap resident rows per shard in cluster mode; stores past the cap are rejected (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -49,7 +50,7 @@ func main() {
 		faults = fp
 		fmt.Fprintf(os.Stderr, "skyworker: fault injection armed: %s\n", *fault)
 	}
-	ws, err := dist.StartWorkerWithFaults(*listen, faults)
+	ws, err := dist.StartWorkerWithOptions(*listen, dist.WorkerOptions{Faults: faults, MaxResidentRows: *maxRes})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "skyworker: %v\n", err)
 		os.Exit(1)

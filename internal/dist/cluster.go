@@ -1,0 +1,705 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"zskyline/internal/dominance"
+	"zskyline/internal/obs"
+	"zskyline/internal/partition"
+	"zskyline/internal/plan"
+	"zskyline/internal/point"
+	"zskyline/internal/zorder"
+)
+
+// ShardPolicy overrides the cluster-wide fault-tolerance policy for
+// one shard — a hot shard can run tighter deadlines and more
+// aggressive hedging than a cold one. Zero fields inherit the cluster
+// policy; negative values disable the knob.
+type ShardPolicy struct {
+	RPCTimeout time.Duration
+	Retries    int
+	Hedge      time.Duration
+}
+
+// ClusterConfig parameterizes a sharded cluster. Unlike
+// CoordinatorConfig there is no sampling or partition learning: the
+// dataset lives on the workers, cut by Z-range, and the "rule" is just
+// the encoder geometry plus the local/merge algorithms.
+type ClusterConfig struct {
+	// Mins/Maxs are the data bounds per dimension; their length is the
+	// dimensionality. Points outside the box are clamped by the
+	// encoder, which degrades routing balance but never correctness.
+	Mins, Maxs []float64
+	// Bits is the Z-order resolution per dimension (0 selects 16).
+	Bits int
+	// Fanout is the ZB-tree fanout (0 selects the default).
+	Fanout int
+	// UseZS selects Z-search as the shard-local skyline algorithm.
+	UseZS bool
+	// TreeMerge runs the cross-shard merge as rounds of pairwise tasks.
+	TreeMerge bool
+	// Dominance selects the dominance relation. It must be transitive:
+	// shard-local skylines are only sound to merge when elimination
+	// composes across shards. Non-transitive descriptors are rejected
+	// at construction.
+	Dominance dominance.Descriptor
+
+	// Shards is the shard count (0 selects one per worker group).
+	Shards int
+	// Cuts, when non-nil, are explicit Z-range cut addresses
+	// (Shards-1 of them, strictly increasing); nil selects uniform
+	// cuts over the curve's leading word.
+	Cuts [][]uint64
+	// PullRows is the handoff streaming batch size in rows (0 selects
+	// 4096).
+	PullRows int
+
+	// Fault-tolerance policy, with the CoordinatorConfig semantics
+	// (0 = default, negative = disabled).
+	RPCTimeout     time.Duration
+	Retries        int
+	Hedge          time.Duration
+	RedialInterval time.Duration
+	DialTimeout    time.Duration
+	// PerShard overrides the policy for individual shard IDs.
+	PerShard map[int]ShardPolicy
+
+	// Metrics/Events as in CoordinatorConfig.
+	Metrics *obs.Registry
+	Events  *obs.EventLog
+	// Seed drives the retry jitter schedule.
+	Seed int64
+}
+
+// ClusterReport describes one cluster query.
+type ClusterReport struct {
+	// Shards is the map's shard count; Routed how many shards the
+	// query actually contacted (== Shards for full-curve queries,
+	// fewer for range queries under partition-aware routing).
+	Shards int
+	Routed int
+	// MapVersion is the shard-map version the query routed under.
+	MapVersion uint64
+	// SkylineSize is |S|.
+	SkylineSize int
+	// WireSentBytes/WireRecvBytes are this query's TCP byte deltas
+	// summed over all worker connections.
+	WireSentBytes int64
+	WireRecvBytes int64
+}
+
+// Cluster is the sharded distributed tier: worker groups own
+// contiguous Z-ranges of the dataset under a versioned ShardMap,
+// inserts route to owning groups (replicated to every live member),
+// queries fan out to exactly the shards whose range they touch and
+// merge cross-shard via the existing tree-merge rounds, and Handoff
+// moves a shard between groups while serving. It wraps the unsharded
+// Coordinator for everything that is not shard-specific: dialing,
+// liveness, resurrection, the retry/hedge call layer, metrics, and
+// events.
+type Cluster struct {
+	cfg      ClusterConfig
+	inner    *Coordinator
+	groups   [][]int // worker indices per group
+	rule     *plan.Rule
+	ruleID   uint64
+	ruleData plan.RuleData
+	enc      *zorder.Encoder
+	table    *partition.RangeTable // cuts are immutable across versions
+	shardIDs []int                 // range index -> stable shard ID
+	pols     map[int]*policy       // resolved per-shard policies
+	pullRows int
+
+	mu   sync.Mutex
+	smap ShardMap
+	// stale marks replicas that missed a replicated write (or were not
+	// fully staged by a handoff): shard ID -> worker index -> true.
+	// Stale replicas serve no queries and receive no inserts; they
+	// rejoin only through a handoff commit, which replaces their
+	// resident store wholesale.
+	stale map[int]map[int]bool
+	rows  map[int]int64
+	locks map[int]*sync.Mutex // per-shard insert/handoff serialization
+
+	// hmu serializes handoffs cluster-wide so each allocates a unique
+	// map version (see Handoff).
+	hmu sync.Mutex
+}
+
+// NewCluster dials every worker in every group, broadcasts the cluster
+// rule with shard-map version 1, and seeds shard residency on each
+// owning group. Startup is strict, like NewCoordinator: any
+// unreachable worker fails construction.
+func NewCluster(ctx context.Context, cfg ClusterConfig, groups [][]string) (*Cluster, error) {
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("dist: no worker groups")
+	}
+	dims := len(cfg.Mins)
+	if dims == 0 || len(cfg.Maxs) != dims {
+		return nil, fmt.Errorf("dist: cluster bounds %d/%d dims", dims, len(cfg.Maxs))
+	}
+	if cfg.Bits == 0 {
+		cfg.Bits = 16
+	}
+	if cfg.PullRows <= 0 {
+		cfg.PullRows = 4096
+	}
+	var addrs []string
+	groupIdx := make([][]int, len(groups))
+	for gi, g := range groups {
+		if len(g) == 0 {
+			return nil, fmt.Errorf("dist: worker group %d is empty", gi)
+		}
+		for _, a := range g {
+			groupIdx[gi] = append(groupIdx[gi], len(addrs))
+			addrs = append(addrs, a)
+		}
+	}
+
+	local := plan.SB
+	if cfg.UseZS {
+		local = plan.ZS
+	}
+	rd := plan.RuleData{
+		Dims: dims, Bits: cfg.Bits,
+		Mins: append([]float64(nil), cfg.Mins...),
+		Maxs: append([]float64(nil), cfg.Maxs...),
+		Pivots: [][]uint64{}, GroupOf: map[int]int{}, Groups: 1,
+		Fanout: cfg.Fanout, Local: local, Merge: plan.MergeZM,
+		Dominance: cfg.Dominance,
+	}
+	rule, err := plan.FromData(&rd)
+	if err != nil {
+		return nil, err
+	}
+	if !rule.Provider().Caps().Transitive {
+		return nil, fmt.Errorf("dist: cluster requires a transitive dominance relation, %s is not",
+			cfg.Dominance.String())
+	}
+	enc := rule.Encoder()
+
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = len(groups)
+	}
+	var smap ShardMap
+	if cfg.Cuts != nil {
+		smap = ShardMap{Version: 1, Words: enc.Words(), Cuts: cfg.Cuts}
+		for i := 0; i <= len(cfg.Cuts); i++ {
+			smap.Shards = append(smap.Shards, ShardAssign{ID: i, Group: i % len(groups)})
+		}
+	} else {
+		smap = UniformShardMap(enc.Words(), shards, len(groups))
+	}
+	if err := smap.Validate(len(groups)); err != nil {
+		return nil, err
+	}
+	table, err := smap.table()
+	if err != nil {
+		return nil, err
+	}
+
+	ccfg := CoordinatorConfig{
+		M: 1, Delta: 1, SampleRatio: 1, Bits: cfg.Bits, Fanout: cfg.Fanout,
+		UseZS: cfg.UseZS, TreeMerge: cfg.TreeMerge, Seed: cfg.Seed,
+		Dominance: cfg.Dominance,
+		RPCTimeout: cfg.RPCTimeout, Retries: cfg.Retries, Hedge: cfg.Hedge,
+		RedialInterval: cfg.RedialInterval, DialTimeout: cfg.DialTimeout,
+		Metrics: cfg.Metrics, Events: cfg.Events,
+	}
+	inner, err := NewCoordinator(ccfg, addrs)
+	if err != nil {
+		return nil, err
+	}
+
+	c := &Cluster{
+		cfg: cfg, inner: inner, groups: groupIdx,
+		rule: rule, ruleData: rd, enc: enc, table: table,
+		pols:     map[int]*policy{},
+		pullRows: cfg.PullRows,
+		smap:     smap,
+		stale:    map[int]map[int]bool{},
+		rows:     map[int]int64{},
+		locks:    map[int]*sync.Mutex{},
+	}
+	for _, s := range smap.Shards {
+		c.shardIDs = append(c.shardIDs, s.ID)
+		c.locks[s.ID] = &sync.Mutex{}
+	}
+	for sid, sp := range cfg.PerShard {
+		pol := inner.pol
+		if sp.RPCTimeout != 0 {
+			pol.rpcTimeout = max(sp.RPCTimeout, 0)
+		}
+		if sp.Retries != 0 {
+			pol.retries = max(sp.Retries, 0)
+		}
+		if sp.Hedge != 0 {
+			pol.hedge = max(sp.Hedge, 0)
+		}
+		c.pols[sid] = &pol
+	}
+	c.ruleID = inner.salt<<32 | ruleCounter.Add(1)
+
+	if err := inner.broadcast(ctx, RuleBlob{ID: c.ruleID, Data: rd, Shards: smap}); err != nil {
+		inner.Close()
+		return nil, err
+	}
+	// Seed residency: every member of a shard's owning group holds the
+	// (empty) shard from the start, so queries on never-inserted shards
+	// succeed instead of answering "not resident".
+	for i, s := range smap.Shards {
+		ok := 0
+		for _, w := range c.groups[s.Group] {
+			err := c.callOn(ctx, w, s.ID, "Worker.StoreShard",
+				StoreShardArgs{RuleID: c.ruleID, MapVersion: smap.Version, ShardID: s.ID},
+				&StoreShardReply{}, 16)
+			if err != nil {
+				c.markShardStale(s.ID, w)
+				continue
+			}
+			ok++
+		}
+		if ok == 0 {
+			inner.Close()
+			return nil, fmt.Errorf("dist: shard %d (range %d): %w", s.ID, i, ErrShardDown)
+		}
+	}
+	return c, nil
+}
+
+// Close shuts the underlying coordinator down.
+func (c *Cluster) Close() error { return c.inner.Close() }
+
+// Metrics returns the cluster's metrics registry.
+func (c *Cluster) Metrics() *obs.Registry { return c.inner.Metrics() }
+
+// Events returns the cluster's event log.
+func (c *Cluster) Events() *obs.EventLog { return c.inner.Events() }
+
+// WireStats returns per-worker TCP byte totals since connection.
+func (c *Cluster) WireStats() []WireStat { return c.inner.WireStats() }
+
+// Map returns a snapshot of the current shard map.
+func (c *Cluster) Map() ShardMap {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.smap.Clone()
+}
+
+// Groups returns the number of worker groups.
+func (c *Cluster) Groups() int { return len(c.groups) }
+
+// ShardRows returns the coordinator-side resident row count per shard
+// ID (inserted rows; replicas each hold a full copy).
+func (c *Cluster) ShardRows() map[int]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[int]int64, len(c.rows))
+	for k, v := range c.rows {
+		out[k] = v
+	}
+	return out
+}
+
+// shardPolicy resolves the effective policy for one shard.
+func (c *Cluster) shardPolicy(sid int) *policy {
+	if p := c.pols[sid]; p != nil {
+		return p
+	}
+	return &c.inner.pol
+}
+
+// shardLock returns the per-shard insert/handoff mutex.
+func (c *Cluster) shardLock(sid int) *sync.Mutex {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	lk := c.locks[sid]
+	if lk == nil {
+		lk = &sync.Mutex{}
+		c.locks[sid] = lk
+	}
+	return lk
+}
+
+// markShardStale records that one replica missed a replicated write
+// and must not serve the shard until a handoff re-streams it.
+func (c *Cluster) markShardStale(sid, w int) {
+	c.mu.Lock()
+	if c.stale[sid] == nil {
+		c.stale[sid] = map[int]bool{}
+	}
+	c.stale[sid][w] = true
+	c.mu.Unlock()
+	c.inner.reg.Counter("zsky_shard_stale_replicas_total",
+		obs.L("shard", fmt.Sprint(sid))).Add(1)
+}
+
+// freshMembers returns the owning group's worker indices minus the
+// shard's stale set, under the current map.
+func (c *Cluster) freshMembers(sid int) (members []int, version uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.freshMembersLocked(sid)
+}
+
+func (c *Cluster) freshMembersLocked(sid int) (members []int, version uint64) {
+	idx := c.smap.IndexOf(sid)
+	if idx < 0 {
+		return nil, c.smap.Version
+	}
+	st := c.stale[sid]
+	for _, w := range c.groups[c.smap.Shards[idx].Group] {
+		if !st[w] {
+			members = append(members, w)
+		}
+	}
+	return members, c.smap.Version
+}
+
+// ---- inserts ----
+
+// Insert routes points to their owning shards and replicates each
+// batch to every live member of the owning group.
+func (c *Cluster) Insert(ctx context.Context, pts []point.Point) error {
+	if len(pts) == 0 {
+		return nil
+	}
+	return c.InsertBlock(ctx, point.BlockOf(c.enc.Dims(), pts))
+}
+
+// InsertBlock is Insert over a contiguous block: one bulk encode, one
+// owner split, then per-shard replicated appends. The Z-address column
+// computed for routing travels with each batch (encode-once), so
+// workers never re-encode inserted points.
+func (c *Cluster) InsertBlock(ctx context.Context, blk point.Block) error {
+	if blk.Len() == 0 {
+		return nil
+	}
+	if blk.Dims != c.enc.Dims() {
+		return fmt.Errorf("dist: insert block has %d dims, want %d", blk.Dims, c.enc.Dims())
+	}
+	zc := c.enc.EncodeBlock(zorder.ZCol{}, blk)
+	parts := plan.SplitByOwner(plan.Group{Block: blk, ZCol: zc},
+		func(row int) int { return c.table.Locate(zc.At(row)) })
+	for _, p := range parts {
+		// Cuts never change across map versions, so the range index ->
+		// shard ID mapping is stable even while a handoff runs.
+		if err := c.insertShard(ctx, c.shardIDs[p.Gid], p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// insertShard appends one routed batch to every fresh replica of the
+// owning group, under the shard's lock (which also excludes a
+// concurrent handoff of this shard). A replica that fails the write
+// after retries is marked stale; the insert succeeds as long as one
+// replica holds it, and fails with ErrShardDown when none does.
+func (c *Cluster) insertShard(ctx context.Context, sid int, g plan.Group) error {
+	lk := c.shardLock(sid)
+	lk.Lock()
+	defer lk.Unlock()
+	members, version := c.freshMembers(sid)
+	if len(members) == 0 {
+		return fmt.Errorf("dist: shard %d: %w", sid, ErrShardDown)
+	}
+	blockFrame, err := g.Block.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	zFrame, err := g.ZCol.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	args := StoreShardArgs{RuleID: c.ruleID, MapVersion: version, ShardID: sid,
+		BlockFrame: blockFrame, ZFrame: zFrame}
+	reqBytes := int64(len(blockFrame) + len(zFrame))
+	ok := 0
+	for _, w := range members {
+		if err := c.callOn(ctx, w, sid, "Worker.StoreShard", args, &StoreShardReply{}, reqBytes); err != nil {
+			if classify(err) == classFatal || ctx.Err() != nil {
+				return fmt.Errorf("dist: shard %d store on %s: %w", sid, c.inner.addrs[w], err)
+			}
+			c.markShardStale(sid, w)
+			continue
+		}
+		ok++
+	}
+	if ok == 0 {
+		return fmt.Errorf("dist: shard %d: %w", sid, ErrShardDown)
+	}
+	c.mu.Lock()
+	c.rows[sid] += int64(g.Len())
+	total := c.rows[sid]
+	c.mu.Unlock()
+	c.inner.reg.Gauge("zsky_shard_points", obs.L("shard", fmt.Sprint(sid))).Set(float64(total))
+	return nil
+}
+
+// callOn issues one method on one specific worker with bounded retries
+// pinned to it — replica-addressed writes have no failover: the write
+// must land on that member or the member goes stale.
+func (c *Cluster) callOn(ctx context.Context, w, sid int, method string, args, reply any, reqBytes int64) error {
+	pol := c.shardPolicy(sid)
+	sp, ev, done := c.inner.startRPC(ctx, method, reqBytes)
+	var err error
+	for attempt := 0; ; attempt++ {
+		_, err = c.inner.attempt(ctx, method, args, reply, w, callOpts{pol: pol, sp: sp, ev: ev})
+		ev.SetAttempts(attempt + 1)
+		if err == nil || ctx.Err() != nil {
+			break
+		}
+		class := classify(err)
+		c.inner.reg.Counter("zsky_dist_rpc_errors_total",
+			obs.L("method", method), obs.L("class", className(class))).Add(1)
+		if class == classFatal || class == classShardMoved || attempt >= pol.retries {
+			break
+		}
+		if class == classRuleMissing {
+			if rerr := c.inner.resendRule(ctx, w); rerr != nil {
+				break
+			}
+			continue
+		}
+		c.inner.reg.Counter("zsky_dist_retries_total", obs.L("method", method)).Add(1)
+		sleep(ctx, c.inner.bo.delay(pol, attempt))
+	}
+	done(w, 0, err)
+	return err
+}
+
+// ---- queries ----
+
+// Skyline computes the exact global skyline: per-shard skylines on the
+// owning groups, then the cross-shard merge.
+func (c *Cluster) Skyline(ctx context.Context) ([]point.Point, *ClusterReport, error) {
+	return c.skyline(ctx, zorder.Range{}, false)
+}
+
+// SkylineRange computes the exact skyline of the points whose
+// Z-address falls in [lo, hi) (nil bounds mean the curve's ends), with
+// partition-aware routing: only shards whose range overlaps the query
+// are contacted.
+func (c *Cluster) SkylineRange(ctx context.Context, lo, hi zorder.ZAddr) ([]point.Point, *ClusterReport, error) {
+	return c.skyline(ctx, zorder.Range{Lo: lo, Hi: hi}, false)
+}
+
+// SkylineRangeBroadcast answers the same query as SkylineRange but
+// fans out to every shard, each filtering locally — the
+// broadcast-to-all baseline partition-aware routing is measured
+// against (see EXPERIMENTS.md). Results are identical; only the wire
+// traffic differs.
+func (c *Cluster) SkylineRangeBroadcast(ctx context.Context, lo, hi zorder.ZAddr) ([]point.Point, *ClusterReport, error) {
+	return c.skyline(ctx, zorder.Range{Lo: lo, Hi: hi}, true)
+}
+
+func (c *Cluster) skyline(ctx context.Context, rng zorder.Range, routeAll bool) ([]point.Point, *ClusterReport, error) {
+	id := obs.RequestIDFrom(ctx)
+	if id == "" {
+		id = obs.NewRequestID()
+		ctx = obs.ContextWithRequestID(ctx, id)
+	}
+	filter := rng.Lo != nil || rng.Hi != nil
+	route := "cluster/skyline"
+	if filter {
+		route = "cluster/skyline-range"
+	}
+	ev := &obs.Event{ID: id, Kind: "query", Route: route,
+		Dominance: c.cfg.Dominance.String()}
+	c.mu.Lock()
+	version := c.smap.Version
+	nShards := c.smap.NumShards()
+	c.mu.Unlock()
+	var targets []int
+	if routeAll || !filter {
+		for i := 0; i < nShards; i++ {
+			targets = append(targets, i)
+		}
+	} else {
+		targets = c.table.Overlapping(rng)
+	}
+	rep := &ClusterReport{Shards: nShards, Routed: len(targets), MapVersion: version}
+	ev.Query = fmt.Sprintf("shards=%d/%d,v=%d", len(targets), nShards, version)
+	wireBefore := c.WireStats()
+	start := time.Now()
+
+	groups := make([]plan.Group, len(targets))
+	errs := make([]error, len(targets))
+	var wg sync.WaitGroup
+	for i, idx := range targets {
+		wg.Add(1)
+		go func(i, idx int) {
+			defer wg.Done()
+			groups[i], errs[i] = c.shardSkyline(ctx, c.shardIDs[idx], rng, filter)
+		}(i, idx)
+	}
+	wg.Wait()
+	var err error
+	for _, e := range errs {
+		if e != nil {
+			err = e
+			break
+		}
+	}
+	var sky []point.Point
+	if err == nil {
+		if len(groups) == 1 {
+			// A single shard's local skyline is already global for its
+			// range; skip the merge round.
+			sky = groups[0].Points()
+		} else {
+			sky, err = plan.MergePhase(ctx, &rpcExec{c: c.inner, ruleID: c.ruleID},
+				c.rule, groups, c.cfg.TreeMerge, nil)
+		}
+	}
+	ev.DurationMS = float64(time.Since(start).Microseconds()) / 1000
+	for i, ws := range c.WireStats() {
+		ev.WireSentBytes += ws.Sent - wireBefore[i].Sent
+		ev.WireRecvBytes += ws.Recv - wireBefore[i].Recv
+	}
+	rep.WireSentBytes, rep.WireRecvBytes = ev.WireSentBytes, ev.WireRecvBytes
+	if err != nil {
+		ev.SetError(className(classify(err)), err.Error())
+		c.inner.events.RecordForced(*ev)
+		return nil, nil, err
+	}
+	rep.SkylineSize = len(sky)
+	ev.SetResults(len(sky))
+	c.inner.events.Record(*ev)
+	return sky, rep, nil
+}
+
+// shardSkyline asks one fresh replica of the shard's owning group for
+// the (optionally range-filtered) shard skyline, retrying inside the
+// group with the shard's policy and hedging to another member. When a
+// replica answers shard-moved — the query raced a rebalance — the loop
+// re-reads the shard map (the handoff updates it before dropping the
+// source) and re-routes; every address keeps exactly one owner at
+// every version, so convergence takes one hop per concurrent move.
+func (c *Cluster) shardSkyline(ctx context.Context, sid int, rng zorder.Range, filter bool) (plan.Group, error) {
+	pol := c.shardPolicy(sid)
+	const maxHops = 4
+	for hop := 0; ; hop++ {
+		members, version := c.freshMembers(sid)
+		if len(members) == 0 {
+			return plan.Group{}, fmt.Errorf("dist: shard %d: %w", sid, ErrShardDown)
+		}
+		args := ShardSkyArgs{RuleID: c.ruleID, MapVersion: version, ShardID: sid}
+		if filter {
+			args.Lo, args.Hi = rng.Lo, rng.Hi
+		}
+		var reply ShardSkyReply
+		sp, ev, done := c.inner.startRPC(ctx, "Worker.ShardSkyline", 16)
+		served, err := c.callShard(ctx, pol, "Worker.ShardSkyline", args, &reply, members, sp, ev)
+		if err == nil {
+			done(served, groupBytes([]plan.Group{reply.Group}), nil)
+			return reply.Group, nil
+		}
+		done(served, 0, err)
+		if classify(err) == classShardMoved && hop < maxHops {
+			continue
+		}
+		return plan.Group{}, err
+	}
+}
+
+// callShard is the group-restricted analogue of Coordinator.call:
+// retries rotate over the pool members only, hedge legs stay inside
+// the pool, and exhaustion of the pool (all members dead) is
+// ErrShardDown rather than ErrClusterDown.
+func (c *Cluster) callShard(ctx context.Context, pol *policy, method string, args, reply any, pool []int, sp *obs.Span, ev *obs.Event) (int, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return -1, err
+		}
+		w, err := c.pickLiveIn(ctx, pool, attempt)
+		if err != nil {
+			if lastErr != nil {
+				return -1, fmt.Errorf("dist: %s: %v: %w", method, lastErr, err)
+			}
+			return -1, fmt.Errorf("dist: %s: %w", method, err)
+		}
+		served, err := c.inner.attempt(ctx, method, args, reply, w,
+			callOpts{pol: pol, hedge: true, pool: pool, sp: sp, ev: ev})
+		ev.SetAttempts(attempt + 1)
+		if err == nil {
+			return served, nil
+		}
+		lastErr = err
+		class := classify(err)
+		c.inner.reg.Counter("zsky_dist_rpc_errors_total",
+			obs.L("method", method), obs.L("class", className(class))).Add(1)
+		if class == classFatal || class == classShardMoved || ctx.Err() != nil {
+			return served, err
+		}
+		if class == classRuleMissing && served >= 0 {
+			if rerr := c.inner.resendRule(ctx, served); rerr != nil {
+				c.inner.markSuspect(served)
+			}
+		}
+		if attempt >= pol.retries {
+			return served, fmt.Errorf("dist: %s: attempts exhausted: %w", method, lastErr)
+		}
+		c.inner.reg.Counter("zsky_dist_retries_total", obs.L("method", method)).Add(1)
+		sleep(ctx, c.inner.bo.delay(pol, attempt))
+	}
+}
+
+// pickLiveIn returns a live worker from pool, rotating by rotation,
+// waiting out windows where members are suspect/resurrecting. It fails
+// with ErrShardDown once every pool member is confirmed dead.
+func (c *Cluster) pickLiveIn(ctx context.Context, pool []int, rotation int) (int, error) {
+	in := c.inner
+	for {
+		in.mu.Lock()
+		if in.closed {
+			in.mu.Unlock()
+			return -1, errCoordinatorClosed
+		}
+		for i := 0; i < len(pool); i++ {
+			w := pool[(rotation+i)%len(pool)]
+			if in.state[w] == wsLive {
+				in.mu.Unlock()
+				return w, nil
+			}
+		}
+		allDead := true
+		for _, w := range pool {
+			if in.state[w] != wsDead {
+				allDead = false
+				break
+			}
+		}
+		if allDead {
+			in.mu.Unlock()
+			return -1, ErrShardDown
+		}
+		ch := in.changed
+		in.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return -1, ctx.Err()
+		case <-ch:
+		}
+	}
+}
+
+// ShardStats collects every reachable worker's resident shard
+// inventory, keyed by worker address — the raw data behind skydist
+// -shard-report. Unreachable workers are skipped.
+func (c *Cluster) ShardStats(ctx context.Context) map[string]ShardStatsReply {
+	out := make(map[string]ShardStatsReply)
+	for w, addr := range c.inner.addrs {
+		var reply ShardStatsReply
+		if _, err := c.inner.attempt(ctx, "Worker.ShardStats", ShardStatsArgs{}, &reply, w, callOpts{}); err == nil {
+			out[addr] = reply
+		}
+	}
+	return out
+}

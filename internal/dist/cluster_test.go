@@ -1,0 +1,473 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"zskyline/internal/dominance"
+	"zskyline/internal/gen"
+	"zskyline/internal/point"
+	"zskyline/internal/seq"
+	"zskyline/internal/zorder"
+)
+
+// startGroup spins up n plain workers as one group.
+func startGroup(t *testing.T, n int) ([]string, []*WorkerServer) {
+	t.Helper()
+	addrs := make([]string, n)
+	servers := make([]*WorkerServer, n)
+	for i := 0; i < n; i++ {
+		ws, err := StartWorker("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ws.Close() })
+		addrs[i] = ws.Addr()
+		servers[i] = ws
+	}
+	return addrs, servers
+}
+
+// testClusterConfig is the base config the cluster tests share: unit
+// cube bounds, fast retries, and small handoff batches so streams span
+// multiple pulls.
+func testClusterConfig(dims int) ClusterConfig {
+	mins := make([]float64, dims)
+	maxs := make([]float64, dims)
+	for i := range maxs {
+		maxs[i] = 1
+	}
+	return ClusterConfig{
+		Mins: mins, Maxs: maxs, Bits: 12,
+		Retries: 3, RPCTimeout: 5 * time.Second,
+		PullRows: 256, Seed: 7,
+	}
+}
+
+// insertBatches feeds the dataset in several InsertBlock calls so
+// shards accumulate multiple append groups (exercising the PullShard
+// cursor during handoffs).
+func insertBatches(t *testing.T, c *Cluster, pts []point.Point, batch int) {
+	t.Helper()
+	for lo := 0; lo < len(pts); lo += batch {
+		hi := min(lo+batch, len(pts))
+		if err := c.Insert(context.Background(), pts[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestClusterSkylineExact(t *testing.T) {
+	for _, dist := range []gen.Distribution{gen.Independent, gen.Correlated, gen.AntiCorrelated} {
+		// Fresh workers per cluster: shard residency is cluster-scoped
+		// worker state, and a second cluster reusing the processes would
+		// find (and append to) the first one's resident shards.
+		g0, _ := startGroup(t, 2)
+		g1, _ := startGroup(t, 2)
+		ds := gen.Synthetic(dist, 3000, 4, 23)
+		want := seq.SB(ds.Points, nil)
+		c, err := NewCluster(context.Background(), testClusterConfig(4), [][]string{g0, g1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		insertBatches(t, c, ds.Points, 500)
+		got, rep, err := c.Skyline(context.Background())
+		if err != nil {
+			c.Close()
+			t.Fatalf("%v: %v", dist, err)
+		}
+		sameSet(t, got, want, dist.String())
+		if rep.Shards != 2 || rep.Routed != 2 {
+			t.Errorf("%v: routed %d/%d shards, want 2/2", dist, rep.Routed, rep.Shards)
+		}
+		if rep.MapVersion != 1 {
+			t.Errorf("%v: map version %d, want 1", dist, rep.MapVersion)
+		}
+		c.Close()
+	}
+}
+
+func TestClusterEmptyAndSingleShardQueries(t *testing.T) {
+	g0, _ := startGroup(t, 1)
+	g1, _ := startGroup(t, 1)
+	cfg := testClusterConfig(3)
+	c, err := NewCluster(context.Background(), cfg, [][]string{g0, g1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Empty cluster answers the empty skyline, not "not resident".
+	got, _, err := c.Skyline(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty cluster skyline has %d points", len(got))
+	}
+	// A range inside one shard routes to exactly that shard.
+	ds := gen.Synthetic(gen.Independent, 1000, 3, 5)
+	insertBatches(t, c, ds.Points, 300)
+	cut := c.Map().Cuts[0]
+	_, rep, err := c.SkylineRange(context.Background(), nil, zorder.ZAddr(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Routed != 1 || rep.Shards != 2 {
+		t.Fatalf("routed %d/%d shards, want 1/2", rep.Routed, rep.Shards)
+	}
+}
+
+// rangeOracle computes the exact skyline of the points whose Z-address
+// falls in rng, using the same encoder geometry as the cluster.
+func rangeOracle(t *testing.T, cfg ClusterConfig, pts []point.Point, rng zorder.Range) []point.Point {
+	t.Helper()
+	enc, err := zorder.NewEncoder(len(cfg.Mins), cfg.Bits, cfg.Mins, cfg.Maxs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var in []point.Point
+	for _, p := range pts {
+		if rng.Contains(enc.Encode(p)) {
+			in = append(in, p)
+		}
+	}
+	return seq.SB(in, nil)
+}
+
+func TestClusterRangeQueryExact(t *testing.T) {
+	g0, _ := startGroup(t, 2)
+	g1, _ := startGroup(t, 2)
+	cfg := testClusterConfig(4)
+	cfg.Shards = 4 // 2 shards per group: range routing beats broadcast
+	c, err := NewCluster(context.Background(), cfg, [][]string{g0, g1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ds := gen.Synthetic(gen.AntiCorrelated, 4000, 4, 11)
+	insertBatches(t, c, ds.Points, 600)
+
+	m := c.Map()
+	// Query shard 1's range exactly: [cut0, cut1).
+	lo, hi := zorder.ZAddr(m.Cuts[0]), zorder.ZAddr(m.Cuts[1])
+	want := rangeOracle(t, cfg, ds.Points, zorder.Range{Lo: lo, Hi: hi})
+
+	got, rep, err := c.SkylineRange(context.Background(), lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSet(t, got, want, "routed range")
+	if rep.Routed != 1 || rep.Shards != 4 {
+		t.Errorf("routed %d/%d shards, want 1/4", rep.Routed, rep.Shards)
+	}
+
+	bGot, bRep, err := c.SkylineRangeBroadcast(context.Background(), lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSet(t, bGot, want, "broadcast range")
+	if bRep.Routed != 4 {
+		t.Errorf("broadcast routed %d shards, want 4", bRep.Routed)
+	}
+	if bRep.WireSentBytes <= rep.WireSentBytes {
+		t.Errorf("broadcast sent %d bytes, routed sent %d: routing should move fewer",
+			bRep.WireSentBytes, rep.WireSentBytes)
+	}
+}
+
+func TestClusterHandoffMidRun(t *testing.T) {
+	g0, _ := startGroup(t, 2)
+	g1, _ := startGroup(t, 2)
+	c, err := NewCluster(context.Background(), testClusterConfig(4), [][]string{g0, g1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ds := gen.Synthetic(gen.Independent, 2500, 4, 31)
+	want := seq.SB(ds.Points, nil)
+	insertBatches(t, c, ds.Points, 400)
+
+	// Queries hammer the cluster while shard 0 moves group 0 -> 1 and
+	// back; every answer must be exact whichever map version it routed
+	// under.
+	stop := make(chan struct{})
+	errCh := make(chan error, 16)
+	var wg sync.WaitGroup
+	for q := 0; q < 4; q++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				got, _, err := c.Skyline(context.Background())
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if len(got) != len(want) {
+					errCh <- fmt.Errorf("mid-handoff skyline has %d points, want %d", len(got), len(want))
+					return
+				}
+			}
+		}()
+	}
+	rep, err := c.Handoff(context.Background(), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MapVersion != 2 || rep.ToGroup != 1 {
+		t.Fatalf("handoff report %+v", rep)
+	}
+	if rep.Replicas != 2 {
+		t.Errorf("committed on %d replicas, want 2", rep.Replicas)
+	}
+	if _, err := c.Handoff(context.Background(), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+
+	if v := c.Map().Version; v != 3 {
+		t.Errorf("map version %d after two handoffs, want 3", v)
+	}
+	got, _, err := c.Skyline(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSet(t, got, want, "post-handoff")
+
+	// Inserts keep routing correctly under the new map.
+	extra := gen.Synthetic(gen.Correlated, 800, 4, 41)
+	insertBatches(t, c, extra.Points, 300)
+	all := append(append([]point.Point(nil), ds.Points...), extra.Points...)
+	got, _, err = c.Skyline(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSet(t, got, seq.SB(all, nil), "post-handoff insert")
+}
+
+func TestClusterHandoffSeveredMidStream(t *testing.T) {
+	// Source member A severs the connection on every PullShard; the
+	// stream must resume at the same cursor on replica B.
+	faults, err := ParseFaultPlan("Worker.PullShard:1x100:sever")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wa, err := StartWorkerWithFaults("127.0.0.1:0", faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { wa.Close() })
+	wb, err := StartWorker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { wb.Close() })
+	g1, _ := startGroup(t, 2)
+
+	cfg := testClusterConfig(4)
+	cfg.RedialInterval = 50 * time.Millisecond
+	c, err := NewCluster(context.Background(), cfg, [][]string{{wa.Addr(), wb.Addr()}, g1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ds := gen.Synthetic(gen.AntiCorrelated, 2000, 4, 13)
+	want := seq.SB(ds.Points, nil)
+	insertBatches(t, c, ds.Points, 250)
+
+	rep, err := c.Handoff(context.Background(), 0, 1)
+	if err != nil {
+		t.Fatalf("handoff across severed stream: %v", err)
+	}
+	rows := c.ShardRows()
+	if int64(rep.Rows) != rows[0] {
+		t.Errorf("streamed %d rows, shard holds %d", rep.Rows, rows[0])
+	}
+	got, _, err := c.Skyline(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSet(t, got, want, "post-severed-handoff")
+	if faults.Injected() == 0 {
+		t.Error("fault plan never fired; test exercised nothing")
+	}
+}
+
+func TestClusterShardMapVersionRace(t *testing.T) {
+	g0, _ := startGroup(t, 2)
+	g1, _ := startGroup(t, 2)
+	c, err := NewCluster(context.Background(), testClusterConfig(3), [][]string{g0, g1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ds := gen.Synthetic(gen.Independent, 1500, 3, 19)
+	want := seq.SB(ds.Points, nil)
+	insertBatches(t, c, ds.Points, 250)
+
+	stop := make(chan struct{})
+	errCh := make(chan error, 16)
+	var wg sync.WaitGroup
+	for q := 0; q < 3; q++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// The snapshot a query routes under must always be a valid
+				// map: every address with exactly one owner.
+				m := c.Map()
+				if err := m.Validate(c.Groups()); err != nil {
+					errCh <- err
+					return
+				}
+				got, rep, err := c.Skyline(context.Background())
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if len(got) != len(want) {
+					errCh <- fmt.Errorf("v%d skyline has %d points, want %d",
+						rep.MapVersion, len(got), len(want))
+					return
+				}
+			}
+		}()
+	}
+	var lastVer uint64 = 1
+	for i := 0; i < 4; i++ {
+		to := (i + 1) % 2
+		rep, err := c.Handoff(context.Background(), i%2, to)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.MapVersion <= lastVer {
+			t.Fatalf("map version went %d -> %d", lastVer, rep.MapVersion)
+		}
+		lastVer = rep.MapVersion
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+}
+
+func TestClusterMemberDeathAndRepair(t *testing.T) {
+	g0a, s0 := startGroup(t, 2)
+	g1, _ := startGroup(t, 1)
+	cfg := testClusterConfig(3)
+	cfg.Retries = 1
+	cfg.RPCTimeout = time.Second
+	cfg.RedialInterval = -1 // dead stays dead
+	c, err := NewCluster(context.Background(), cfg, [][]string{g0a, g1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ds := gen.Synthetic(gen.Independent, 1200, 3, 29)
+	insertBatches(t, c, ds.Points, 400)
+
+	// Kill one replica of group 0, then insert: the write fails there
+	// after pinned retries, the member goes stale, the insert succeeds
+	// on the survivor.
+	s0[1].Close()
+	extra := gen.Synthetic(gen.Correlated, 400, 3, 37)
+	insertBatches(t, c, extra.Points, 200)
+
+	all := append(append([]point.Point(nil), ds.Points...), extra.Points...)
+	want := seq.SB(all, nil)
+	got, _, err := c.Skyline(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSet(t, got, want, "with stale replica")
+
+	// The shard survives on one replica; moving it to group 1 restores
+	// replication without the dead member.
+	if _, err := c.Handoff(context.Background(), 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err = c.Skyline(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSet(t, got, want, "post-repair")
+}
+
+func TestClusterAllReplicasDown(t *testing.T) {
+	g0, s0 := startGroup(t, 1)
+	g1, _ := startGroup(t, 1)
+	cfg := testClusterConfig(3)
+	cfg.Retries = 1
+	cfg.RPCTimeout = 500 * time.Millisecond
+	cfg.RedialInterval = -1
+	c, err := NewCluster(context.Background(), cfg, [][]string{g0, g1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ds := gen.Synthetic(gen.Independent, 300, 3, 3)
+	insertBatches(t, c, ds.Points, 300)
+	s0[0].Close()
+	_, _, err = c.Skyline(context.Background())
+	if !errors.Is(err, ErrShardDown) {
+		t.Fatalf("skyline with a dead shard: %v, want ErrShardDown", err)
+	}
+}
+
+func TestClusterRejectsNonTransitive(t *testing.T) {
+	g0, _ := startGroup(t, 1)
+	cfg := testClusterConfig(3)
+	cfg.Dominance = dominance.Descriptor{Kind: dominance.KindKDom, K: 2}
+	if _, err := NewCluster(context.Background(), cfg, [][]string{g0}); err == nil {
+		t.Fatal("k-dominance accepted: shard-local skylines are unsound to merge under a non-transitive relation")
+	}
+}
+
+func TestClusterPerShardPolicy(t *testing.T) {
+	g0, _ := startGroup(t, 2)
+	cfg := testClusterConfig(3)
+	cfg.Shards = 2
+	cfg.PerShard = map[int]ShardPolicy{1: {Retries: 7, RPCTimeout: time.Minute}}
+	c, err := NewCluster(context.Background(), cfg, [][]string{g0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if p := c.shardPolicy(1); p.retries != 7 || p.rpcTimeout != time.Minute {
+		t.Errorf("shard 1 policy = %+v", *p)
+	}
+	if p := c.shardPolicy(0); p.retries != cfg.Retries {
+		t.Errorf("shard 0 inherited retries %d, want %d", p.retries, cfg.Retries)
+	}
+	// Per-shard overrides must not break serving.
+	ds := gen.Synthetic(gen.Independent, 500, 3, 43)
+	insertBatches(t, c, ds.Points, 200)
+	got, _, err := c.Skyline(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSet(t, got, seq.SB(ds.Points, nil), "per-shard policy")
+}

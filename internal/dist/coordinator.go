@@ -618,12 +618,21 @@ func (c *Coordinator) pickLiveWait(ctx context.Context, pref int) (int, error) {
 }
 
 // pickLiveExcept returns a live worker other than skip for hedging,
-// preferring an idle one; ok is false when none exists right now.
-func (c *Coordinator) pickLiveExcept(skip int) (int, bool) {
+// preferring an idle one; ok is false when none exists right now. A
+// non-nil pool restricts candidates to those worker indices (shard
+// hedges must stay inside the owning group).
+func (c *Coordinator) pickLiveExcept(skip int, pool []int) (int, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	candidates := pool
+	if candidates == nil {
+		candidates = make([]int, len(c.addrs))
+		for w := range c.addrs {
+			candidates[w] = w
+		}
+	}
 	pick, found := -1, false
-	for w := range c.addrs {
+	for _, w := range candidates {
 		if w == skip || c.state[w] != wsLive {
 			continue
 		}
@@ -768,11 +777,27 @@ type callOpts struct {
 	// the policy's hedge delay (reduce/merge tasks only: they are
 	// idempotent and few, so duplicates are cheap insurance).
 	hedge bool
+	// pol, when non-nil, overrides the coordinator's policy for this
+	// call — how the sharded tier applies per-shard timeout/retry/hedge
+	// settings without forking the call layer.
+	pol *policy
+	// pool, when non-nil, restricts hedge legs to these worker indices
+	// — shard calls must hedge inside the owning group, since only its
+	// members hold the data.
+	pool []int
 	// sp, when non-nil, collects attempt/hedge attributes.
 	sp *obs.Span
 	// ev, when non-nil, collects attempt/hedge detail on the RPC's
 	// event record.
 	ev *obs.Event
+}
+
+// pickPolicy resolves a call's effective policy.
+func (c *Coordinator) pickPolicy(opt callOpts) *policy {
+	if opt.pol != nil {
+		return opt.pol
+	}
+	return &c.pol
 }
 
 // call invokes one worker method under the full policy: per-attempt
@@ -782,6 +807,7 @@ type callOpts struct {
 // worker that served the call.
 func (c *Coordinator) call(ctx context.Context, method string, args, reply any, opt callOpts) (int, error) {
 	var lastErr error
+	pol := c.pickPolicy(opt)
 	pref := opt.preferred
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
@@ -820,11 +846,11 @@ func (c *Coordinator) call(ctx context.Context, method string, args, reply any, 
 				c.markSuspect(served)
 			}
 		}
-		if attempt >= c.pol.retries {
+		if attempt >= pol.retries {
 			return served, fmt.Errorf("dist: %s: attempts exhausted: %w", method, lastErr)
 		}
 		c.reg.Counter("zsky_dist_retries_total", obs.L("method", method)).Add(1)
-		sleep(ctx, c.bo.delay(&c.pol, attempt))
+		sleep(ctx, c.bo.delay(pol, attempt))
 		if served >= 0 {
 			pref = (served + 1) % len(c.addrs)
 		}
@@ -837,6 +863,8 @@ func className(class errClass) string {
 		return "retryable"
 	case classRuleMissing:
 		return "rule-missing"
+	case classShardMoved:
+		return "shard-moved"
 	default:
 		return "fatal"
 	}
@@ -853,6 +881,7 @@ type legRes struct {
 // a fresh reply value so an abandoned straggler reply can never race a
 // retry writing the caller's reply; the winner is copied out.
 func (c *Coordinator) attempt(ctx context.Context, method string, args, reply any, primary int, opt callOpts) (int, error) {
+	pol := c.pickPolicy(opt)
 	resCh := make(chan legRes, 2)
 	leg := func(w int) {
 		cl := c.client(w)
@@ -863,8 +892,8 @@ func (c *Coordinator) attempt(ctx context.Context, method string, args, reply an
 		rv := newReplyLike(reply)
 		call := cl.Go(method, args, rv, make(chan *rpc.Call, 1))
 		var timeout <-chan time.Time
-		if c.pol.rpcTimeout > 0 {
-			t := time.NewTimer(c.pol.rpcTimeout)
+		if pol.rpcTimeout > 0 {
+			t := time.NewTimer(pol.rpcTimeout)
 			defer t.Stop()
 			timeout = t.C
 		}
@@ -880,8 +909,8 @@ func (c *Coordinator) attempt(ctx context.Context, method string, args, reply an
 	go leg(primary)
 	legs := 1
 	var hedgeC <-chan time.Time
-	if opt.hedge && c.pol.hedge > 0 {
-		t := time.NewTimer(c.pol.hedge)
+	if opt.hedge && pol.hedge > 0 {
+		t := time.NewTimer(pol.hedge)
 		defer t.Stop()
 		hedgeC = t.C
 	}
@@ -907,7 +936,7 @@ func (c *Coordinator) attempt(ctx context.Context, method string, args, reply an
 			}
 		case <-hedgeC:
 			hedgeC = nil
-			if w2, ok := c.pickLiveExcept(primary); ok {
+			if w2, ok := c.pickLiveExcept(primary, opt.pool); ok {
 				c.reg.Counter("zsky_dist_hedges_total", obs.L("method", method)).Add(1)
 				opt.sp.SetAttr("hedged", c.addrs[w2])
 				opt.ev.SetHedged()

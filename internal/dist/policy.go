@@ -18,6 +18,11 @@ import (
 // diagnostic while the identity stays typed.
 var ErrClusterDown = errors.New("dist: no live workers")
 
+// ErrShardDown reports that a shard has no serving replica left: every
+// member of its owning group is dead or marked stale. Match with
+// errors.Is; the cluster wraps it with the shard ID.
+var ErrShardDown = errors.New("dist: shard has no live replica")
+
 // errCoordinatorClosed is returned by calls racing Close.
 var errCoordinatorClosed = errors.New("dist: coordinator closed")
 
@@ -72,6 +77,11 @@ const (
 	// fresh process resurrected at an old address. The cure is a
 	// re-broadcast to that worker, then retry.
 	classRuleMissing
+	// classShardMoved is a worker answering "not resident" or "stale
+	// shard map": it is alive but no longer (or not yet) owns the shard
+	// the call addressed — the caller raced a rebalance. The cure is a
+	// shard-map snapshot refresh on the coordinator, then re-routing.
+	classShardMoved
 )
 
 // classify sorts an RPC error into the retry taxonomy. net/rpc
@@ -87,6 +97,10 @@ func classify(err error) errClass {
 	if errors.As(err, &se) {
 		if strings.Contains(se.Error(), "not loaded") {
 			return classRuleMissing
+		}
+		if strings.Contains(se.Error(), "not resident") ||
+			strings.Contains(se.Error(), "stale shard map") {
+			return classShardMoved
 		}
 		return classFatal
 	}

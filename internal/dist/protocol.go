@@ -41,6 +41,13 @@ type RuleBlob struct {
 	// Data is the backend-agnostic rule payload (encoder bounds, Z-curve
 	// pivots, partition->group map, sample skyline, algorithms).
 	Data plan.RuleData
+	// Shards, when non-empty, is the sharded tier's ownership table
+	// riding the broadcast. Workers install it before the rule-cache
+	// check, so a map revision reaches workers even when the rule
+	// itself is already cached, and resurrection (which re-broadcasts
+	// the last blob) re-installs current ownership on restarted
+	// processes for free.
+	Shards ShardMap
 }
 
 // LoadRuleArgs asks a worker to install a rule.
@@ -103,4 +110,141 @@ type PingArgs struct{}
 // PingReply reports worker identity.
 type PingReply struct {
 	Addr string
+}
+
+// ---- sharded-tier wire types ----
+//
+// The shard data plane ships raw block frames ([]byte produced by
+// point.Block.MarshalBinary and zorder.ZCol.MarshalBinary) instead of
+// the typed values: gob then moves one opaque byte slice per call, and
+// the handoff can forward the exact frames it pulled from the source
+// to the staging targets without a decode/re-encode round trip.
+
+// StoreShardArgs appends one routed insert batch to a shard replica.
+// Nil frames are legal and store nothing — the residency seed a new
+// cluster (or a committed handoff target) uses to mark a shard served
+// here even before its first insert.
+type StoreShardArgs struct {
+	// RuleID names the cluster rule the shard computes under.
+	RuleID uint64
+	// MapVersion is the coordinator's shard-map version at routing
+	// time; workers fold it into their installed version.
+	MapVersion uint64
+	// ShardID is the stable shard identifier.
+	ShardID int
+	// BlockFrame is the batch's point.Block frame; ZFrame its
+	// zorder.ZCol frame, one address per block row.
+	BlockFrame []byte
+	ZFrame     []byte
+}
+
+// StoreShardReply acknowledges a store with the replica's new resident
+// row count for the shard.
+type StoreShardReply struct {
+	Rows int
+}
+
+// ShardSkyArgs asks a replica for the skyline of its resident shard
+// data, optionally restricted to the Z-range [Lo, Hi) (nil bounds mean
+// the curve's ends). A worker that does not hold the shard answers
+// "not resident", which the coordinator classifies as shard-moved and
+// answers by refreshing its map snapshot and re-routing.
+type ShardSkyArgs struct {
+	RuleID     uint64
+	MapVersion uint64
+	ShardID    int
+	Lo, Hi     []uint64
+}
+
+// ShardSkyReply returns the shard-local skyline as one group (Gid =
+// shard ID) carrying its Z-address column, ready for the cross-shard
+// merge rounds.
+type ShardSkyReply struct {
+	Group GroupPoints
+}
+
+// PullShardArgs streams a shard's resident data off a replica in
+// resumable batches: Cursor is the replica's group-list position from
+// the previous reply (0 to start), MaxRows a soft batch bound (whole
+// append batches are never split). Replicas of one shard hold
+// identical group lists — they received the same ordered StoreShard
+// sequence — so a pull interrupted by a replica's death resumes on
+// another replica at the same cursor.
+type PullShardArgs struct {
+	ShardID int
+	Cursor  int
+	MaxRows int
+}
+
+// PullShardReply carries one pulled batch as raw frames plus the
+// resume position.
+type PullShardReply struct {
+	BlockFrame []byte
+	ZFrame     []byte
+	// Rows is the batch's row count; Next the cursor for the following
+	// pull; Done reports that the shard is fully streamed.
+	Rows int
+	Next int
+	Done bool
+}
+
+// StageShardArgs appends one pulled batch to a handoff staging area,
+// keyed by (shard, epoch) so a staged-but-aborted handoff can never
+// pollute resident data or a later attempt's stage.
+type StageShardArgs struct {
+	ShardID int
+	// Epoch identifies the handoff attempt (the target map version).
+	Epoch      uint64
+	BlockFrame []byte
+	ZFrame     []byte
+}
+
+// StageShardReply acknowledges staging with the staged row count.
+type StageShardReply struct {
+	Rows int
+}
+
+// CommitShardArgs promotes a fully staged (shard, epoch) to resident,
+// replacing any prior resident data for the shard, and folds
+// MapVersion into the worker's installed version.
+type CommitShardArgs struct {
+	ShardID    int
+	Epoch      uint64
+	MapVersion uint64
+}
+
+// CommitShardReply acknowledges the commit with the now-resident rows.
+type CommitShardReply struct {
+	Rows int
+}
+
+// DropStagedArgs discards one staging area — the abort path.
+type DropStagedArgs struct {
+	ShardID int
+	Epoch   uint64
+}
+
+// DropStagedReply acknowledges the discard.
+type DropStagedReply struct{}
+
+// DropShardArgs removes a shard's resident data from a replica after
+// ownership moved away. The version guard makes late or duplicate
+// drops harmless: a worker that has since installed a newer map (for
+// example the shard moved back to it) rejects the stale drop.
+type DropShardArgs struct {
+	ShardID    int
+	MapVersion uint64
+}
+
+// DropShardReply acknowledges the drop.
+type DropShardReply struct{}
+
+// ShardStatsArgs asks a worker for its resident shard inventory.
+type ShardStatsArgs struct{}
+
+// ShardStatsReply reports the worker's installed shard-map version and
+// resident rows per shard ID.
+type ShardStatsReply struct {
+	MapVersion uint64
+	Rows       map[int]int64
 }

@@ -1,0 +1,62 @@
+package dist
+
+import (
+	"context"
+	"testing"
+
+	"zskyline/internal/gen"
+	"zskyline/internal/zorder"
+)
+
+// TestClusterWireBytesRoutedVsBroadcast measures the wire traffic of
+// partition-aware routing against the broadcast-to-all baseline on the
+// `large` bench config (50000 points, matching skybench): one range
+// query per shard count, routed (only overlapping shards contacted)
+// vs broadcast (every shard contacted, filtering locally). Both must
+// return the exact filtered skyline; routing must move fewer bytes.
+// The logged table is the source of the EXPERIMENTS.md numbers.
+func TestClusterWireBytesRoutedVsBroadcast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("50k-point measurement; skipped in -short")
+	}
+	const n = 50000
+	ds := gen.Synthetic(gen.AntiCorrelated, n, 4, 77)
+	for _, numShards := range []int{4, 8} {
+		g0, _ := startGroup(t, 2)
+		g1, _ := startGroup(t, 2)
+		cfg := testClusterConfig(4)
+		cfg.Shards = numShards
+		c, err := NewCluster(context.Background(), cfg, [][]string{g0, g1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		insertBatches(t, c, ds.Points, 4096)
+
+		// Query one shard's exact range: the partition-aware router
+		// contacts 1 of numShards shards.
+		m := c.Map()
+		lo, hi := zorder.ZAddr(m.Cuts[0]), zorder.ZAddr(m.Cuts[1])
+		want := rangeOracle(t, cfg, ds.Points, zorder.Range{Lo: lo, Hi: hi})
+
+		rGot, rRep, err := c.SkylineRange(context.Background(), lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bGot, bRep, err := c.SkylineRangeBroadcast(context.Background(), lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameSet(t, rGot, want, "routed")
+		sameSet(t, bGot, want, "broadcast")
+		if bRep.WireSentBytes+bRep.WireRecvBytes <= rRep.WireSentBytes+rRep.WireRecvBytes {
+			t.Errorf("shards=%d: broadcast moved %d bytes, routed %d: routing should move fewer",
+				numShards, bRep.WireSentBytes+bRep.WireRecvBytes, rRep.WireSentBytes+rRep.WireRecvBytes)
+		}
+		t.Logf("shards=%d routed=%d/%d: routed sent=%d recv=%d total=%d | broadcast sent=%d recv=%d total=%d | ratio=%.1fx",
+			numShards, rRep.Routed, rRep.Shards,
+			rRep.WireSentBytes, rRep.WireRecvBytes, rRep.WireSentBytes+rRep.WireRecvBytes,
+			bRep.WireSentBytes, bRep.WireRecvBytes, bRep.WireSentBytes+bRep.WireRecvBytes,
+			float64(bRep.WireSentBytes+bRep.WireRecvBytes)/float64(rRep.WireSentBytes+rRep.WireRecvBytes))
+		c.Close()
+	}
+}

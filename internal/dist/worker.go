@@ -12,8 +12,9 @@ import (
 )
 
 // Worker is the RPC service a worker process exposes. All phase
-// semantics live in the broadcast plan.Rule; the worker only caches
-// rules and executes their tasks. Every RPC is recorded in the
+// semantics live in the broadcast plan.Rule; the worker caches rules,
+// executes their tasks, and — in the sharded tier — holds resident
+// shard data (see worker_shard.go). Every RPC is recorded in the
 // worker's metrics registry (request counts, payload bytes, latency
 // histograms), which skyworker serves at --metrics-addr.
 type Worker struct {
@@ -21,6 +22,16 @@ type Worker struct {
 	rules map[uint64]*plan.Rule
 	addr  string
 	reg   *obs.Registry
+
+	// Sharded-tier state: resident shard data, handoff staging areas,
+	// and the highest installed shard-map version. maxResident, when
+	// positive, caps resident rows per shard (admission control for
+	// memory-bounded workers).
+	smu         sync.RWMutex
+	shardVer    uint64
+	resident    map[int]*residentShard
+	staged      map[stageKey]*residentShard
+	maxResident int
 }
 
 // observe records one served RPC into the worker's registry.
@@ -49,7 +60,7 @@ type WorkerServer struct {
 // StartWorker launches a worker RPC server on addr (use "127.0.0.1:0"
 // for an ephemeral port) and serves until Close.
 func StartWorker(addr string) (*WorkerServer, error) {
-	return StartWorkerWithFaults(addr, nil)
+	return StartWorkerWithOptions(addr, WorkerOptions{})
 }
 
 // StartWorkerWithFaults launches a worker whose RPC serving is routed
@@ -59,12 +70,31 @@ func StartWorker(addr string) (*WorkerServer, error) {
 // coordinator's retry, deadline, hedging, and resurrection machinery.
 // A nil plan serves normally.
 func StartWorkerWithFaults(addr string, faults *FaultPlan) (*WorkerServer, error) {
+	return StartWorkerWithOptions(addr, WorkerOptions{Faults: faults})
+}
+
+// WorkerOptions tunes a worker server beyond its address.
+type WorkerOptions struct {
+	// Faults, when non-nil, routes RPC serving through a deterministic
+	// fault-injection plan (see StartWorkerWithFaults).
+	Faults *FaultPlan
+	// MaxResidentRows, when positive, caps resident rows per shard:
+	// StoreShard and StageShard calls that would exceed it are
+	// rejected, which the coordinator surfaces as a fatal insert error.
+	MaxResidentRows int
+}
+
+// StartWorkerWithOptions launches a worker with the full option set.
+func StartWorkerWithOptions(addr string, opts WorkerOptions) (*WorkerServer, error) {
+	faults := opts.Faults
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("dist: listen %s: %w", addr, err)
 	}
 	w := &Worker{rules: make(map[uint64]*plan.Rule), addr: ln.Addr().String(),
-		reg: obs.NewRegistry()}
+		reg:      obs.NewRegistry(),
+		resident: make(map[int]*residentShard), staged: make(map[stageKey]*residentShard),
+		maxResident: opts.MaxResidentRows}
 	srv := rpc.NewServer()
 	if err := srv.RegisterName("Worker", w); err != nil {
 		ln.Close()
@@ -133,10 +163,16 @@ func (w *Worker) Ping(_ PingArgs, reply *PingReply) error {
 	return nil
 }
 
-// LoadRule installs (or confirms) a broadcast rule.
+// LoadRule installs (or confirms) a broadcast rule. A shard map riding
+// the blob is installed unconditionally, BEFORE the rule-cache check:
+// rebalances re-broadcast the same rule ID with a newer map, and a
+// cached rule must never swallow an ownership update.
 func (w *Worker) LoadRule(args LoadRuleArgs, reply *LoadRuleReply) error {
 	start := time.Now()
 	defer func() { w.observe("LoadRule", start, int64(args.Rule.Data.SampleSkyline.Bytes()), 1) }()
+	if !args.Rule.Shards.Empty() {
+		w.installShardMap(args.Rule.Shards.Version)
+	}
 	w.mu.RLock()
 	_, have := w.rules[args.Rule.ID]
 	w.mu.RUnlock()

@@ -1,0 +1,364 @@
+package dist
+
+import (
+	"fmt"
+	"time"
+
+	"zskyline/internal/obs"
+	"zskyline/internal/plan"
+	"zskyline/internal/point"
+	"zskyline/internal/zorder"
+)
+
+// residentShard is one shard's data on one replica: the ordered list
+// of append batches (each a block + its Z-address column) received via
+// StoreShard, or — after a handoff commit — via the staging area.
+// Replicas of one shard receive the same ordered StoreShard sequence
+// (the coordinator serializes inserts per shard), so their group lists
+// are identical, which is what makes PullShard cursors resumable
+// across replicas.
+type residentShard struct {
+	groups []plan.Group
+	rows   int
+}
+
+// stageKey identifies one handoff attempt's staging area.
+type stageKey struct {
+	shard int
+	epoch uint64
+}
+
+// installShardMap folds a broadcast shard-map version into the
+// worker's installed version (monotone: stale rebroadcasts are
+// ignored).
+func (w *Worker) installShardMap(version uint64) {
+	w.smu.Lock()
+	if version > w.shardVer {
+		w.shardVer = version
+	}
+	w.smu.Unlock()
+}
+
+// decodeShardFrames rebuilds one append batch from its wire frames.
+// Nil frames decode to an empty batch (residency seeding). A non-empty
+// block must arrive with a column of exactly one address per row — the
+// shard tier's queries and handoffs both lean on that invariant.
+func decodeShardFrames(shardID int, blockFrame, zFrame []byte) (plan.Group, error) {
+	g := plan.Group{Gid: shardID}
+	if len(blockFrame) == 0 && len(zFrame) == 0 {
+		return g, nil
+	}
+	if err := g.Block.UnmarshalBinary(blockFrame); err != nil {
+		return g, fmt.Errorf("dist: shard %d block frame: %w", shardID, err)
+	}
+	if err := g.ZCol.UnmarshalBinary(zFrame); err != nil {
+		return g, fmt.Errorf("dist: shard %d zcol frame: %w", shardID, err)
+	}
+	if g.ZCol.Len() != g.Block.Len() {
+		return g, fmt.Errorf("dist: shard %d frames disagree: %d addresses for %d rows",
+			shardID, g.ZCol.Len(), g.Block.Len())
+	}
+	return g, nil
+}
+
+// setShardGauge publishes one shard's resident row count.
+func (w *Worker) setShardGauge(shardID, rows int) {
+	w.reg.Gauge("zsky_shard_points", obs.L("shard", fmt.Sprint(shardID))).Set(float64(rows))
+}
+
+// StoreShard appends one routed insert batch to the shard's resident
+// data, creating the shard's residency on first store. The coordinator
+// replicates a batch by issuing the same StoreShard to every live
+// member of the owning group, under a per-shard lock, so replicas stay
+// byte-identical.
+func (w *Worker) StoreShard(args StoreShardArgs, reply *StoreShardReply) error {
+	start := time.Now()
+	g, err := decodeShardFrames(args.ShardID, args.BlockFrame, args.ZFrame)
+	if err != nil {
+		return err
+	}
+	w.smu.Lock()
+	if args.MapVersion > w.shardVer {
+		w.shardVer = args.MapVersion
+	}
+	res := w.resident[args.ShardID]
+	if res == nil {
+		res = &residentShard{}
+		w.resident[args.ShardID] = res
+	}
+	if w.maxResident > 0 && res.rows+g.Len() > w.maxResident {
+		w.smu.Unlock()
+		return fmt.Errorf("dist: shard %d on %s over resident cap: %d+%d > %d",
+			args.ShardID, w.addr, res.rows, g.Len(), w.maxResident)
+	}
+	if g.Len() > 0 {
+		res.groups = append(res.groups, g)
+		res.rows += g.Len()
+	}
+	reply.Rows = res.rows
+	w.smu.Unlock()
+	w.setShardGauge(args.ShardID, reply.Rows)
+	w.observe("StoreShard", start, int64(len(args.BlockFrame)+len(args.ZFrame)), 8)
+	return nil
+}
+
+// ShardSkyline computes the skyline of the shard's resident data,
+// restricted to [Lo, Hi) when bounds are given. The error string "not
+// resident" is load-bearing: the coordinator classifies it as
+// shard-moved and re-routes from a fresh map snapshot, which is how a
+// query that raced a rebalance converges on the new owner.
+func (w *Worker) ShardSkyline(args ShardSkyArgs, reply *ShardSkyReply) error {
+	start := time.Now()
+	r, err := w.rule(args.RuleID)
+	if err != nil {
+		return err
+	}
+	w.smu.RLock()
+	if args.MapVersion > w.shardVer {
+		w.shardVer = args.MapVersion
+	}
+	res := w.resident[args.ShardID]
+	var groups []plan.Group
+	if res != nil {
+		groups = append(groups, res.groups...)
+	}
+	w.smu.RUnlock()
+	if res == nil {
+		return fmt.Errorf("dist: shard %d not resident on %s", args.ShardID, w.addr)
+	}
+	if args.Lo != nil || args.Hi != nil {
+		rng := zorder.Range{Lo: args.Lo, Hi: args.Hi}
+		filtered := groups[:0:0]
+		for _, g := range groups {
+			fg := filterGroupRange(g, rng)
+			if fg.Len() > 0 {
+				filtered = append(filtered, fg)
+			}
+		}
+		groups = filtered
+	}
+	// Concatenate the append batches into one group and run the
+	// shard-local skyline kernel over it. MergeGroupsZ would be wrong
+	// here: it assumes its inputs are already candidate skylines and
+	// only eliminates across groups.
+	out := r.LocalSkylineGroup(concatGroups(args.ShardID, groups), nil)
+	out.Gid = args.ShardID
+	reply.Group = out
+	w.observe("ShardSkyline", start, 16, groupBytes([]plan.Group{out}))
+	return nil
+}
+
+// concatGroups flattens append batches into one group, carrying the
+// Z-address columns along when every batch has one.
+func concatGroups(gid int, groups []plan.Group) plan.Group {
+	if len(groups) == 1 {
+		g := groups[0]
+		g.Gid = gid
+		return g
+	}
+	total, withCol := 0, true
+	words := 0
+	for _, g := range groups {
+		total += g.Len()
+		if g.ZCol.Len() != g.Block.Len() || g.ZCol.Words == 0 {
+			withCol = false
+		} else if words == 0 {
+			words = g.ZCol.Words
+		}
+	}
+	out := plan.Group{Gid: gid}
+	if total == 0 {
+		return out
+	}
+	var dims int
+	for _, g := range groups {
+		if g.Block.Dims > 0 {
+			dims = g.Block.Dims
+			break
+		}
+	}
+	bb := point.NewBlockBuilder(dims, total)
+	if withCol {
+		out.ZCol = zorder.ZCol{Words: words, Data: make([]uint64, 0, total*words)}
+	}
+	for _, g := range groups {
+		bb.AppendBlock(g.Block)
+		if withCol {
+			out.ZCol.AppendCol(g.ZCol)
+		}
+	}
+	out.Block = bb.Build()
+	return out
+}
+
+// filterGroupRange subsets one append batch to the rows whose
+// Z-address falls inside rng, cutting the column alongside the block.
+func filterGroupRange(g plan.Group, rng zorder.Range) plan.Group {
+	rows := rng.FilterRows(nil, g.ZCol)
+	if len(rows) == g.Block.Len() {
+		return g
+	}
+	out := plan.Group{Gid: g.Gid, ZCol: zorder.ZCol{Words: g.ZCol.Words}}
+	bb := point.NewBlockBuilder(g.Block.Dims, len(rows))
+	for _, i := range rows {
+		bb.Append(g.Block.Row(int(i)))
+		out.ZCol.AppendRow(g.ZCol, int(i))
+	}
+	out.Block = bb.Build()
+	return out
+}
+
+// PullShard streams one batch of the shard's resident data, resuming
+// at Cursor (a group-list index). Batches pack whole append groups up
+// to roughly MaxRows rows into a single pair of frames, so the
+// transfer path moves flat arrays, not per-point gob.
+func (w *Worker) PullShard(args PullShardArgs, reply *PullShardReply) error {
+	start := time.Now()
+	w.smu.RLock()
+	res := w.resident[args.ShardID]
+	var groups []plan.Group
+	if res != nil {
+		groups = append(groups, res.groups...)
+	}
+	w.smu.RUnlock()
+	if res == nil {
+		return fmt.Errorf("dist: shard %d not resident on %s", args.ShardID, w.addr)
+	}
+	maxRows := args.MaxRows
+	if maxRows <= 0 {
+		maxRows = 4096
+	}
+	cur := args.Cursor
+	if cur < 0 || cur > len(groups) {
+		return fmt.Errorf("dist: shard %d pull cursor %d of %d", args.ShardID, cur, len(groups))
+	}
+	var bb *point.BlockBuilder
+	var zc zorder.ZCol
+	for cur < len(groups) {
+		g := groups[cur]
+		if bb == nil {
+			bb = point.NewBlockBuilder(g.Block.Dims, g.Block.Len())
+			zc = zorder.ZCol{Words: g.ZCol.Words}
+		}
+		bb.AppendBlock(g.Block)
+		zc.AppendCol(g.ZCol)
+		cur++
+		reply.Rows += g.Len()
+		if reply.Rows >= maxRows {
+			break
+		}
+	}
+	if bb != nil {
+		var err error
+		if reply.BlockFrame, err = bb.Build().MarshalBinary(); err != nil {
+			return err
+		}
+		if reply.ZFrame, err = zc.MarshalBinary(); err != nil {
+			return err
+		}
+	}
+	reply.Next = cur
+	reply.Done = cur >= len(groups)
+	w.observe("PullShard", start, 24, int64(len(reply.BlockFrame)+len(reply.ZFrame)))
+	return nil
+}
+
+// StageShard appends one pulled batch to the (shard, epoch) staging
+// area. Staged data is invisible to queries until CommitShard.
+func (w *Worker) StageShard(args StageShardArgs, reply *StageShardReply) error {
+	start := time.Now()
+	g, err := decodeShardFrames(args.ShardID, args.BlockFrame, args.ZFrame)
+	if err != nil {
+		return err
+	}
+	key := stageKey{shard: args.ShardID, epoch: args.Epoch}
+	w.smu.Lock()
+	st := w.staged[key]
+	if st == nil {
+		st = &residentShard{}
+		w.staged[key] = st
+	}
+	if w.maxResident > 0 && st.rows+g.Len() > w.maxResident {
+		w.smu.Unlock()
+		return fmt.Errorf("dist: shard %d staging on %s over resident cap: %d+%d > %d",
+			args.ShardID, w.addr, st.rows, g.Len(), w.maxResident)
+	}
+	if g.Len() > 0 {
+		st.groups = append(st.groups, g)
+		st.rows += g.Len()
+	}
+	reply.Rows = st.rows
+	w.smu.Unlock()
+	w.observe("StageShard", start, int64(len(args.BlockFrame)+len(args.ZFrame)), 8)
+	return nil
+}
+
+// CommitShard promotes the (shard, epoch) staging area to resident,
+// replacing whatever the replica previously held for the shard, and
+// discards every other staging area for the shard. Committing a
+// missing staging area yields an empty resident shard — correct for a
+// shard that held no rows.
+func (w *Worker) CommitShard(args CommitShardArgs, reply *CommitShardReply) error {
+	start := time.Now()
+	key := stageKey{shard: args.ShardID, epoch: args.Epoch}
+	w.smu.Lock()
+	st := w.staged[key]
+	if st == nil {
+		st = &residentShard{}
+	}
+	for k := range w.staged {
+		if k.shard == args.ShardID {
+			delete(w.staged, k)
+		}
+	}
+	w.resident[args.ShardID] = st
+	if args.MapVersion > w.shardVer {
+		w.shardVer = args.MapVersion
+	}
+	reply.Rows = st.rows
+	w.smu.Unlock()
+	w.setShardGauge(args.ShardID, reply.Rows)
+	w.observe("CommitShard", start, 24, 8)
+	return nil
+}
+
+// DropStaged discards one staging area (handoff abort).
+func (w *Worker) DropStaged(args DropStagedArgs, reply *DropStagedReply) error {
+	w.smu.Lock()
+	delete(w.staged, stageKey{shard: args.ShardID, epoch: args.Epoch})
+	w.smu.Unlock()
+	_ = reply
+	return nil
+}
+
+// DropShard removes the shard's resident data after ownership moved
+// away. The guard — reject versions below the installed one — makes a
+// delayed drop from an old rebalance harmless if the shard has since
+// moved back here under a newer map.
+func (w *Worker) DropShard(args DropShardArgs, reply *DropShardReply) error {
+	w.smu.Lock()
+	if args.MapVersion < w.shardVer {
+		w.smu.Unlock()
+		return fmt.Errorf("dist: stale shard map v%d on %s (have v%d)",
+			args.MapVersion, w.addr, w.shardVer)
+	}
+	w.shardVer = args.MapVersion
+	delete(w.resident, args.ShardID)
+	w.smu.Unlock()
+	w.setShardGauge(args.ShardID, 0)
+	_ = reply
+	return nil
+}
+
+// ShardStats reports the replica's installed map version and resident
+// rows per shard — what skydist -shard-report and the tests read.
+func (w *Worker) ShardStats(_ ShardStatsArgs, reply *ShardStatsReply) error {
+	w.smu.RLock()
+	defer w.smu.RUnlock()
+	reply.MapVersion = w.shardVer
+	reply.Rows = make(map[int]int64, len(w.resident))
+	for id, res := range w.resident {
+		reply.Rows[id] = int64(res.rows)
+	}
+	return nil
+}

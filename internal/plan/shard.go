@@ -1,0 +1,50 @@
+package plan
+
+import (
+	"zskyline/internal/point"
+	"zskyline/internal/zorder"
+)
+
+// SplitByOwner cuts a group into per-owner groups, one per distinct
+// owner(row) value, in first-seen owner order — the shard-aware shuffle
+// of the distributed tier's insert path. The input group must carry a
+// Z-address column with one row per block row (owners are a function of
+// the address, and splitting is exactly when the encode-once invariant
+// pays: the column is cut alongside the block, so no shard re-encodes).
+// Each output group has Gid set to its owner and owns freshly built
+// block and column storage.
+func SplitByOwner(g Group, owner func(row int) int) []Group {
+	n := g.Block.Len()
+	if n == 0 {
+		return nil
+	}
+	type acc struct {
+		bb *point.BlockBuilder
+		zc zorder.ZCol
+	}
+	byOwner := map[int]*acc{}
+	var order []int
+	withZ := g.ZCol.Len() == n && g.ZCol.Words > 0
+	for i := 0; i < n; i++ {
+		o := owner(i)
+		a := byOwner[o]
+		if a == nil {
+			a = &acc{bb: point.NewBlockBuilder(g.Block.Dims, 0)}
+			if withZ {
+				a.zc = zorder.ZCol{Words: g.ZCol.Words}
+			}
+			byOwner[o] = a
+			order = append(order, o)
+		}
+		a.bb.Append(g.Block.Row(i))
+		if withZ {
+			a.zc.AppendRow(g.ZCol, i)
+		}
+	}
+	out := make([]Group, len(order))
+	for i, o := range order {
+		a := byOwner[o]
+		out[i] = Group{Gid: o, Block: a.bb.Build(), ZCol: a.zc}
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+package plan
+
+import (
+	"testing"
+
+	"zskyline/internal/gen"
+	"zskyline/internal/point"
+	"zskyline/internal/zorder"
+)
+
+func TestSplitByOwner(t *testing.T) {
+	ds := gen.Synthetic(gen.Independent, 200, 3, 7)
+	enc, err := zorder.NewUnitEncoder(3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk := point.BlockOf(3, ds.Points)
+	zc := enc.EncodeBlock(zorder.ZCol{}, blk)
+	g := Group{Block: blk, ZCol: zc}
+
+	owner := func(row int) int { return int(zc.At(row)[0] % 3) }
+	parts := SplitByOwner(g, owner)
+	if len(parts) == 0 || len(parts) > 3 {
+		t.Fatalf("%d parts", len(parts))
+	}
+	total := 0
+	seen := map[int]bool{}
+	for _, p := range parts {
+		if seen[p.Gid] {
+			t.Fatalf("owner %d appears twice", p.Gid)
+		}
+		seen[p.Gid] = true
+		if p.ZCol.Len() != p.Block.Len() {
+			t.Fatalf("owner %d: column %d rows, block %d", p.Gid, p.ZCol.Len(), p.Block.Len())
+		}
+		for i := 0; i < p.Block.Len(); i++ {
+			// Row i's column entry must be the address of row i, and the
+			// row must belong to its group's owner.
+			want := enc.Encode(p.Block.Row(i))
+			if !zorder.Equal(p.ZCol.At(i), want) {
+				t.Fatalf("owner %d row %d: column out of sync with block", p.Gid, i)
+			}
+			if int(p.ZCol.At(i)[0]%3) != p.Gid {
+				t.Fatalf("owner %d row %d routed wrong", p.Gid, i)
+			}
+		}
+		total += p.Block.Len()
+	}
+	if total != blk.Len() {
+		t.Fatalf("split lost rows: %d of %d", total, blk.Len())
+	}
+}
+
+func TestSplitByOwnerNoColumn(t *testing.T) {
+	ds := gen.Synthetic(gen.Correlated, 50, 2, 1)
+	g := Group{Block: point.BlockOf(2, ds.Points)}
+	parts := SplitByOwner(g, func(row int) int { return row % 2 })
+	if len(parts) != 2 {
+		t.Fatalf("%d parts", len(parts))
+	}
+	for _, p := range parts {
+		if p.ZCol.Len() != 0 {
+			t.Fatal("no-column input grew a column")
+		}
+	}
+	if SplitByOwner(Group{Block: point.Block{Dims: 2}}, nil) != nil {
+		t.Fatal("empty group should split to nil")
+	}
+}
