@@ -127,6 +127,11 @@ type Cluster struct {
 	// hmu serializes handoffs cluster-wide so each allocates a unique
 	// map version (see Handoff).
 	hmu sync.Mutex
+	// handoffSeq issues the staging epoch for each handoff attempt,
+	// guarded by hmu. It advances on every attempt — including aborted
+	// ones, whose map version is reused — so a retry can never append
+	// onto leftovers a failed attempt staged under the same key.
+	handoffSeq uint64
 }
 
 // NewCluster dials every worker in every group, broadcasts the cluster
@@ -187,6 +192,10 @@ func NewCluster(ctx context.Context, cfg ClusterConfig, groups [][]string) (*Clu
 	}
 	var smap ShardMap
 	if cfg.Cuts != nil {
+		if cfg.Shards > 0 && cfg.Shards != len(cfg.Cuts)+1 {
+			return nil, fmt.Errorf("dist: %d explicit cuts make %d shards, config says %d",
+				len(cfg.Cuts), len(cfg.Cuts)+1, cfg.Shards)
+		}
 		smap = ShardMap{Version: 1, Words: enc.Words(), Cuts: cfg.Cuts}
 		for i := 0; i <= len(cfg.Cuts); i++ {
 			smap.Shards = append(smap.Shards, ShardAssign{ID: i, Group: i % len(groups)})
@@ -420,9 +429,28 @@ func (c *Cluster) insertShard(ctx context.Context, sid int, g plan.Group) error 
 		BlockFrame: blockFrame, ZFrame: zFrame}
 	reqBytes := int64(len(blockFrame) + len(zFrame))
 	ok := 0
-	for _, w := range members {
+	for mi, w := range members {
 		if err := c.callOn(ctx, w, sid, "Worker.StoreShard", args, &StoreShardReply{}, reqBytes); err != nil {
-			if classify(err) == classFatal || ctx.Err() != nil {
+			fatal := classify(err) == classFatal
+			if fatal || ctx.Err() != nil {
+				// Aborting mid-replication must not leave replicas that
+				// silently diverge: once any member stored the batch,
+				// every member not known to hold it — this one and the
+				// ones never attempted — goes stale so the fresh set
+				// stays byte-identical (PullShard cursors depend on
+				// identical group lists). A cancelled call is ambiguous
+				// (the write may have landed), so its member goes stale
+				// even when no other member stored the batch; a fatal
+				// reply means the worker rejected it, so with ok == 0
+				// the group is still consistent and nobody goes stale.
+				if !fatal || ok > 0 {
+					c.markShardStale(sid, w)
+				}
+				if ok > 0 {
+					for _, m := range members[mi+1:] {
+						c.markShardStale(sid, m)
+					}
+				}
 				return fmt.Errorf("dist: shard %d store on %s: %w", sid, c.inner.addrs[w], err)
 			}
 			c.markShardStale(sid, w)

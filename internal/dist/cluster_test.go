@@ -10,6 +10,8 @@ import (
 
 	"zskyline/internal/dominance"
 	"zskyline/internal/gen"
+	"zskyline/internal/obs"
+	"zskyline/internal/plan"
 	"zskyline/internal/point"
 	"zskyline/internal/seq"
 	"zskyline/internal/zorder"
@@ -444,6 +446,189 @@ func TestClusterRejectsNonTransitive(t *testing.T) {
 	if _, err := NewCluster(context.Background(), cfg, [][]string{g0}); err == nil {
 		t.Fatal("k-dominance accepted: shard-local skylines are unsound to merge under a non-transitive relation")
 	}
+}
+
+func TestClusterRejectsShardsCutsMismatch(t *testing.T) {
+	g0, _ := startGroup(t, 1)
+	cfg := testClusterConfig(3)
+	cfg.Cuts = [][]uint64{{1 << 30}} // 1 cut -> 2 shards
+	cfg.Shards = 3
+	if _, err := NewCluster(context.Background(), cfg, [][]string{g0}); err == nil {
+		t.Fatal("inconsistent Shards/Cuts pair accepted")
+	}
+	// The consistent pair still constructs.
+	cfg.Shards = 2
+	c, err := NewCluster(context.Background(), cfg, [][]string{g0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+}
+
+// TestWorkerShardSkylineVersionRace hammers ShardSkyline concurrently
+// with strictly increasing map versions: folding the version forward
+// must happen under the write lock, never under the read lock the
+// snapshot takes (the race detector catches the regression).
+func TestWorkerShardSkylineVersionRace(t *testing.T) {
+	rd := plan.RuleData{
+		Dims: 2, Bits: 8, Mins: []float64{0, 0}, Maxs: []float64{1, 1},
+		Pivots: [][]uint64{}, GroupOf: map[int]int{}, Groups: 1,
+		Local: plan.SB, Merge: plan.MergeZM,
+	}
+	rule, err := plan.FromData(&rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &Worker{rules: map[uint64]*plan.Rule{1: rule}, reg: obs.NewRegistry(),
+		resident: map[int]*residentShard{0: {}},
+		staged:   make(map[stageKey]*residentShard)}
+	const goroutines, iters = 4, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				var reply ShardSkyReply
+				if err := w.ShardSkyline(ShardSkyArgs{RuleID: 1, ShardID: 0,
+					MapVersion: uint64(g*iters + i + 1)}, &reply); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	var stats ShardStatsReply
+	if err := w.ShardStats(ShardStatsArgs{}, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(goroutines * iters); stats.MapVersion != want {
+		t.Errorf("installed version %d, want %d", stats.MapVersion, want)
+	}
+}
+
+// TestClusterInsertFatalMarksUnwrittenReplicasStale drives an insert
+// into a fatal mid-replication abort (one replica rejects over its
+// resident cap after the other stored the batch) and requires the
+// rejecting replica to go stale: replicas that silently diverge would
+// break PullShard cursor portability and serve short skylines.
+func TestClusterInsertFatalMarksUnwrittenReplicasStale(t *testing.T) {
+	wa, err := StartWorker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { wa.Close() })
+	wb, err := StartWorkerWithOptions("127.0.0.1:0", WorkerOptions{MaxResidentRows: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { wb.Close() })
+
+	c, err := NewCluster(context.Background(), testClusterConfig(3),
+		[][]string{{wa.Addr(), wb.Addr()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ds := gen.Synthetic(gen.Independent, 100, 3, 53)
+
+	// First 50 rows fit both replicas; the next 50 push the capped one
+	// over 60 — a fatal verdict after the uncapped member stored them.
+	if err := c.Insert(context.Background(), ds.Points[:50]); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Insert(context.Background(), ds.Points[50:]); err == nil {
+		t.Fatal("over-cap insert succeeded")
+	}
+	c.mu.Lock()
+	capped := c.stale[0][1]
+	c.mu.Unlock()
+	if !capped {
+		t.Fatal("replica that rejected the batch is still fresh: the group diverged silently")
+	}
+
+	// The surviving replica holds every row, so the skyline over the
+	// full dataset is exact, and further inserts land on it alone.
+	got, _, err := c.Skyline(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSet(t, got, seq.SB(ds.Points, nil), "after fatal insert abort")
+	extra := gen.Synthetic(gen.Correlated, 40, 3, 59)
+	if err := c.Insert(context.Background(), extra.Points); err != nil {
+		t.Fatal(err)
+	}
+	all := append(append([]point.Point(nil), ds.Points...), extra.Points...)
+	got, _, err = c.Skyline(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSet(t, got, seq.SB(all, nil), "insert after stale mark")
+}
+
+// TestClusterHandoffRetryAfterAbortedStage fails a handoff at commit
+// (after the full copy staged) with the abort's DropStaged also
+// failing, so the target keeps the leftover staging area. The retry
+// must not append onto it: staging epochs are unique per attempt, so
+// the shard ends up with exactly one copy.
+func TestClusterHandoffRetryAfterAbortedStage(t *testing.T) {
+	faults, err := ParseFaultPlan("Worker.CommitShard:1x4:sever,Worker.DropStaged:1x8:sever")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := StartWorker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { src.Close() })
+	dst, err := StartWorkerWithFaults("127.0.0.1:0", faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { dst.Close() })
+
+	cfg := testClusterConfig(3)
+	cfg.RedialInterval = 50 * time.Millisecond
+	c, err := NewCluster(context.Background(), cfg,
+		[][]string{{src.Addr()}, {dst.Addr()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ds := gen.Synthetic(gen.Independent, 1500, 3, 61)
+	want := seq.SB(ds.Points, nil)
+	insertBatches(t, c, ds.Points, 250)
+
+	if _, err := c.Handoff(context.Background(), 0, 1); err == nil {
+		t.Fatal("handoff with severed commits succeeded")
+	}
+	if faults.Injected() == 0 {
+		t.Fatal("fault plan never fired; test exercised nothing")
+	}
+
+	rep, err := c.Handoff(context.Background(), 0, 1)
+	if err != nil {
+		t.Fatalf("handoff retry: %v", err)
+	}
+	if rep.MapVersion != 2 {
+		t.Errorf("retry flipped to version %d, want 2", rep.MapVersion)
+	}
+	if got := c.ShardRows()[0]; int64(rep.Rows) != got {
+		t.Errorf("retry streamed %d rows, shard holds %d", rep.Rows, got)
+	}
+	stats := c.ShardStats(context.Background())
+	if resident, ok := stats[dst.Addr()]; !ok {
+		t.Error("target worker unreachable for stats")
+	} else if resident.Rows[0] != int64(rep.Rows) {
+		t.Errorf("target resident %d rows for shard 0, want %d: leftover stage polluted the retry",
+			resident.Rows[0], rep.Rows)
+	}
+	got, _, err := c.Skyline(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSet(t, got, want, "post-aborted-stage retry")
 }
 
 func TestClusterPerShardPolicy(t *testing.T) {

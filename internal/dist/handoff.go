@@ -71,6 +71,12 @@ func (c *Cluster) Handoff(ctx context.Context, sid, toGroup int) (*HandoffReport
 	targetVer := c.smap.Version + 1
 	sources, _ := c.freshMembersLocked(sid)
 	c.mu.Unlock()
+	// The staging epoch is unique per attempt (hmu is held). targetVer
+	// would not be: an aborted handoff leaves the version unchanged, and
+	// its best-effort DropStaged can fail, so a version-keyed retry
+	// could append onto the leftovers of the failed stage.
+	c.handoffSeq++
+	epoch := c.handoffSeq
 
 	start := time.Now()
 	ev := &obs.Event{ID: obs.NewRequestID(), Kind: "handoff", Route: "cluster/handoff",
@@ -82,7 +88,7 @@ func (c *Cluster) Handoff(ctx context.Context, sid, toGroup int) (*HandoffReport
 		// cluster is exactly as before.
 		for _, t := range c.groups[toGroup] {
 			_ = c.callOn(ctx, t, sid, "Worker.DropStaged",
-				DropStagedArgs{ShardID: sid, Epoch: targetVer}, &DropStagedReply{}, 16)
+				DropStagedArgs{ShardID: sid, Epoch: epoch}, &DropStagedReply{}, 16)
 		}
 		ev.DurationMS = float64(time.Since(start).Microseconds()) / 1000
 		ev.SetError(className(classify(err)), err.Error())
@@ -107,7 +113,7 @@ func (c *Cluster) Handoff(ctx context.Context, sid, toGroup int) (*HandoffReport
 		}
 		rep.Rows += reply.Rows
 		rep.WireBytes += int64(len(reply.BlockFrame) + len(reply.ZFrame))
-		sargs := StageShardArgs{ShardID: sid, Epoch: targetVer,
+		sargs := StageShardArgs{ShardID: sid, Epoch: epoch,
 			BlockFrame: reply.BlockFrame, ZFrame: reply.ZFrame}
 		for i := 0; i < len(staging); {
 			err := c.callOn(ctx, staging[i], sid, "Worker.StageShard", sargs, &StageShardReply{},
@@ -133,7 +139,7 @@ func (c *Cluster) Handoff(ctx context.Context, sid, toGroup int) (*HandoffReport
 	committed := map[int]bool{}
 	for _, t := range staging {
 		err := c.callOn(ctx, t, sid, "Worker.CommitShard",
-			CommitShardArgs{ShardID: sid, Epoch: targetVer, MapVersion: targetVer},
+			CommitShardArgs{ShardID: sid, Epoch: epoch, MapVersion: targetVer},
 			&CommitShardReply{}, 24)
 		if err == nil {
 			committed[t] = true

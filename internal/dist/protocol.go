@@ -193,7 +193,9 @@ type PullShardReply struct {
 // pollute resident data or a later attempt's stage.
 type StageShardArgs struct {
 	ShardID int
-	// Epoch identifies the handoff attempt (the target map version).
+	// Epoch identifies the handoff attempt. It is unique per attempt
+	// (not the target map version, which an aborted attempt reuses), so
+	// a retry never appends onto a failed attempt's leftover stage.
 	Epoch      uint64
 	BlockFrame []byte
 	ZFrame     []byte

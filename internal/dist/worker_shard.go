@@ -113,10 +113,11 @@ func (w *Worker) ShardSkyline(args ShardSkyArgs, reply *ShardSkyReply) error {
 	if err != nil {
 		return err
 	}
+	// Fold the caller's map version forward under the write lock before
+	// snapshotting the shard: shardVer must never be written under the
+	// read lock below (concurrent queries would race the write).
+	w.installShardMap(args.MapVersion)
 	w.smu.RLock()
-	if args.MapVersion > w.shardVer {
-		w.shardVer = args.MapVersion
-	}
 	res := w.resident[args.ShardID]
 	var groups []plan.Group
 	if res != nil {
