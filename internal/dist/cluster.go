@@ -11,6 +11,7 @@ import (
 	"zskyline/internal/partition"
 	"zskyline/internal/plan"
 	"zskyline/internal/point"
+	"zskyline/internal/transport"
 	"zskyline/internal/zorder"
 )
 
@@ -265,7 +266,7 @@ func NewCluster(ctx context.Context, cfg ClusterConfig, groups [][]string) (*Clu
 		for _, w := range c.groups[s.Group] {
 			err := c.callOn(ctx, w, s.ID, "Worker.StoreShard",
 				StoreShardArgs{RuleID: c.ruleID, MapVersion: smap.Version, ShardID: s.ID},
-				&StoreShardReply{}, 16)
+				&StoreShardReply{})
 			if err != nil {
 				c.markShardStale(s.ID, w)
 				continue
@@ -427,10 +428,9 @@ func (c *Cluster) insertShard(ctx context.Context, sid int, g plan.Group) error 
 	}
 	args := StoreShardArgs{RuleID: c.ruleID, MapVersion: version, ShardID: sid,
 		BlockFrame: blockFrame, ZFrame: zFrame}
-	reqBytes := int64(len(blockFrame) + len(zFrame))
 	ok := 0
 	for mi, w := range members {
-		if err := c.callOn(ctx, w, sid, "Worker.StoreShard", args, &StoreShardReply{}, reqBytes); err != nil {
+		if err := c.callOn(ctx, w, sid, "Worker.StoreShard", args, &StoreShardReply{}); err != nil {
 			fatal := classify(err) == classFatal
 			if fatal || ctx.Err() != nil {
 				// Aborting mid-replication must not leave replicas that
@@ -472,9 +472,9 @@ func (c *Cluster) insertShard(ctx context.Context, sid int, g plan.Group) error 
 // callOn issues one method on one specific worker with bounded retries
 // pinned to it — replica-addressed writes have no failover: the write
 // must land on that member or the member goes stale.
-func (c *Cluster) callOn(ctx context.Context, w, sid int, method string, args, reply any, reqBytes int64) error {
+func (c *Cluster) callOn(ctx context.Context, w, sid int, method string, args transport.Marshaler, reply transport.Unmarshaler) error {
 	pol := c.shardPolicy(sid)
-	sp, ev, done := c.inner.startRPC(ctx, method, reqBytes)
+	sp, ev, done := c.inner.startRPC(ctx, method)
 	var err error
 	for attempt := 0; ; attempt++ {
 		_, err = c.inner.attempt(ctx, method, args, reply, w, callOpts{pol: pol, sp: sp, ev: ev})
@@ -497,7 +497,7 @@ func (c *Cluster) callOn(ctx context.Context, w, sid int, method string, args, r
 		c.inner.reg.Counter("zsky_dist_retries_total", obs.L("method", method)).Add(1)
 		sleep(ctx, c.inner.bo.delay(pol, attempt))
 	}
-	done(w, 0, err)
+	done(w, err)
 	return err
 }
 
@@ -622,13 +622,13 @@ func (c *Cluster) shardSkyline(ctx context.Context, sid int, rng zorder.Range, f
 			args.Lo, args.Hi = rng.Lo, rng.Hi
 		}
 		var reply ShardSkyReply
-		sp, ev, done := c.inner.startRPC(ctx, "Worker.ShardSkyline", 16)
+		sp, ev, done := c.inner.startRPC(ctx, "Worker.ShardSkyline")
 		served, err := c.callShard(ctx, pol, "Worker.ShardSkyline", args, &reply, members, sp, ev)
 		if err == nil {
-			done(served, groupBytes([]plan.Group{reply.Group}), nil)
+			done(served, nil)
 			return reply.Group, nil
 		}
-		done(served, 0, err)
+		done(served, err)
 		if classify(err) == classShardMoved && hop < maxHops {
 			continue
 		}
@@ -640,7 +640,7 @@ func (c *Cluster) shardSkyline(ctx context.Context, sid int, rng zorder.Range, f
 // retries rotate over the pool members only, hedge legs stay inside
 // the pool, and exhaustion of the pool (all members dead) is
 // ErrShardDown rather than ErrClusterDown.
-func (c *Cluster) callShard(ctx context.Context, pol *policy, method string, args, reply any, pool []int, sp *obs.Span, ev *obs.Event) (int, error) {
+func (c *Cluster) callShard(ctx context.Context, pol *policy, method string, args transport.Marshaler, reply transport.Unmarshaler, pool []int, sp *obs.Span, ev *obs.Event) (int, error) {
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {

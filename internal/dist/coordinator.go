@@ -4,11 +4,9 @@ import (
 	"context"
 	cryptorand "crypto/rand"
 	"encoding/binary"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"net"
-	"net/rpc"
 	"reflect"
 	"sync"
 	"sync/atomic"
@@ -19,6 +17,7 @@ import (
 	"zskyline/internal/obs"
 	"zskyline/internal/plan"
 	"zskyline/internal/point"
+	"zskyline/internal/transport"
 	"zskyline/internal/zbtree"
 )
 
@@ -246,7 +245,7 @@ type Coordinator struct {
 	bo     *backoff
 
 	mu       sync.Mutex
-	clients  []*rpc.Client
+	clients  []*transport.Client
 	state    []workerState
 	inflight []int
 	lastRule *RuleBlob
@@ -298,9 +297,9 @@ func NewCoordinator(cfg CoordinatorConfig, workerAddrs []string) (*Coordinator, 
 			return nil, fmt.Errorf("dist: dial %s: %w", addr, err)
 		}
 		// Count wire bytes per worker so runs can report real RPC
-		// traffic, not just payload estimates.
+		// traffic alongside the per-call frame sizes.
 		wc := &wireCounter{}
-		cl := rpc.NewClient(countConn{Conn: conn, sent: &wc.sent, recv: &wc.recv})
+		cl := transport.NewClient(countConn{Conn: conn, sent: &wc.sent, recv: &wc.recv})
 		var pong PingReply
 		if err := c.callDirect(cl, "Worker.Ping", PingArgs{}, &pong); err != nil {
 			cl.Close()
@@ -355,7 +354,7 @@ func (c *Coordinator) Close() error {
 		return nil
 	}
 	c.closed = true
-	clients := append([]*rpc.Client(nil), c.clients...)
+	clients := append([]*transport.Client(nil), c.clients...)
 	c.signalLocked()
 	c.mu.Unlock()
 	c.stopOnce.Do(func() { close(c.stop) })
@@ -430,53 +429,31 @@ func (c *Coordinator) Skyline(ctx context.Context, ds *point.Dataset) ([]point.P
 	return sky, rep, nil
 }
 
-// pointBytes estimates the wire payload of a point slice (8 bytes per
-// coordinate — what gob transfers, minus framing).
-func pointBytes(pts []point.Point) int64 {
-	var n int64
-	for _, p := range pts {
-		n += int64(len(p)) * 8
-	}
-	return n
-}
-
-// groupBytes estimates the wire payload of routed groups (gid plus the
-// group's flat block frame and its Z-address column, when carried).
-func groupBytes(gs []plan.Group) int64 {
-	var n int64
-	for _, g := range gs {
-		n += 8 + int64(g.Block.Bytes()) + int64(g.ZCol.Bytes())
-	}
-	return n
-}
-
 // startRPC opens one per-RPC child span under ctx's current span and
-// one "rpc" event joined to the owning query via ctx's request ID,
-// both annotated with the request payload size. The returned closure
-// records the serving worker (post-failover), response size, and
-// outcome, ends the span, and commits the event (errors bypass
-// sampling); span and event are handed to the call layer so retry and
-// hedge attempts show up on both. Events record even with tracing off
-// — the span is simply nil then, and every span method tolerates that.
-func (c *Coordinator) startRPC(ctx context.Context, method string, reqBytes int64) (*obs.Span, *obs.Event, func(worker int, respBytes int64, err error)) {
+// one "rpc" event joined to the owning query via ctx's request ID.
+// The call layer (attempt) annotates both with the exact on-wire
+// request and response frame sizes of the serving leg — measured from
+// the frame headers, never estimated. The returned closure records the
+// serving worker (post-failover) and outcome, ends the span, and
+// commits the event (errors bypass sampling); span and event are
+// handed to the call layer so retry and hedge attempts show up on
+// both. Events record even with tracing off — the span is simply nil
+// then, and every span method tolerates that.
+func (c *Coordinator) startRPC(ctx context.Context, method string) (*obs.Span, *obs.Event, func(worker int, err error)) {
 	sp := obs.SpanFrom(ctx).Child("rpc/" + method)
-	sp.SetAttr("req_bytes", reqBytes)
 	ev := &obs.Event{
-		ID:            obs.NewRequestID(),
-		Parent:        obs.RequestIDFrom(ctx),
-		Kind:          "rpc",
-		Route:         method,
-		WireSentBytes: reqBytes,
+		ID:     obs.NewRequestID(),
+		Parent: obs.RequestIDFrom(ctx),
+		Kind:   "rpc",
+		Route:  method,
 	}
 	start := time.Now()
-	return sp, ev, func(worker int, respBytes int64, err error) {
+	return sp, ev, func(worker int, err error) {
 		if worker >= 0 && worker < len(c.addrs) {
 			sp.SetAttr("worker", c.addrs[worker])
 			ev.Worker = c.addrs[worker]
 		}
-		sp.SetAttr("resp_bytes", respBytes)
 		sp.End()
-		ev.WireRecvBytes = respBytes
 		ev.DurationMS = float64(time.Since(start).Microseconds()) / 1000
 		if err != nil {
 			ev.SetError(className(classify(err)), err.Error())
@@ -647,7 +624,7 @@ func (c *Coordinator) pickLiveExcept(skip int, pool []int) (int, bool) {
 }
 
 // client returns worker w's current connection (nil while severed).
-func (c *Coordinator) client(w int) *rpc.Client {
+func (c *Coordinator) client(w int) *transport.Client {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.clients[w]
@@ -710,7 +687,7 @@ func (c *Coordinator) resurrect(w int) {
 		fail()
 		return
 	}
-	cl := rpc.NewClient(countConn{Conn: conn, sent: &c.wire[w].sent, recv: &c.wire[w].recv})
+	cl := transport.NewClient(countConn{Conn: conn, sent: &c.wire[w].sent, recv: &c.wire[w].recv})
 	var pong PingReply
 	if err := c.callDirect(cl, "Worker.Ping", PingArgs{}, &pong); err != nil {
 		cl.Close()
@@ -750,20 +727,22 @@ func (c *Coordinator) resurrect(w int) {
 // callDirect invokes one method on a specific client with the
 // per-attempt deadline but no retry/failover — the building block for
 // startup pings and resurrection probes.
-func (c *Coordinator) callDirect(cl *rpc.Client, method string, args, reply any) error {
-	call := cl.Go(method, args, reply, make(chan *rpc.Call, 1))
-	var timeout <-chan time.Time
-	if c.pol.rpcTimeout > 0 {
-		t := time.NewTimer(c.pol.rpcTimeout)
-		defer t.Stop()
-		timeout = t.C
+func (c *Coordinator) callDirect(cl *transport.Client, method string, args transport.Marshaler, reply transport.Unmarshaler) error {
+	id, err := methodID(method)
+	if err != nil {
+		return err
 	}
-	select {
-	case done := <-call.Done:
-		return done.Error
-	case <-timeout:
+	ctx := context.Background()
+	if c.pol.rpcTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.pol.rpcTimeout)
+		defer cancel()
+	}
+	_, _, err = cl.Call(ctx, id, args, reply)
+	if errors.Is(err, context.DeadlineExceeded) {
 		return errAttemptTimeout
 	}
+	return err
 }
 
 // ---- the retrying, hedging call layer ----
@@ -805,7 +784,7 @@ func (c *Coordinator) pickPolicy(opt callOpts) *policy {
 // failover to live workers, optional hedging, and rule re-broadcast
 // when a worker answers "rule not loaded". It returns the index of the
 // worker that served the call.
-func (c *Coordinator) call(ctx context.Context, method string, args, reply any, opt callOpts) (int, error) {
+func (c *Coordinator) call(ctx context.Context, method string, args transport.Marshaler, reply transport.Unmarshaler, opt callOpts) (int, error) {
 	var lastErr error
 	pol := c.pickPolicy(opt)
 	pref := opt.preferred
@@ -870,17 +849,25 @@ func className(class errClass) string {
 	}
 }
 
-// legRes is one attempt leg's outcome.
+// legRes is one attempt leg's outcome. call carries the finished
+// transport call so the winner's exact frame sizes reach the span and
+// event.
 type legRes struct {
-	w   int
-	rv  any
-	err error
+	w    int
+	rv   transport.Unmarshaler
+	call *transport.Call
+	err  error
 }
 
 // attempt runs one (possibly hedged) attempt of a call. Each leg gets
 // a fresh reply value so an abandoned straggler reply can never race a
-// retry writing the caller's reply; the winner is copied out.
-func (c *Coordinator) attempt(ctx context.Context, method string, args, reply any, primary int, opt callOpts) (int, error) {
+// retry writing the caller's reply; the winner is copied out, along
+// with its measured request/response frame sizes.
+func (c *Coordinator) attempt(ctx context.Context, method string, args transport.Marshaler, reply transport.Unmarshaler, primary int, opt callOpts) (int, error) {
+	id, err := methodID(method)
+	if err != nil {
+		return -1, err
+	}
 	pol := c.pickPolicy(opt)
 	resCh := make(chan legRes, 2)
 	leg := func(w int) {
@@ -890,7 +877,7 @@ func (c *Coordinator) attempt(ctx context.Context, method string, args, reply an
 			return
 		}
 		rv := newReplyLike(reply)
-		call := cl.Go(method, args, rv, make(chan *rpc.Call, 1))
+		call := cl.Go(id, args, rv, make(chan *transport.Call, 1))
 		var timeout <-chan time.Time
 		if pol.rpcTimeout > 0 {
 			t := time.NewTimer(pol.rpcTimeout)
@@ -899,7 +886,7 @@ func (c *Coordinator) attempt(ctx context.Context, method string, args, reply an
 		}
 		select {
 		case done := <-call.Done:
-			resCh <- legRes{w: w, rv: rv, err: done.Error}
+			resCh <- legRes{w: w, rv: rv, call: done, err: done.Err}
 		case <-timeout:
 			resCh <- legRes{w: w, err: errAttemptTimeout}
 		case <-ctx.Done():
@@ -921,6 +908,11 @@ func (c *Coordinator) attempt(ctx context.Context, method string, args, reply an
 		case r := <-resCh:
 			if r.err == nil {
 				copyReply(reply, r.rv)
+				if r.call != nil {
+					opt.sp.SetAttr("req_bytes", r.call.ReqBytes)
+					opt.sp.SetAttr("resp_bytes", r.call.RespBytes)
+					opt.ev.SetWire(r.call.ReqBytes, r.call.RespBytes)
+				}
 				if r.w != primary {
 					c.reg.Counter("zsky_dist_hedge_wins_total", obs.L("method", method)).Add(1)
 					opt.sp.SetAttr("hedge_win", c.addrs[r.w])
@@ -950,12 +942,14 @@ func (c *Coordinator) attempt(ctx context.Context, method string, args, reply an
 }
 
 // newReplyLike allocates a fresh zero value of reply's pointee type.
-func newReplyLike(reply any) any {
-	return reflect.New(reflect.TypeOf(reply).Elem()).Interface()
+// Reply values are always pointers to wire structs, so the fresh value
+// satisfies the same Unmarshaler interface.
+func newReplyLike(reply transport.Unmarshaler) transport.Unmarshaler {
+	return reflect.New(reflect.TypeOf(reply).Elem()).Interface().(transport.Unmarshaler)
 }
 
 // copyReply copies the winning leg's reply into the caller's.
-func copyReply(dst, src any) {
+func copyReply(dst, src transport.Unmarshaler) {
 	reflect.ValueOf(dst).Elem().Set(reflect.ValueOf(src).Elem())
 }
 
@@ -997,16 +991,16 @@ func (ex *rpcExec) Broadcast(ctx context.Context, r *plan.Rule) error {
 func (ex *rpcExec) RunMaps(ctx context.Context, _ *plan.Rule, chunks []point.Block, _ *metrics.Tally) ([]plan.MapOutput, error) {
 	outs := make([]plan.MapOutput, len(chunks))
 	err := ex.c.forEach(ctx, len(chunks), func(i, worker int) error {
-		sp, ev, done := ex.c.startRPC(ctx, "Worker.MapChunk", int64(chunks[i].Bytes()))
+		sp, ev, done := ex.c.startRPC(ctx, "Worker.MapChunk")
 		var reply MapReply
 		served, err := ex.c.call(ctx, "Worker.MapChunk",
 			MapArgs{RuleID: ex.ruleID, Block: chunks[i]}, &reply,
 			callOpts{preferred: worker, sp: sp, ev: ev})
 		if err != nil {
-			done(served, 0, err)
+			done(served, err)
 			return err
 		}
-		done(served, groupBytes(reply.Groups), nil)
+		done(served, nil)
 		outs[i] = plan.MapOutput{Groups: reply.Groups, Filtered: reply.Filtered}
 		return nil
 	})
@@ -1017,16 +1011,16 @@ func (ex *rpcExec) RunMaps(ctx context.Context, _ *plan.Rule, chunks []point.Blo
 func (ex *rpcExec) RunReduces(ctx context.Context, _ *plan.Rule, groups []plan.Group, _ *metrics.Tally) ([]plan.Group, error) {
 	outs := make([]plan.Group, len(groups))
 	err := ex.c.forEach(ctx, len(groups), func(i, worker int) error {
-		sp, ev, done := ex.c.startRPC(ctx, "Worker.ReduceGroup", int64(groups[i].Block.Bytes()))
+		sp, ev, done := ex.c.startRPC(ctx, "Worker.ReduceGroup")
 		var reply ReduceReply
 		served, err := ex.c.call(ctx, "Worker.ReduceGroup",
 			ReduceArgs{RuleID: ex.ruleID, Group: groups[i]}, &reply,
 			callOpts{preferred: worker, hedge: true, sp: sp, ev: ev})
 		if err != nil {
-			done(served, 0, err)
+			done(served, err)
 			return err
 		}
-		done(served, groupBytes([]plan.Group{reply.Candidates}), nil)
+		done(served, nil)
 		outs[i] = reply.Candidates
 		outs[i].Gid = groups[i].Gid
 		return nil
@@ -1042,16 +1036,16 @@ func (ex *rpcExec) RunReduces(ctx context.Context, _ *plan.Rule, groups []plan.G
 func (ex *rpcExec) RunMerges(ctx context.Context, _ *plan.Rule, tasks [][]plan.Group, _ *metrics.Tally) ([]plan.Group, error) {
 	outs := make([]plan.Group, len(tasks))
 	mergeOne := func(i, worker int) error {
-		sp, ev, done := ex.c.startRPC(ctx, "Worker.MergeGroups", groupBytes(tasks[i]))
+		sp, ev, done := ex.c.startRPC(ctx, "Worker.MergeGroups")
 		var merged MergeReply
 		served, err := ex.c.call(ctx, "Worker.MergeGroups",
 			MergeArgs{RuleID: ex.ruleID, Groups: tasks[i]}, &merged,
 			callOpts{preferred: worker, hedge: true, sp: sp, ev: ev})
 		if err != nil {
-			done(served, 0, err)
+			done(served, err)
 			return err
 		}
-		done(served, groupBytes([]plan.Group{merged.Skyline}), nil)
+		done(served, nil)
 		outs[i] = merged.Skyline
 		return nil
 	}
@@ -1059,14 +1053,6 @@ func (ex *rpcExec) RunMerges(ctx context.Context, _ *plan.Rule, tasks [][]plan.G
 		return outs, mergeOne(0, 0)
 	}
 	return outs, ex.c.forEach(ctx, len(tasks), mergeOne)
-}
-
-// countWriter sums bytes written, for measuring gob payload sizes.
-type countWriter struct{ n int64 }
-
-func (w *countWriter) Write(p []byte) (int, error) {
-	w.n += int64(len(p))
-	return len(p), nil
 }
 
 // broadcast installs the rule on every live worker and records it as
@@ -1079,15 +1065,6 @@ func (c *Coordinator) broadcast(ctx context.Context, blob RuleBlob) error {
 	c.mu.Lock()
 	c.lastRule = &blob
 	c.mu.Unlock()
-	// Measure the serialized rule once so every LoadRule span and event
-	// carries the real broadcast payload size.
-	var blobBytes int64
-	{
-		var cw countWriter
-		if err := gob.NewEncoder(&cw).Encode(&blob); err == nil {
-			blobBytes = cw.n
-		}
-	}
 	for round := 0; ; round++ {
 		c.mu.Lock()
 		var targets []int
@@ -1107,16 +1084,14 @@ func (c *Coordinator) broadcast(ctx context.Context, blob RuleBlob) error {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				sp, ev, done := c.startRPC(ctx, "Worker.LoadRule", blobBytes)
+				sp, ev, done := c.startRPC(ctx, "Worker.LoadRule")
 				// Broadcast offers are single attempts (a worker that
 				// misses the rule gets it on resurrection instead).
 				ev.SetAttempts(1)
 				var ack LoadRuleReply
 				served, err := c.attempt(ctx, "Worker.LoadRule",
 					LoadRuleArgs{Rule: blob}, &ack, w, callOpts{sp: sp, ev: ev})
-				// LoadRule replies carry no payload; 0 keeps resp_bytes
-				// honest alongside the measured RPC spans.
-				done(served, 0, err)
+				done(served, err)
 				mu.Lock()
 				defer mu.Unlock()
 				if err == nil {

@@ -1,12 +1,7 @@
 package dist
 
 import (
-	"bufio"
-	"encoding/gob"
 	"fmt"
-	"io"
-	"net"
-	"net/rpc"
 	"strconv"
 	"strings"
 	"sync"
@@ -169,118 +164,3 @@ func (p *FaultPlan) Injected() int {
 	defer p.mu.Unlock()
 	return p.hits
 }
-
-// gobServerCodec is net/rpc's default gob codec, reimplemented here
-// because the stdlib does not export it and fault injection needs to
-// wrap the codec layer (the only place that sees both the decoded
-// method name and the raw connection).
-type gobServerCodec struct {
-	rwc    io.ReadWriteCloser
-	dec    *gob.Decoder
-	enc    *gob.Encoder
-	encBuf *bufio.Writer
-	closed bool
-}
-
-func newGobServerCodec(conn io.ReadWriteCloser) *gobServerCodec {
-	buf := bufio.NewWriter(conn)
-	return &gobServerCodec{
-		rwc:    conn,
-		dec:    gob.NewDecoder(conn),
-		enc:    gob.NewEncoder(buf),
-		encBuf: buf,
-	}
-}
-
-func (c *gobServerCodec) ReadRequestHeader(r *rpc.Request) error {
-	return c.dec.Decode(r)
-}
-
-func (c *gobServerCodec) ReadRequestBody(body any) error {
-	return c.dec.Decode(body)
-}
-
-func (c *gobServerCodec) WriteResponse(r *rpc.Response, body any) (err error) {
-	if err = c.enc.Encode(r); err != nil {
-		if c.encBuf.Flush() == nil {
-			// Gob couldn't encode the header. Should not happen, so if
-			// it does, shut down the connection to signal the fault.
-			c.Close()
-		}
-		return
-	}
-	if err = c.enc.Encode(body); err != nil {
-		if c.encBuf.Flush() == nil {
-			c.Close()
-		}
-		return
-	}
-	return c.encBuf.Flush()
-}
-
-func (c *gobServerCodec) Close() error {
-	if c.closed {
-		return nil
-	}
-	c.closed = true
-	return c.rwc.Close()
-}
-
-// faultCodec interposes a FaultPlan between the wire and the RPC
-// server: it sees every request's method name as it is decoded and
-// every response as it is written, which is exactly where delay, drop,
-// and sever faults live.
-type faultCodec struct {
-	inner rpc.ServerCodec
-	plan  *FaultPlan
-	conn  net.Conn
-
-	mu    sync.Mutex
-	drops map[uint64]bool // request seq → swallow the response
-}
-
-func newFaultCodec(conn net.Conn, plan *FaultPlan) *faultCodec {
-	return &faultCodec{inner: newGobServerCodec(conn), plan: plan, conn: conn,
-		drops: make(map[uint64]bool)}
-}
-
-func (fc *faultCodec) ReadRequestHeader(req *rpc.Request) error {
-	if err := fc.inner.ReadRequestHeader(req); err != nil {
-		return err
-	}
-	switch rule := fc.plan.match(req.ServiceMethod); {
-	case rule == nil:
-	case rule.Action == FaultSever:
-		// Kill the transport before the call runs; io.EOF stops the
-		// server's read loop without log spam, and the client sees its
-		// pending calls die with a connection error.
-		fc.conn.Close()
-		return io.EOF
-	case rule.Action == FaultDelay:
-		// Stall the request loop: this call (and anything queued
-		// behind it on the connection) is served late.
-		time.Sleep(rule.Delay)
-	case rule.Action == FaultDrop:
-		fc.mu.Lock()
-		fc.drops[req.Seq] = true
-		fc.mu.Unlock()
-	}
-	return nil
-}
-
-func (fc *faultCodec) ReadRequestBody(body any) error {
-	return fc.inner.ReadRequestBody(body)
-}
-
-func (fc *faultCodec) WriteResponse(resp *rpc.Response, body any) error {
-	fc.mu.Lock()
-	drop := fc.drops[resp.Seq]
-	delete(fc.drops, resp.Seq)
-	fc.mu.Unlock()
-	if drop {
-		return nil // the call completed on the worker; the reply vanishes
-	}
-	return fc.inner.WriteResponse(resp, body)
-}
-
-func (fc *faultCodec) Close() error { return fc.inner.Close() }

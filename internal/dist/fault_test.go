@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"io"
-	"net/rpc"
 	"strconv"
 	"strings"
 	"testing"
@@ -13,6 +12,7 @@ import (
 	"zskyline/internal/gen"
 	"zskyline/internal/obs"
 	"zskyline/internal/seq"
+	"zskyline/internal/transport"
 )
 
 // ftConfig is the fast-recovery coordinator config the fault suite
@@ -102,14 +102,14 @@ func TestClassify(t *testing.T) {
 		err  error
 		want errClass
 	}{
-		{rpc.ErrShutdown, classRetryable},
+		{transport.ErrShutdown, classRetryable},
 		{io.EOF, classRetryable},
 		{io.ErrUnexpectedEOF, classRetryable},
 		{errAttemptTimeout, classRetryable},
 		{errNotConnected, classRetryable},
-		{rpc.ServerError("dist: rule 5 not loaded on 127.0.0.1:1"), classRuleMissing},
-		{rpc.ServerError("plan: dims mismatch"), classFatal},
-		{rpc.ServerError("zorder: bad rule hash"), classFatal},
+		{transport.ServerError("dist: rule 5 not loaded on 127.0.0.1:1"), classRuleMissing},
+		{transport.ServerError("plan: dims mismatch"), classFatal},
+		{transport.ServerError("zorder: bad rule hash"), classFatal},
 		{errors.New("read tcp: connection reset by peer"), classRetryable},
 	}
 	for _, tc := range cases {

@@ -197,13 +197,13 @@ func (c *Coordinator) streamMap(ctx context.Context, path string, ruleID uint64)
 		go func(batch point.Block, worker int) {
 			defer wg.Done()
 			defer c.release(worker)
-			sp, ev, done := c.startRPC(ctx, "Worker.MapChunk", int64(batch.Bytes()))
+			sp, ev, done := c.startRPC(ctx, "Worker.MapChunk")
 			var reply MapReply
 			served, err := c.call(ctx, "Worker.MapChunk",
 				MapArgs{RuleID: ruleID, Block: batch}, &reply,
 				callOpts{preferred: worker, sp: sp, ev: ev})
 			if err != nil {
-				done(served, 0, err)
+				done(served, err)
 				mu.Lock()
 				if firstErr == nil {
 					firstErr = err
@@ -211,7 +211,7 @@ func (c *Coordinator) streamMap(ctx context.Context, path string, ruleID uint64)
 				mu.Unlock()
 				return
 			}
-			done(served, groupBytes(reply.Groups), nil)
+			done(served, nil)
 			mu.Lock()
 			outs = append(outs, plan.MapOutput{Groups: reply.Groups, Filtered: reply.Filtered})
 			mu.Unlock()

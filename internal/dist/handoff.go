@@ -88,7 +88,7 @@ func (c *Cluster) Handoff(ctx context.Context, sid, toGroup int) (*HandoffReport
 		// cluster is exactly as before.
 		for _, t := range c.groups[toGroup] {
 			_ = c.callOn(ctx, t, sid, "Worker.DropStaged",
-				DropStagedArgs{ShardID: sid, Epoch: epoch}, &DropStagedReply{}, 16)
+				DropStagedArgs{ShardID: sid, Epoch: epoch}, &DropStagedReply{})
 		}
 		ev.DurationMS = float64(time.Since(start).Microseconds()) / 1000
 		ev.SetError(className(classify(err)), err.Error())
@@ -116,8 +116,7 @@ func (c *Cluster) Handoff(ctx context.Context, sid, toGroup int) (*HandoffReport
 		sargs := StageShardArgs{ShardID: sid, Epoch: epoch,
 			BlockFrame: reply.BlockFrame, ZFrame: reply.ZFrame}
 		for i := 0; i < len(staging); {
-			err := c.callOn(ctx, staging[i], sid, "Worker.StageShard", sargs, &StageShardReply{},
-				int64(len(sargs.BlockFrame)+len(sargs.ZFrame)))
+			err := c.callOn(ctx, staging[i], sid, "Worker.StageShard", sargs, &StageShardReply{})
 			if err != nil {
 				if ctx.Err() != nil {
 					return fail(ctx.Err())
@@ -140,7 +139,7 @@ func (c *Cluster) Handoff(ctx context.Context, sid, toGroup int) (*HandoffReport
 	for _, t := range staging {
 		err := c.callOn(ctx, t, sid, "Worker.CommitShard",
 			CommitShardArgs{ShardID: sid, Epoch: epoch, MapVersion: targetVer},
-			&CommitShardReply{}, 24)
+			&CommitShardReply{})
 		if err == nil {
 			committed[t] = true
 		}
@@ -185,7 +184,7 @@ func (c *Cluster) Handoff(ctx context.Context, sid, toGroup int) (*HandoffReport
 	if fromGroup != toGroup {
 		for _, w := range c.groups[fromGroup] {
 			_ = c.callOn(ctx, w, sid, "Worker.DropShard",
-				DropShardArgs{ShardID: sid, MapVersion: targetVer}, &DropShardReply{}, 16)
+				DropShardArgs{ShardID: sid, MapVersion: targetVer}, &DropShardReply{})
 		}
 	}
 
@@ -215,11 +214,11 @@ func (c *Cluster) pullFrom(ctx context.Context, sid int, sources []int, args *Pu
 			return fmt.Errorf("dist: pull shard %d: %w", sid, err)
 		}
 		*reply = PullShardReply{}
-		sp, ev, done := c.inner.startRPC(ctx, "Worker.PullShard", 24)
+		sp, ev, done := c.inner.startRPC(ctx, "Worker.PullShard")
 		_, err = c.inner.attempt(ctx, "Worker.PullShard", *args, reply, w,
 			callOpts{pol: pol, sp: sp, ev: ev})
 		ev.SetAttempts(attempt + 1)
-		done(w, int64(len(reply.BlockFrame)+len(reply.ZFrame)), err)
+		done(w, err)
 		if err == nil {
 			return nil
 		}

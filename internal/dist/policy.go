@@ -6,10 +6,11 @@ import (
 	"io"
 	"math/rand"
 	"net"
-	"net/rpc"
 	"strings"
 	"sync"
 	"time"
+
+	"zskyline/internal/transport"
 )
 
 // ErrClusterDown reports that no worker is live (or can become live)
@@ -69,8 +70,9 @@ const (
 	// way.
 	classFatal errClass = iota
 	// classRetryable errors are transport-level: the request may never
-	// have reached the worker (conn reset, timeout, rpc.ErrShutdown),
-	// so the task is safe to re-issue on another worker.
+	// have reached the worker (conn reset, timeout,
+	// transport.ErrShutdown), so the task is safe to re-issue on
+	// another worker.
 	classRetryable
 	// classRuleMissing is a worker answering "rule not loaded": it is
 	// alive but lost (or never received) the broadcast rule, e.g. a
@@ -84,16 +86,18 @@ const (
 	classShardMoved
 )
 
-// classify sorts an RPC error into the retry taxonomy. net/rpc
-// surfaces worker-side errors as rpc.ServerError and transport
+// classify sorts an RPC error into the retry taxonomy. The framed
+// transport surfaces worker-side verdicts as transport.ServerError
+// (the call reached the worker and the worker answered) and transport
 // failures as everything else, which makes the split crisp: server
 // errors are application verdicts (fatal, unless they are the
-// rule-cache miss), all other errors mean the bytes never made it.
+// rule-cache miss or a shard-residency miss), all other errors mean
+// the bytes may never have made it.
 func classify(err error) errClass {
 	if err == nil {
 		return classFatal // not meaningful; callers check err first
 	}
-	var se rpc.ServerError
+	var se transport.ServerError
 	if errors.As(err, &se) {
 		if strings.Contains(se.Error(), "not loaded") {
 			return classRuleMissing
@@ -104,8 +108,11 @@ func classify(err error) errClass {
 		}
 		return classFatal
 	}
+	if errors.Is(err, errUnknownMethod) {
+		return classFatal // caller bug: no worker could ever serve it
+	}
 	switch {
-	case errors.Is(err, rpc.ErrShutdown),
+	case errors.Is(err, transport.ErrShutdown),
 		errors.Is(err, io.EOF),
 		errors.Is(err, io.ErrUnexpectedEOF),
 		errors.Is(err, errAttemptTimeout),
@@ -120,8 +127,8 @@ func classify(err error) errClass {
 	if errors.As(err, &oe) {
 		return classRetryable
 	}
-	// Gob decode errors after a half-closed conn, "connection reset by
-	// peer" strings from the runtime, etc.: anything that is not a
+	// Frame decode errors after a half-closed conn, "connection reset
+	// by peer" strings from the runtime, etc.: anything that is not a
 	// worker verdict is a transport casualty.
 	return classRetryable
 }

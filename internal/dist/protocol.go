@@ -1,10 +1,15 @@
 // Package dist executes the paper's three-phase pipeline across real
-// processes: a coordinator and N workers that speak net/rpc over TCP
-// with gob encoding. It is the share-*nothing* deployment of the same
-// phase logic internal/plan defines — phase 1 happens on the
-// coordinator (master node), phase 2's map+combine and reduce run on
-// the workers, and phase 3's Z-merge runs on one worker, exactly
-// mirroring the paper's Hadoop layout (Figure 5).
+// processes: a coordinator and N workers that speak the framed binary
+// protocol of internal/transport over TCP. Every wire type below
+// carries its own AppendTo/DecodeFrom pair, so bulk payloads (point
+// blocks, Z-address columns, shard frames) travel as the same flat
+// little-endian arrays they occupy in memory; only the two
+// control structs with maps inside (the rule blob, the shard-stats
+// report) ride an embedded gob payload. It is the share-*nothing*
+// deployment of the same phase logic internal/plan defines — phase 1
+// happens on the coordinator (master node), phase 2's map+combine and
+// reduce run on the workers, and phase 3's Z-merge runs on one worker,
+// exactly mirroring the paper's Hadoop layout (Figure 5).
 //
 // Workers are stateful only in that they cache the broadcast
 // partitioning rule (the distributed-cache step of Algorithm 3) keyed
@@ -15,7 +20,7 @@
 // The coordinator assumes workers fail: every RPC runs under a policy
 // of per-attempt deadlines, bounded retries with jittered exponential
 // backoff, and failover, with errors classified as retryable
-// (transport casualties: conn reset, timeout, rpc.ErrShutdown) or
+// (transport casualties: conn reset, timeout, transport.ErrShutdown) or
 // fatal (worker verdicts: bad rule, dims mismatch). Worker liveness is
 // a state machine — live → suspect → dead → resurrecting — where
 // suspect/dead workers are re-dialed every RedialInterval and rejoin

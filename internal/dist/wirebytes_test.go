@@ -8,6 +8,47 @@ import (
 	"zskyline/internal/zorder"
 )
 
+// TestRPCEventBytesMatchTCP pins the exact-accounting contract of the
+// framed transport: with one worker and no faults (so no retries,
+// hedges, or abandoned legs), the per-RPC events' frame sizes must sum
+// to precisely the TCP byte deltas the connection counters measured —
+// not an estimate, the same bytes counted two independent ways.
+func TestRPCEventBytesMatchTCP(t *testing.T) {
+	ws, err := StartWorker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ws.Close() })
+	cfg := DefaultCoordinatorConfig()
+	cfg.M = 8
+	cfg.SampleRatio = 0.05
+	cfg.ChunkSize = 500
+	coord, err := NewCoordinator(cfg, []string{ws.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	before := coord.WireStats()[0]
+	ds := gen.Synthetic(gen.Independent, 3000, 3, 7)
+	if _, _, err := coord.Skyline(context.Background(), ds); err != nil {
+		t.Fatal(err)
+	}
+	after := coord.WireStats()[0]
+	var sent, recv int64
+	for _, ev := range coord.Events().Snapshot() {
+		if ev.Kind == "rpc" {
+			sent += ev.WireSentBytes
+			recv += ev.WireRecvBytes
+		}
+	}
+	if wantSent := after.Sent - before.Sent; sent != wantSent {
+		t.Errorf("rpc events sum sent=%d, TCP counters measured %d", sent, wantSent)
+	}
+	if wantRecv := after.Recv - before.Recv; recv != wantRecv {
+		t.Errorf("rpc events sum recv=%d, TCP counters measured %d", recv, wantRecv)
+	}
+}
+
 // TestClusterWireBytesRoutedVsBroadcast measures the wire traffic of
 // partition-aware routing against the broadcast-to-all baseline on the
 // `large` bench config (50000 points, matching skybench): one range

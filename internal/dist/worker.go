@@ -3,20 +3,21 @@ package dist
 import (
 	"fmt"
 	"net"
-	"net/rpc"
 	"sync"
 	"time"
 
 	"zskyline/internal/obs"
 	"zskyline/internal/plan"
+	"zskyline/internal/transport"
 )
 
-// Worker is the RPC service a worker process exposes. All phase
-// semantics live in the broadcast plan.Rule; the worker caches rules,
-// executes their tasks, and — in the sharded tier — holds resident
-// shard data (see worker_shard.go). Every RPC is recorded in the
-// worker's metrics registry (request counts, payload bytes, latency
-// histograms), which skyworker serves at --metrics-addr.
+// Worker is the service a worker process exposes over the framed
+// transport. All phase semantics live in the broadcast plan.Rule; the
+// worker caches rules, executes their tasks, and — in the sharded tier
+// — holds resident shard data (see worker_shard.go). Every served call
+// is recorded in the worker's metrics registry (request counts, exact
+// on-wire frame bytes, latency histograms), which skyworker serves at
+// --metrics-addr.
 type Worker struct {
 	mu    sync.RWMutex
 	rules map[uint64]*plan.Rule
@@ -34,13 +35,180 @@ type Worker struct {
 	maxResident int
 }
 
-// observe records one served RPC into the worker's registry.
-func (w *Worker) observe(method string, start time.Time, reqBytes, respBytes int64) {
-	m := obs.L("method", method)
+// observe records one served call into the worker's registry with the
+// exact on-wire request and response frame sizes the transport
+// measured (header included) — no payload estimates.
+func (w *Worker) observe(method uint16, dur time.Duration, reqBytes, respBytes int64) {
+	m := obs.L("method", shortMethodName(method))
 	w.reg.Counter("zsky_rpc_requests_total", m).Add(1)
 	w.reg.Counter("zsky_rpc_request_bytes_total", m).Add(reqBytes)
 	w.reg.Counter("zsky_rpc_response_bytes_total", m).Add(respBytes)
-	w.reg.Histogram("zsky_rpc_seconds", nil, m).Observe(time.Since(start).Seconds())
+	w.reg.Histogram("zsky_rpc_seconds", nil, m).Observe(dur.Seconds())
+}
+
+// ServeFrame implements transport.Handler: decode the method's args
+// frame, run the call, and hand the reply back for the server to frame.
+// Worker verdicts (returned errors) travel as error frames, which the
+// coordinator's classifier sees as transport.ServerError.
+func (w *Worker) ServeFrame(method uint16, payload []byte) (transport.Marshaler, error) {
+	switch method {
+	case mPing:
+		var args PingArgs
+		if err := args.DecodeFrom(payload); err != nil {
+			return nil, err
+		}
+		var reply PingReply
+		if err := w.Ping(args, &reply); err != nil {
+			return nil, err
+		}
+		return reply, nil
+	case mLoadRule:
+		var args LoadRuleArgs
+		if err := args.DecodeFrom(payload); err != nil {
+			return nil, err
+		}
+		var reply LoadRuleReply
+		if err := w.LoadRule(args, &reply); err != nil {
+			return nil, err
+		}
+		return reply, nil
+	case mMapChunk:
+		var args MapArgs
+		if err := args.DecodeFrom(payload); err != nil {
+			return nil, err
+		}
+		var reply MapReply
+		if err := w.MapChunk(args, &reply); err != nil {
+			return nil, err
+		}
+		return reply, nil
+	case mReduceGroup:
+		var args ReduceArgs
+		if err := args.DecodeFrom(payload); err != nil {
+			return nil, err
+		}
+		var reply ReduceReply
+		if err := w.ReduceGroup(args, &reply); err != nil {
+			return nil, err
+		}
+		return reply, nil
+	case mMergeGroups:
+		var args MergeArgs
+		if err := args.DecodeFrom(payload); err != nil {
+			return nil, err
+		}
+		var reply MergeReply
+		if err := w.MergeGroups(args, &reply); err != nil {
+			return nil, err
+		}
+		return reply, nil
+	case mStoreShard:
+		var args StoreShardArgs
+		if err := args.DecodeFrom(payload); err != nil {
+			return nil, err
+		}
+		var reply StoreShardReply
+		if err := w.StoreShard(args, &reply); err != nil {
+			return nil, err
+		}
+		return reply, nil
+	case mShardSkyline:
+		var args ShardSkyArgs
+		if err := args.DecodeFrom(payload); err != nil {
+			return nil, err
+		}
+		var reply ShardSkyReply
+		if err := w.ShardSkyline(args, &reply); err != nil {
+			return nil, err
+		}
+		return reply, nil
+	case mPullShard:
+		var args PullShardArgs
+		if err := args.DecodeFrom(payload); err != nil {
+			return nil, err
+		}
+		var reply PullShardReply
+		if err := w.PullShard(args, &reply); err != nil {
+			return nil, err
+		}
+		return reply, nil
+	case mStageShard:
+		var args StageShardArgs
+		if err := args.DecodeFrom(payload); err != nil {
+			return nil, err
+		}
+		var reply StageShardReply
+		if err := w.StageShard(args, &reply); err != nil {
+			return nil, err
+		}
+		return reply, nil
+	case mCommitShard:
+		var args CommitShardArgs
+		if err := args.DecodeFrom(payload); err != nil {
+			return nil, err
+		}
+		var reply CommitShardReply
+		if err := w.CommitShard(args, &reply); err != nil {
+			return nil, err
+		}
+		return reply, nil
+	case mDropStaged:
+		var args DropStagedArgs
+		if err := args.DecodeFrom(payload); err != nil {
+			return nil, err
+		}
+		var reply DropStagedReply
+		if err := w.DropStaged(args, &reply); err != nil {
+			return nil, err
+		}
+		return reply, nil
+	case mDropShard:
+		var args DropShardArgs
+		if err := args.DecodeFrom(payload); err != nil {
+			return nil, err
+		}
+		var reply DropShardReply
+		if err := w.DropShard(args, &reply); err != nil {
+			return nil, err
+		}
+		return reply, nil
+	case mShardStats:
+		var args ShardStatsArgs
+		if err := args.DecodeFrom(payload); err != nil {
+			return nil, err
+		}
+		var reply ShardStatsReply
+		if err := w.ShardStats(args, &reply); err != nil {
+			return nil, err
+		}
+		return reply, nil
+	}
+	return nil, fmt.Errorf("dist: unknown method id %d", method)
+}
+
+// faultInterceptor adapts a FaultPlan to the transport's frame
+// interceptor seam: the plan keeps matching on "Worker.X" names (the
+// spec syntax operators and tests use), translated from the frame's
+// method id per call.
+type faultInterceptor struct {
+	plan *FaultPlan
+}
+
+// Intercept consults the plan for the incoming call's verdict.
+func (fi faultInterceptor) Intercept(method uint16) transport.Verdict {
+	rule := fi.plan.match(methodName(method))
+	if rule == nil {
+		return transport.Verdict{}
+	}
+	switch rule.Action {
+	case FaultSever:
+		return transport.Verdict{Sever: true}
+	case FaultDelay:
+		return transport.Verdict{Delay: rule.Delay}
+	case FaultDrop:
+		return transport.Verdict{Drop: true}
+	}
+	return transport.Verdict{}
 }
 
 // WorkerServer wraps a Worker with its listener lifecycle. Close
@@ -49,7 +217,6 @@ func (w *Worker) observe(method string, start time.Time, reqBytes, respBytes int
 type WorkerServer struct {
 	worker   *Worker
 	listener net.Listener
-	server   *rpc.Server
 	faults   *FaultPlan
 	wg       sync.WaitGroup
 	mu       sync.Mutex
@@ -57,13 +224,13 @@ type WorkerServer struct {
 	conns    map[net.Conn]struct{}
 }
 
-// StartWorker launches a worker RPC server on addr (use "127.0.0.1:0"
+// StartWorker launches a worker server on addr (use "127.0.0.1:0"
 // for an ephemeral port) and serves until Close.
 func StartWorker(addr string) (*WorkerServer, error) {
 	return StartWorkerWithOptions(addr, WorkerOptions{})
 }
 
-// StartWorkerWithFaults launches a worker whose RPC serving is routed
+// StartWorkerWithFaults launches a worker whose serving is routed
 // through a deterministic FaultPlan: the plan can delay, drop, or
 // sever the Nth call of a method, which is how the fault-injection
 // suite (and skyworker -fault chaos drills) exercise the
@@ -75,7 +242,7 @@ func StartWorkerWithFaults(addr string, faults *FaultPlan) (*WorkerServer, error
 
 // WorkerOptions tunes a worker server beyond its address.
 type WorkerOptions struct {
-	// Faults, when non-nil, routes RPC serving through a deterministic
+	// Faults, when non-nil, routes serving through a deterministic
 	// fault-injection plan (see StartWorkerWithFaults).
 	Faults *FaultPlan
 	// MaxResidentRows, when positive, caps resident rows per shard:
@@ -95,12 +262,11 @@ func StartWorkerWithOptions(addr string, opts WorkerOptions) (*WorkerServer, err
 		reg:      obs.NewRegistry(),
 		resident: make(map[int]*residentShard), staged: make(map[stageKey]*residentShard),
 		maxResident: opts.MaxResidentRows}
-	srv := rpc.NewServer()
-	if err := srv.RegisterName("Worker", w); err != nil {
-		ln.Close()
-		return nil, err
+	sopts := transport.ServeOptions{Observe: w.observe}
+	if faults != nil {
+		sopts.Intercept = faultInterceptor{plan: faults}
 	}
-	ws := &WorkerServer{worker: w, listener: ln, server: srv, faults: faults,
+	ws := &WorkerServer{worker: w, listener: ln, faults: faults,
 		conns: map[net.Conn]struct{}{}}
 	ws.wg.Add(1)
 	go func() {
@@ -121,11 +287,7 @@ func StartWorkerWithOptions(addr string, opts WorkerOptions) (*WorkerServer, err
 			ws.wg.Add(1)
 			go func() {
 				defer ws.wg.Done()
-				if faults != nil {
-					srv.ServeCodec(newFaultCodec(conn, faults))
-				} else {
-					srv.ServeConn(conn)
-				}
+				transport.ServeConn(conn, w, sopts)
 				ws.mu.Lock()
 				delete(ws.conns, conn)
 				ws.mu.Unlock()
@@ -168,8 +330,6 @@ func (w *Worker) Ping(_ PingArgs, reply *PingReply) error {
 // rebalances re-broadcast the same rule ID with a newer map, and a
 // cached rule must never swallow an ownership update.
 func (w *Worker) LoadRule(args LoadRuleArgs, reply *LoadRuleReply) error {
-	start := time.Now()
-	defer func() { w.observe("LoadRule", start, int64(args.Rule.Data.SampleSkyline.Bytes()), 1) }()
 	if !args.Rule.Shards.Empty() {
 		w.installShardMap(args.Rule.Shards.Version)
 	}
@@ -204,7 +364,6 @@ func (w *Worker) rule(id uint64) (*plan.Rule, error) {
 // MapChunk is phase 2's map+combine: filter against the SZB-tree,
 // route to groups, and emit the chunk-local skyline per group.
 func (w *Worker) MapChunk(args MapArgs, reply *MapReply) error {
-	start := time.Now()
 	r, err := w.rule(args.RuleID)
 	if err != nil {
 		return err
@@ -212,32 +371,27 @@ func (w *Worker) MapChunk(args MapArgs, reply *MapReply) error {
 	out := r.MapBlock(args.Block, nil)
 	reply.Groups = out.Groups
 	reply.Filtered = out.Filtered
-	w.observe("MapChunk", start, int64(args.Block.Bytes()), groupBytes(reply.Groups))
 	return nil
 }
 
 // ReduceGroup is phase 2's reduce: the skyline of one group's routed
 // points.
 func (w *Worker) ReduceGroup(args ReduceArgs, reply *ReduceReply) error {
-	start := time.Now()
 	r, err := w.rule(args.RuleID)
 	if err != nil {
 		return err
 	}
 	reply.Candidates = r.LocalSkylineGroup(args.Group, nil)
-	w.observe("ReduceGroup", start, groupBytes([]plan.Group{args.Group}), groupBytes([]plan.Group{reply.Candidates}))
 	return nil
 }
 
 // MergeGroups is one phase-3 merge task: Z-merge the candidate groups
 // into a partial (or, with all groups, the global) skyline.
 func (w *Worker) MergeGroups(args MergeArgs, reply *MergeReply) error {
-	start := time.Now()
 	r, err := w.rule(args.RuleID)
 	if err != nil {
 		return err
 	}
 	reply.Skyline = r.MergeGroupsZ(args.Groups, nil)
-	w.observe("MergeGroups", start, groupBytes(args.Groups), groupBytes([]plan.Group{reply.Skyline}))
 	return nil
 }

@@ -2,7 +2,6 @@ package dist
 
 import (
 	"fmt"
-	"time"
 
 	"zskyline/internal/obs"
 	"zskyline/internal/plan"
@@ -72,7 +71,6 @@ func (w *Worker) setShardGauge(shardID, rows int) {
 // member of the owning group, under a per-shard lock, so replicas stay
 // byte-identical.
 func (w *Worker) StoreShard(args StoreShardArgs, reply *StoreShardReply) error {
-	start := time.Now()
 	g, err := decodeShardFrames(args.ShardID, args.BlockFrame, args.ZFrame)
 	if err != nil {
 		return err
@@ -98,7 +96,6 @@ func (w *Worker) StoreShard(args StoreShardArgs, reply *StoreShardReply) error {
 	reply.Rows = res.rows
 	w.smu.Unlock()
 	w.setShardGauge(args.ShardID, reply.Rows)
-	w.observe("StoreShard", start, int64(len(args.BlockFrame)+len(args.ZFrame)), 8)
 	return nil
 }
 
@@ -108,7 +105,6 @@ func (w *Worker) StoreShard(args StoreShardArgs, reply *StoreShardReply) error {
 // shard-moved and re-routes from a fresh map snapshot, which is how a
 // query that raced a rebalance converges on the new owner.
 func (w *Worker) ShardSkyline(args ShardSkyArgs, reply *ShardSkyReply) error {
-	start := time.Now()
 	r, err := w.rule(args.RuleID)
 	if err != nil {
 		return err
@@ -145,7 +141,6 @@ func (w *Worker) ShardSkyline(args ShardSkyArgs, reply *ShardSkyReply) error {
 	out := r.LocalSkylineGroup(concatGroups(args.ShardID, groups), nil)
 	out.Gid = args.ShardID
 	reply.Group = out
-	w.observe("ShardSkyline", start, 16, groupBytes([]plan.Group{out}))
 	return nil
 }
 
@@ -214,7 +209,6 @@ func filterGroupRange(g plan.Group, rng zorder.Range) plan.Group {
 // to roughly MaxRows rows into a single pair of frames, so the
 // transfer path moves flat arrays, not per-point gob.
 func (w *Worker) PullShard(args PullShardArgs, reply *PullShardReply) error {
-	start := time.Now()
 	w.smu.RLock()
 	res := w.resident[args.ShardID]
 	var groups []plan.Group
@@ -260,14 +254,12 @@ func (w *Worker) PullShard(args PullShardArgs, reply *PullShardReply) error {
 	}
 	reply.Next = cur
 	reply.Done = cur >= len(groups)
-	w.observe("PullShard", start, 24, int64(len(reply.BlockFrame)+len(reply.ZFrame)))
 	return nil
 }
 
 // StageShard appends one pulled batch to the (shard, epoch) staging
 // area. Staged data is invisible to queries until CommitShard.
 func (w *Worker) StageShard(args StageShardArgs, reply *StageShardReply) error {
-	start := time.Now()
 	g, err := decodeShardFrames(args.ShardID, args.BlockFrame, args.ZFrame)
 	if err != nil {
 		return err
@@ -290,7 +282,6 @@ func (w *Worker) StageShard(args StageShardArgs, reply *StageShardReply) error {
 	}
 	reply.Rows = st.rows
 	w.smu.Unlock()
-	w.observe("StageShard", start, int64(len(args.BlockFrame)+len(args.ZFrame)), 8)
 	return nil
 }
 
@@ -300,7 +291,6 @@ func (w *Worker) StageShard(args StageShardArgs, reply *StageShardReply) error {
 // missing staging area yields an empty resident shard — correct for a
 // shard that held no rows.
 func (w *Worker) CommitShard(args CommitShardArgs, reply *CommitShardReply) error {
-	start := time.Now()
 	key := stageKey{shard: args.ShardID, epoch: args.Epoch}
 	w.smu.Lock()
 	st := w.staged[key]
@@ -319,7 +309,6 @@ func (w *Worker) CommitShard(args CommitShardArgs, reply *CommitShardReply) erro
 	reply.Rows = st.rows
 	w.smu.Unlock()
 	w.setShardGauge(args.ShardID, reply.Rows)
-	w.observe("CommitShard", start, 24, 8)
 	return nil
 }
 

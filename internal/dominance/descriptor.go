@@ -17,7 +17,8 @@ const (
 
 // Descriptor is the serializable wire form of a provider: a plain
 // struct of plain fields, so it crosses process boundaries embedded in
-// the rule broadcast (gob via net/rpc) without custom codecs. Unused
+// the rule broadcast (the gob-encoded rule blob) without custom
+// codecs. Unused
 // parameter fields stay at their zero value for kinds that do not need
 // them.
 //

@@ -141,6 +141,15 @@ func (e *Event) SetHedged() {
 	}
 }
 
+// SetWire records the exact on-wire request and response frame sizes
+// of the serving attempt. Nil-safe.
+func (e *Event) SetWire(sent, recv int64) {
+	if e != nil {
+		e.WireSentBytes = sent
+		e.WireRecvBytes = recv
+	}
+}
+
 // EventLog is a bounded, concurrency-safe ring of Events with optional
 // 1-in-N sampling and an optional NDJSON sink. The ring keeps the most
 // recent records for /debug/events; the sink, when set, receives every

@@ -8,7 +8,8 @@
 //
 //   - internal/core adapts the in-process MapReduce simulator
 //     (combiner + shuffle accounting, stragglers, faults);
-//   - internal/dist adapts a TCP coordinator and net/rpc workers;
+//   - internal/dist adapts a TCP coordinator and framed-transport
+//     workers (internal/transport);
 //   - internal/parallel adapts a shared-memory goroutine pool
 //     (plan.LocalExec).
 //

@@ -219,8 +219,9 @@ func (b Block) AppendBinary(dst []byte) ([]byte, error) {
 }
 
 // MarshalBinary implements encoding.BinaryMarshaler with the
-// AppendBinary frame. gob (and therefore net/rpc) picks this up
-// automatically, so a Block crosses the wire as one opaque byte blob.
+// AppendBinary frame. gob picks this up automatically, and the framed
+// transport appends the same frame directly, so a Block crosses the
+// wire as one opaque byte blob either way.
 func (b Block) MarshalBinary() ([]byte, error) {
 	return b.AppendBinary(make([]byte, 0, blockHeaderLen+8*len(b.Data)))
 }

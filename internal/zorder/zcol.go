@@ -181,8 +181,9 @@ func (c ZCol) AppendBinary(dst []byte) ([]byte, error) {
 }
 
 // MarshalBinary implements encoding.BinaryMarshaler with the
-// AppendBinary frame, so gob (and therefore net/rpc) ships a ZCol as
-// one opaque blob instead of a per-element encode.
+// AppendBinary frame, so gob (and anything else honoring the
+// interface) ships a ZCol as one opaque blob instead of a per-element
+// encode. The framed transport appends the same frame directly.
 func (c ZCol) MarshalBinary() ([]byte, error) {
 	return c.AppendBinary(make([]byte, 0, zcolHeaderLen+8*len(c.Data)))
 }

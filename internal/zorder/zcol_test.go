@@ -193,7 +193,7 @@ func TestZColMarshalRoundTrip(t *testing.T) {
 				t.Fatalf("n=%d row %d mismatch after roundtrip", n, i)
 			}
 		}
-		// Gob path (what net/rpc uses).
+		// Gob path (the rule-blob escape hatch).
 		var buf bytes.Buffer
 		if err := gob.NewEncoder(&buf).Encode(zc); err != nil {
 			t.Fatal(err)
